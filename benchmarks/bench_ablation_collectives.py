@@ -1,0 +1,90 @@
+"""Ablation: binary-tree vs linear collective algorithms.
+
+The paper models collectives as binary trees (log P steps).  This ablation
+contrasts that with a naive linear (P−1 step) implementation to show why
+the tree abstraction matters for the scalability story, and how much of the
+iteration the collectives consume at scale.
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.machine import QSNET_LIKE
+from repro.perfmodel import collectives_time
+from repro.simmpi import tree_depth
+
+PE_SWEEP = (16, 64, 256, 1024)
+
+
+def _linear_collectives_time(network, num_ranks: int) -> float:
+    """Strawman: every collective visits all P−1 peers serially."""
+    if num_ranks <= 1:
+        return 0.0
+    steps = num_ranks - 1
+    bcast = 3 * steps * network.tmsg(4) + 3 * steps * network.tmsg(8)
+    allreduce = 18 * steps * network.tmsg(4) + 26 * steps * network.tmsg(8)
+    gather = steps * network.tmsg(32)
+    return bcast + allreduce + gather
+
+
+@pytest.fixture(scope="module")
+def collective_rows():
+    rows = []
+    for p in PE_SWEEP:
+        tree = collectives_time(QSNET_LIKE, p)
+        linear = _linear_collectives_time(QSNET_LIKE, p)
+        rows.append((p, tree, linear))
+    return rows
+
+
+def test_collectives_ablation_report(collective_rows, report_writer):
+    table = TextTable(
+        "Ablation: binary-tree vs linear collectives per iteration",
+        ["PEs", "tree (ms)", "linear (ms)", "linear/tree"],
+    )
+    for p, tree, linear in collective_rows:
+        table.add_row(p, tree * 1e3, linear * 1e3, linear / tree)
+    report_writer("ablation_collectives", table.render())
+
+
+def test_linear_blows_up_at_scale(collective_rows):
+    p, tree, linear = collective_rows[-1]
+    assert p == 1024
+    assert linear / tree > 50  # (P-1) / log2(P) = 1023/10
+
+
+def test_tree_time_grows_logarithmically(collective_rows):
+    t = {p: tree for p, tree, _ in collective_rows}
+    assert t[1024] / t[16] == pytest.approx(
+        tree_depth(1024) / tree_depth(16), rel=1e-9
+    )
+
+
+def test_collectives_share_grows_with_p(cluster, fine_cost_table):
+    """At fixed problem size, collectives take a growing share of the
+    predicted iteration — the strong-scaling limit of Figure 5."""
+    from repro.perfmodel import GeneralModel
+
+    model = GeneralModel(table=fine_cost_table, network=cluster.network)
+    shares = []
+    for p in (64, 256, 1024):
+        pred = model.predict(204800, p)
+        shares.append(pred.collectives / pred.total)
+    assert shares[0] < shares[1] < shares[2]
+
+
+@pytest.mark.benchmark(group="ablation-collectives")
+def test_bench_simulated_allreduce_1024(benchmark, cluster):
+    """DES cost of one 1024-rank allreduce (engine scalability check)."""
+    from repro.simmpi import Allreduce, Compute, Engine, SetPhase
+
+    def run_once():
+        def prog(rank):
+            yield SetPhase(0)
+            yield Compute(0.0)
+            yield Allreduce(1.0, "sum", 8)
+
+        return Engine(cluster, 1024, 1).run(prog).makespan
+
+    makespan = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert makespan > 0

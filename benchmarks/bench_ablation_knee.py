@@ -1,0 +1,78 @@
+"""Ablation: calibration sample density vs model error at the knee.
+
+Section 5.1 blames the mesh-specific model's small-deck failures on "the
+linear regression itself, or the linear interpolation between measured
+values in the cost curves".  This ablation sweeps the contrived-grid sample
+spacing and shows the knee-region prediction error shrinking as sampling
+densifies — and that no density rescues a model evaluated far outside its
+calibrated range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_face_table
+from repro.partition import cached_partition
+from repro.perfmodel import MeshSpecificModel, calibrate_contrived_grid
+
+#: (label, contrived-grid sides): cells/PE samples are sides², so these are
+#: ×256, ×16, and ×4 sample spacings.
+DENSITIES = (
+    ("sparse (x256)", [1, 16, 256]),
+    ("medium (x16)", [1, 4, 16, 64, 256]),
+    ("dense (x4)", [1, 2, 4, 8, 16, 32, 64, 128, 256]),
+)
+
+
+@pytest.fixture(scope="module")
+def knee_rows(cluster, small_deck):
+    faces = build_face_table(small_deck.mesh)
+    part = cached_partition(small_deck, 64, seed=1, faces=faces)  # 50 cells/PE: knee
+    census = build_workload_census(small_deck, part, faces)
+    measured = measure_iteration_time(
+        small_deck, part, cluster=cluster, faces=faces, census=census
+    ).seconds
+    rows = []
+    for label, sides in DENSITIES:
+        table = calibrate_contrived_grid(cluster, sides=sides)
+        pred = MeshSpecificModel(table=table, network=cluster.network).predict(census)
+        rows.append((label, len(sides), measured, pred.total, pred.error_vs(measured)))
+    return rows
+
+
+def test_knee_ablation_report(knee_rows, report_writer):
+    table = TextTable(
+        "Ablation: cost-curve sample density vs knee error "
+        "(small deck, 64 PEs = 50 cells/PE)",
+        ["density", "samples", "meas. (ms)", "pred. (ms)", "error"],
+    )
+    for label, n, meas, pred, err in knee_rows:
+        table.add_row(label, n, meas * 1e3, pred * 1e3, f"{err * 100:+.1f}%")
+    report_writer("ablation_knee", table.render())
+
+
+def test_denser_sampling_reduces_knee_error(knee_rows):
+    errors = [abs(err) for _, _, _, _, err in knee_rows]
+    assert errors[0] > errors[-1]
+    assert errors[0] > 0.3  # sparse sampling fails badly at the knee
+
+def test_knee_error_systematically_overpredicts(knee_rows):
+    """Linear-in-log interpolation chords a convex 1/n curve from above."""
+    for label, _, _, _, err in knee_rows[:2]:
+        assert err < 0, label
+
+
+@pytest.mark.benchmark(group="ablation-knee")
+@pytest.mark.parametrize("label,sides", DENSITIES, ids=[d[0] for d in DENSITIES])
+def test_bench_calibration_density(benchmark, cluster, label, sides):
+    """Calibration cost grows with sample count — the accuracy trade-off."""
+    table = benchmark.pedantic(
+        calibrate_contrived_grid,
+        args=(cluster,),
+        kwargs={"sides": sides},
+        rounds=2,
+        iterations=1,
+    )
+    assert table.num_phases == 15

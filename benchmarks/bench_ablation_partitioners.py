@@ -1,0 +1,105 @@
+"""Ablation: partitioner choice (multilevel Metis-analogue vs RCB vs block).
+
+The paper attributes modelling difficulty to Metis's irregular partitions;
+this ablation quantifies what the partitioner does to edge cut, neighbour
+counts, and the measured iteration time on the simulated machine.
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_face_table
+from repro.partition import (
+    cached_partition,
+    dual_graph_of_mesh,
+    partition_quality,
+)
+
+METHODS = ("multilevel", "rcb", "structured-block", "block")
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(cluster, small_deck):
+    faces = build_face_table(small_deck.mesh)
+    g = dual_graph_of_mesh(small_deck.mesh, faces)
+    rows = []
+    for method in METHODS:
+        part = cached_partition(small_deck, 16, method=method, seed=1, faces=faces)
+        q = partition_quality(g, part)
+        census = build_workload_census(small_deck, part, faces)
+        measured = measure_iteration_time(
+            small_deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        rows.append((method, q, measured))
+    return rows
+
+
+def test_partitioner_ablation_report(ablation_rows, report_writer):
+    table = TextTable(
+        "Ablation: partitioner choice (small deck, 16 PEs)",
+        [
+            "method",
+            "edge cut",
+            "imbalance",
+            "mean nbrs",
+            "max nbrs",
+            "measured iter (ms)",
+        ],
+    )
+    for method, q, measured in ablation_rows:
+        table.add_row(
+            method,
+            q.edge_cut,
+            q.imbalance,
+            q.mean_neighbors,
+            q.max_neighbors,
+            measured * 1e3,
+        )
+    report_writer("ablation_partitioners", table.render())
+
+
+def test_naive_block_has_worst_cut(ablation_rows):
+    """Contiguous-id chunks ignore geometry: far larger edge cut."""
+    cuts = {method: q.edge_cut for method, q, _ in ablation_rows}
+    assert cuts["block"] > 2 * cuts["multilevel"]
+    assert cuts["block"] > 2 * cuts["rcb"]
+
+
+def test_measured_time_latency_not_cut_dominated(ablation_rows):
+    """At 16 PEs the small deck is latency-dominated: the naive block
+    partition's 3x edge cut costs almost nothing because it halves the
+    neighbour count (fewer per-message latencies), while the extra bytes
+    ride on cheap bandwidth.  This is the same effect the paper blames for
+    the heterogeneous model's failure at scale — message *count*, not
+    volume, is what hurts.  All four partitions land within a few percent."""
+    times = [t for _, _, t in ablation_rows]
+    assert max(times) / min(times) < 1.10
+
+    # The extra bytes are real, just cheap: block moves more boundary data.
+    cuts = {method: q.edge_cut for method, q, _ in ablation_rows}
+    nbrs = {method: q.mean_neighbors for method, q, _ in ablation_rows}
+    assert cuts["block"] > cuts["multilevel"]
+    assert nbrs["block"] < nbrs["multilevel"]
+
+
+def test_multilevel_irregular_vs_rcb_regular(ablation_rows):
+    """The Metis-analogue produces more neighbour variance than RCB —
+    the irregularity the paper's mesh-specific model must swallow."""
+    q_ml = next(q for m, q, _ in ablation_rows if m == "multilevel")
+    q_rcb = next(q for m, q, _ in ablation_rows if m == "rcb")
+    assert q_ml.max_neighbors >= q_rcb.max_neighbors
+
+
+@pytest.mark.benchmark(group="ablation-partitioners")
+@pytest.mark.parametrize("method", ["multilevel", "rcb", "block"])
+def test_bench_partitioners(benchmark, small_deck, method):
+    faces = build_face_table(small_deck.mesh)
+    part = benchmark.pedantic(
+        cached_partition,
+        args=(small_deck, 16),
+        kwargs={"method": method, "seed": 1, "faces": faces, "use_cache": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert part.num_ranks == 16

@@ -1,0 +1,95 @@
+"""Extension: the heterogeneity-transition model (paper's declared future work).
+
+Section 3.2 leaves the heterogeneous→homogeneous transition unmodelled.
+This bench validates our :class:`~repro.perfmodel.transition.TransitionModel`
+against the simulator across the full Figure-5 sweep and shows it matching
+the heterogeneous variant's small-P accuracy *and* the homogeneous
+variant's large-P accuracy simultaneously.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TextTable, mean_absolute_percentage_error
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_face_table
+from repro.partition import cached_partition
+from repro.perfmodel import GeneralModel, TransitionModel
+
+
+@pytest.fixture(scope="module")
+def transition_rows(cluster, medium_deck, fine_cost_table):
+    faces = build_face_table(medium_deck.mesh)
+    homo = GeneralModel(
+        table=fine_cost_table, network=cluster.network, mode="homogeneous"
+    )
+    het = GeneralModel(
+        table=fine_cost_table, network=cluster.network, mode="heterogeneous"
+    )
+    trans = TransitionModel.for_deck(medium_deck, fine_cost_table, cluster.network)
+
+    rows = []
+    p = 1
+    while p <= 1024:
+        part = cached_partition(medium_deck, p, seed=1, faces=faces)
+        census = build_workload_census(medium_deck, part, faces)
+        meas = measure_iteration_time(
+            medium_deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        rows.append(
+            (
+                p,
+                meas,
+                homo.predict(medium_deck.num_cells, p).total,
+                het.predict(medium_deck.num_cells, p).total,
+                trans.predict(medium_deck.num_cells, p).total,
+            )
+        )
+        p *= 2
+    return rows
+
+
+def test_transition_report(transition_rows, report_writer):
+    table = TextTable(
+        "Extension: transition model vs general-model variants (medium deck)",
+        ["PEs", "meas (ms)", "homo err", "het err", "transition err"],
+    )
+    for p, meas, h, x, t in transition_rows:
+        table.add_row(
+            p,
+            meas * 1e3,
+            f"{(meas - h) / meas * 100:+.1f}%",
+            f"{(meas - x) / meas * 100:+.1f}%",
+            f"{(meas - t) / meas * 100:+.1f}%",
+        )
+    report_writer("ext_transition_model", table.render())
+
+
+def test_transition_beats_both_variants_overall(transition_rows):
+    """MAPE across the whole sweep: the transition model is at least as
+    good as the better single variant."""
+    meas = np.array([r[1] for r in transition_rows])
+    homo = np.array([r[2] for r in transition_rows])
+    het = np.array([r[3] for r in transition_rows])
+    trans = np.array([r[4] for r in transition_rows])
+    mape_h = mean_absolute_percentage_error(meas, homo)
+    mape_x = mean_absolute_percentage_error(meas, het)
+    mape_t = mean_absolute_percentage_error(meas, trans)
+    assert mape_t <= min(mape_h, mape_x) + 0.5  # percentage points
+
+
+def test_transition_matches_het_at_p1_and_homo_at_scale(transition_rows):
+    p1 = transition_rows[0]
+    assert p1[0] == 1
+    # Better than homogeneous serially:
+    assert abs(p1[1] - p1[4]) < abs(p1[1] - p1[2])
+    # Identical to homogeneous at 1024 (pure-layer subgrids):
+    last = transition_rows[-1]
+    assert last[4] == pytest.approx(last[2], rel=0.01)
+
+
+@pytest.mark.benchmark(group="ext-transition")
+def test_bench_transition_predict(benchmark, cluster, medium_deck, fine_cost_table):
+    model = TransitionModel.for_deck(medium_deck, fine_cost_table, cluster.network)
+    pred = benchmark(model.predict, medium_deck.num_cells, 512)
+    assert pred.total > 0

@@ -1,0 +1,55 @@
+"""Table 2: material ratios in the general model.
+
+The heterogeneous row comes from the input deck's global composition; the
+homogeneous row is 100% per material by construction.  We regenerate the
+ratios from all three decks and benchmark deck construction.
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.mesh import MATERIAL_NAMES, build_deck, material_fractions
+from repro.perfmodel import TABLE2_RATIOS
+
+
+def test_table2_report(report_writer):
+    table = TextTable(
+        "Table 2 (reproduced): ratio of materials in the Krak general model",
+        ["Type"] + list(MATERIAL_NAMES),
+    )
+    table.add_row("Paper hetero.", *[f"{r*100:.1f}%" for r in TABLE2_RATIOS])
+    for name in ("small", "medium", "large"):
+        fracs = material_fractions(build_deck(name))
+        table.add_row(
+            f"{name} deck", *[f"{f*100:.1f}%" for f in fracs]
+        )
+    table.add_row("Homo.", *["100%"] * 4)
+    report_writer("table2_material_ratios", table.render())
+
+
+@pytest.mark.parametrize("name", ["small", "medium", "large"])
+def test_deck_ratios_close_to_table2(name):
+    """Each deck realises the Table 2 ratios within column quantisation."""
+    fracs = material_fractions(build_deck(name))
+    for got, want in zip(fracs, TABLE2_RATIOS):
+        assert got == pytest.approx(want, abs=0.011)
+
+
+def test_larger_decks_converge_to_table2():
+    """Finer grids quantise the radial layers better."""
+    err_small = max(
+        abs(g - w)
+        for g, w in zip(material_fractions(build_deck("small")), TABLE2_RATIOS)
+    )
+    err_large = max(
+        abs(g - w)
+        for g, w in zip(material_fractions(build_deck("large")), TABLE2_RATIOS)
+    )
+    assert err_large <= err_small
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_deck_construction(benchmark):
+    """Medium-deck construction speed (mesh + materials)."""
+    deck = benchmark(build_deck, "medium")
+    assert deck.num_cells == 204800

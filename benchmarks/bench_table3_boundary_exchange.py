@@ -1,0 +1,65 @@
+"""Table 3 / Figure 4: the boundary-exchange message tally.
+
+The worked example: a processor boundary of 3 HE-gas faces, 2 + 2 aluminum
+faces (treated as one material), and 3 foam faces, with ghost nodes on the
+material interfaces enlarging the first two messages of each sextet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TextTable
+from repro.machine import QSNET_LIKE
+from repro.perfmodel import boundary_exchange_time, boundary_message_sizes
+
+#: Figure 4's boundary after combining the two aluminums, with the Table 3
+#: multi-material ghost-node attributions (1 HE, 3 Al, 2 foam).
+FACES = np.array([3, 4, 3])
+MULTI = np.array([1, 3, 2])
+GROUP_NAMES = ("H.E. Gas", "Aluminum (both)", "Foam")
+
+#: The paper's Table 3 rows: (material, count, size in bytes).
+PAPER_TABLE3 = [
+    ("H.E. Gas", 2, 48),
+    ("H.E. Gas", 4, 36),
+    ("Aluminum (both)", 2, 84),
+    ("Aluminum (both)", 4, 48),
+    ("Foam", 2, 60),
+    ("Foam", 4, 36),
+    ("All", 6, 120),
+]
+
+
+def test_table3_report(report_writer):
+    tally = boundary_message_sizes(FACES, MULTI)
+    table = TextTable(
+        "Table 3 (reproduced): boundary exchange example",
+        ["Material", "Msg. count", "Size of each msg (bytes)"],
+    )
+    names = []
+    for name in GROUP_NAMES:
+        names += [name, name]
+    names.append("All")
+    for label, (count, size) in zip(names, tally):
+        table.add_row(label, count, int(size))
+    report_writer("table3_boundary_exchange", table.render())
+
+
+def test_matches_paper_table3_exactly():
+    """Every (count, size) row of the paper's Table 3 is reproduced."""
+    tally = [(c, int(s)) for c, s in boundary_message_sizes(FACES, MULTI)]
+    assert tally == [(c, s) for (_, c, s) in PAPER_TABLE3]
+
+
+def test_total_bytes():
+    tally = boundary_message_sizes(FACES, MULTI)
+    total = sum(c * s for c, s in tally)
+    paper_total = sum(c * s for (_, c, s) in PAPER_TABLE3)
+    assert total == paper_total
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_boundary_exchange_model(benchmark):
+    """Equation (5) evaluation speed (called per neighbour per rank)."""
+    t = benchmark(boundary_exchange_time, QSNET_LIKE, FACES, MULTI)
+    assert t > 0

@@ -1,0 +1,120 @@
+"""Table 5: mesh-specific ("input-specific") model validation.
+
+Small and medium decks at 16 / 64 / 128 processors.  As in the paper's
+Section 3.1, the cost curves come from the *linear-system* method: the
+medium deck is run at several processor counts and per-phase NNLS systems
+recover the per-cell cost of each material.  The small deck's cells-per-
+processor then fall near/below the cost-curve knee, reproducing the paper's
+headline observation: large errors at the knee, ≤10 % for large local cell
+counts.
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_face_table
+from repro.partition import cached_partition
+from repro.perfmodel import MeshSpecificModel, calibrate_linear_system
+
+PE_COUNTS = (16, 64, 128)
+#: Paper's Table 5 for side-by-side comparison: (measured ms, predicted ms, error).
+PAPER_TABLE5 = {
+    ("small", 16): (27, 43, -0.590),
+    ("small", 64): (88, 41, 0.527),
+    ("small", 128): (28, 30, -0.100),
+    ("medium", 16): (310, 290, 0.059),
+    ("medium", 64): (88, 89, -0.008),
+    ("medium", 128): (61, 59, 0.045),
+}
+
+
+@pytest.fixture(scope="module")
+def linear_system_table(cluster, medium_deck):
+    """Cost curves from the paper's second calibration method."""
+    faces = build_face_table(medium_deck.mesh)
+    partitions = [
+        cached_partition(medium_deck, p, seed=1, faces=faces) for p in (16, 64, 256)
+    ]
+    return calibrate_linear_system(cluster, medium_deck, partitions)
+
+
+@pytest.fixture(scope="module")
+def table5_rows(cluster, small_deck, medium_deck, linear_system_table):
+    model_template = lambda: MeshSpecificModel(
+        table=linear_system_table, network=cluster.network
+    )
+    rows = []
+    for deck in (small_deck, medium_deck):
+        faces = build_face_table(deck.mesh)
+        for p in PE_COUNTS:
+            part = cached_partition(deck, p, seed=1, faces=faces)
+            census = build_workload_census(deck, part, faces)
+            measured = measure_iteration_time(
+                deck, part, cluster=cluster, faces=faces, census=census
+            ).seconds
+            pred = model_template().predict(census)
+            rows.append((deck.name, p, measured, pred.total, pred.error_vs(measured)))
+    return rows
+
+
+def test_table5_report(table5_rows, report_writer):
+    table = TextTable(
+        "Table 5 (reproduced): validation results for the mesh-specific model",
+        [
+            "Problem",
+            "PEs",
+            "Meas. (ms)",
+            "Pred. (ms)",
+            "Error",
+            "paper meas.",
+            "paper err.",
+        ],
+    )
+    for name, p, meas, pred, err in table5_rows:
+        pm, _, pe = PAPER_TABLE5[(name, p)]
+        table.add_row(
+            name,
+            p,
+            meas * 1e3,
+            pred * 1e3,
+            f"{err * 100:+.1f}%",
+            pm,
+            f"{pe * 100:+.1f}%",
+        )
+    report_writer("table5_mesh_specific", table.render())
+
+
+def test_small_deck_knee_errors_large(table5_rows):
+    """The paper's shape: the small deck (near the knee) mispredicts badly
+    somewhere (paper: −59 % / +53 %)."""
+    small_errors = [abs(err) for name, _, _, _, err in table5_rows if name == "small"]
+    assert max(small_errors) > 0.25
+
+
+def test_medium_deck_accurate(table5_rows):
+    """Away from the knee the model is ≤ ~10 % (paper: 5.9/−0.8/4.5 %)."""
+    medium_errors = [
+        abs(err) for name, _, _, _, err in table5_rows if name == "medium"
+    ]
+    assert max(medium_errors) < 0.15
+
+
+def test_medium_strong_scaling_shape(table5_rows):
+    """Measured medium times fall with processor count (310 → 88 → 61 ms
+    in the paper; same ordering here)."""
+    medium = [meas for name, _, meas, _, _ in table5_rows if name == "medium"]
+    assert medium[0] > medium[1] > medium[2]
+
+
+@pytest.mark.benchmark(group="table5")
+def test_bench_mesh_specific_predict(
+    benchmark, cluster, small_deck, linear_system_table
+):
+    """Model evaluation speed with exact partition information."""
+    faces = build_face_table(small_deck.mesh)
+    part = cached_partition(small_deck, 128, seed=1, faces=faces)
+    census = build_workload_census(small_deck, part, faces)
+    model = MeshSpecificModel(table=linear_system_table, network=cluster.network)
+    pred = benchmark(model.predict, census)
+    assert pred.total > 0

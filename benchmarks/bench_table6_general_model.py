@@ -1,0 +1,105 @@
+"""Table 6: general-model (homogeneous) validation at scale.
+
+Medium and large decks at 128 / 256 / 512 processors, general model with a
+homogeneous material distribution — the paper's headline result ("on 512
+processors, model accuracy is within 3%"; all rows within 8 %).
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_face_table
+from repro.partition import cached_partition
+from repro.perfmodel import GeneralModel
+
+PE_COUNTS = (128, 256, 512)
+#: Paper's Table 6: (measured ms, predicted ms, error).
+PAPER_TABLE6 = {
+    ("medium", 128): (61, 66, -0.080),
+    ("medium", 256): (49, 51, -0.040),
+    ("medium", 512): (44, 43, 0.029),
+    ("large", 128): (170, 177, -0.043),
+    ("large", 256): (95, 100, -0.046),
+    ("large", 512): (67, 67, -0.010),
+}
+
+
+@pytest.fixture(scope="module")
+def table6_rows(cluster, medium_deck, large_deck, fine_cost_table):
+    rows = []
+    for deck in (medium_deck, large_deck):
+        faces = build_face_table(deck.mesh)
+        model = GeneralModel(
+            table=fine_cost_table, network=cluster.network, mode="homogeneous"
+        )
+        for p in PE_COUNTS:
+            part = cached_partition(deck, p, seed=1, faces=faces)
+            census = build_workload_census(deck, part, faces)
+            measured = measure_iteration_time(
+                deck, part, cluster=cluster, faces=faces, census=census
+            ).seconds
+            pred = model.predict(deck.num_cells, p)
+            rows.append((deck.name, p, measured, pred.total, pred.error_vs(measured)))
+    return rows
+
+
+def test_table6_report(table6_rows, report_writer):
+    table = TextTable(
+        "Table 6 (reproduced): Krak validation results for the general model "
+        "(homogeneous)",
+        [
+            "Problem",
+            "PEs",
+            "Meas. (ms)",
+            "Pred. (ms)",
+            "Error",
+            "paper meas.",
+            "paper err.",
+        ],
+    )
+    for name, p, meas, pred, err in table6_rows:
+        pm, _, pe = PAPER_TABLE6[(name, p)]
+        table.add_row(
+            name,
+            p,
+            meas * 1e3,
+            pred * 1e3,
+            f"{err * 100:+.1f}%",
+            pm,
+            f"{pe * 100:+.1f}%",
+        )
+    report_writer("table6_general_model", table.render())
+
+
+def test_all_rows_within_12_percent(table6_rows):
+    """The paper's headline band is ≤8 %; accept ≤12 % for the reproduction."""
+    for name, p, _, _, err in table6_rows:
+        assert abs(err) < 0.12, (name, p, err)
+
+
+def test_large_512_within_5_percent(table6_rows):
+    """The paper's flagship claim: within 3 % at 512 PEs on the large deck
+    (we accept 5 % for the simulated substrate)."""
+    (err,) = [
+        err for name, p, _, _, err in table6_rows if name == "large" and p == 512
+    ]
+    assert abs(err) < 0.05
+
+
+def test_measured_magnitudes_in_paper_range(table6_rows):
+    """Absolute iteration times land in the paper's range (same order)."""
+    for name, p, meas, _, _ in table6_rows:
+        paper_meas = PAPER_TABLE6[(name, p)][0] * 1e-3
+        assert 0.4 * paper_meas < meas < 2.5 * paper_meas, (name, p, meas)
+
+
+@pytest.mark.benchmark(group="table6")
+def test_bench_general_model_predict(benchmark, cluster, fine_cost_table):
+    """The general model exists for rapid large-scale evaluation — it must
+    be microseconds-fast per prediction."""
+    model = GeneralModel(
+        table=fine_cost_table, network=cluster.network, mode="homogeneous"
+    )
+    pred = benchmark(model.predict, 819200, 512)
+    assert pred.total > 0

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures: the fixture
+layer builds the inputs (decks, cached partitions, calibrated cost tables)
+and each bench times a representative kernel with pytest-benchmark while
+writing the reproduced table/figure to ``benchmarks/reports/`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.machine import es45_like_cluster
+from repro.mesh import build_deck, build_face_table
+from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
+
+REPORTS_DIR = Path(__file__).resolve().parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    """The simulated ES-45/QsNet-like validation machine."""
+    return es45_like_cluster()
+
+
+@pytest.fixture(scope="session")
+def fine_cost_table(cluster):
+    """Contrived-grid cost table over the full Figure 3 range."""
+    return calibrate_contrived_grid(cluster, sides=default_sample_sides(512))
+
+
+@pytest.fixture(scope="session")
+def small_deck():
+    return build_deck("small")
+
+
+@pytest.fixture(scope="session")
+def medium_deck():
+    return build_deck("medium")
+
+
+@pytest.fixture(scope="session")
+def large_deck():
+    return build_deck("large")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report file and echo it to stdout."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+
+    return write

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Partition study: what the data-partitioning algorithm costs at runtime.
+
+The paper motivates performance models as tools for "quantitatively
+evaluating the potential performance benefit of alterations to the
+application, such as the data-partitioning algorithms".  This example does
+exactly that: it partitions one deck with the multilevel Metis-analogue,
+recursive coordinate bisection, and two block baselines, then compares both
+partition quality and the resulting simulated iteration time.
+
+Run:  python examples/partition_study.py [--deck small] [--ranks 16]
+"""
+
+import argparse
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.machine import es45_like_cluster
+from repro.mesh import build_deck, build_face_table
+from repro.partition import (
+    cached_partition,
+    dual_graph_of_mesh,
+    partition_quality,
+)
+
+METHODS = ("multilevel", "rcb", "structured-block", "block")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
+    parser.add_argument("--ranks", type=int, default=16)
+    args = parser.parse_args()
+
+    size = args.deck
+    if "x" in size:
+        nx, ny = size.split("x")
+        size = (int(nx), int(ny))
+    deck = build_deck(size)
+    cluster = es45_like_cluster()
+    faces = build_face_table(deck.mesh)
+    graph = dual_graph_of_mesh(deck.mesh, faces)
+
+    report = TextTable(
+        f"partitioner comparison, {deck.name} deck, {args.ranks} ranks",
+        [
+            "method",
+            "edge cut",
+            "imbalance",
+            "mean nbrs",
+            "max nbrs",
+            "iter time (ms)",
+            "vs best",
+        ],
+    )
+    rows = []
+    for method in METHODS:
+        print(f"partitioning with {method} ...")
+        part = cached_partition(deck, args.ranks, method=method, seed=1, faces=faces)
+        q = partition_quality(graph, part)
+        census = build_workload_census(deck, part, faces)
+        measured = measure_iteration_time(
+            deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        rows.append((method, q, measured))
+
+    best = min(t for _, _, t in rows)
+    for method, q, t in rows:
+        report.add_row(
+            method,
+            q.edge_cut,
+            q.imbalance,
+            q.mean_neighbors,
+            q.max_neighbors,
+            t * 1e3,
+            f"{(t / best - 1) * 100:+.1f}%",
+        )
+    print()
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scaling study: the Figure-5 workflow on any deck.
+
+Sweeps processor counts in powers of two, "measuring" each configuration on
+the simulated machine and predicting it with both general-model variants.
+This is the paper's core use case: projecting strong-scaling behaviour for
+machine procurement.
+
+Run:  python examples/scaling_study.py [--deck medium] [--max-ranks 256]
+"""
+
+import argparse
+
+from repro.analysis import TextTable, scaling_sweep
+from repro.machine import es45_like_cluster
+from repro.mesh import build_deck
+from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
+    parser.add_argument("--max-ranks", type=int, default=128)
+    args = parser.parse_args()
+
+    size = args.deck
+    if "x" in size:
+        nx, ny = size.split("x")
+        size = (int(nx), int(ny))
+    deck = build_deck(size)
+    cluster = es45_like_cluster()
+
+    print("calibrating cost curves ...")
+    table = calibrate_contrived_grid(cluster, sides=default_sample_sides(256))
+
+    print(f"sweeping P = 1 .. {args.max_ranks} on the {deck.name} deck ...")
+    points = scaling_sweep(deck, cluster, table, max_ranks=args.max_ranks, seed=1)
+
+    report = TextTable(
+        f"strong scaling, {deck.name} deck ({deck.num_cells} cells)",
+        [
+            "PEs",
+            "measured (ms)",
+            "homogeneous (ms)",
+            "err",
+            "heterogeneous (ms)",
+            "err",
+        ],
+    )
+    for pt in points:
+        report.add_row(
+            pt.num_ranks,
+            pt.measured * 1e3,
+            pt.predicted["homogeneous"] * 1e3,
+            f"{pt.error('homogeneous') * 100:+.0f}%",
+            pt.predicted["heterogeneous"] * 1e3,
+            f"{pt.error('heterogeneous') * 100:+.0f}%",
+        )
+    print()
+    print(report.render())
+
+    # Parallel efficiency relative to the single-rank measurement.
+    base = points[0].measured
+    eff = TextTable("parallel efficiency (measured)", ["PEs", "speedup", "efficiency"])
+    for pt in points:
+        speedup = base / pt.measured
+        eff.add_row(pt.num_ranks, f"{speedup:.1f}x", f"{speedup / pt.num_ranks * 100:.0f}%")
+    print()
+    print(eff.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Analysis utilities: validation sweeps, error metrics, and text reports.
+
+The benchmark harness uses these to regenerate every table and figure of the
+paper in plain-text form (the repository has no plotting dependency; figures
+are emitted as aligned data series ready for any plotting tool).
+"""
+
+from repro.analysis.errors import signed_relative_error, mean_absolute_percentage_error
+from repro.analysis.report import TextTable, format_series
+from repro.analysis.sweep import ValidationPoint, validation_sweep, scaling_sweep
+
+__all__ = [
+    "signed_relative_error",
+    "mean_absolute_percentage_error",
+    "TextTable",
+    "format_series",
+    "ValidationPoint",
+    "validation_sweep",
+    "scaling_sweep",
+]

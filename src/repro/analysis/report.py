@@ -1,0 +1,64 @@
+"""Fixed-width text tables and series for the benchmark reports.
+
+Every bench prints its table/figure in the same aligned plain-text format,
+so EXPERIMENTS.md can embed the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class TextTable:
+    """An aligned plain-text table with a title and column headers."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are stringified (floats get 3 significant-ish digits)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for c in cells:
+            if isinstance(c, float):
+                rendered.append(f"{c:.4g}")
+            else:
+                rendered.append(str(c))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "  "
+        header = sep.join(h.rjust(w) for h, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_series(name: str, xs, ys, x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned ``x y`` pairs."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal lengths")
+    lines = [f"# series: {name} ({x_label} vs {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>12g} {y:>14.6g}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Validation sweeps: "measure" on the simulated machine, predict with the
+models, tabulate errors.
+
+These drive Table 5, Table 6, and Figure 5 of the reproduction, and the
+scaling example.  Partitions are memoised to disk (see
+:mod:`repro.partition.cache`) because the multilevel partitioner dominates
+sweep cost at large rank counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hydro.driver import measure_iteration_time
+from repro.hydro.workload import build_workload_census
+from repro.machine.cluster import ClusterConfig
+from repro.mesh.connectivity import build_face_table
+from repro.mesh.deck import InputDeck
+from repro.partition.cache import cached_partition
+from repro.perfmodel.costcurves import CostTable
+from repro.perfmodel.general import GeneralModel
+from repro.perfmodel.mesh_specific import MeshSpecificModel
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (deck, rank count) validation row."""
+
+    deck_name: str
+    num_ranks: int
+    measured: float
+    #: model label → predicted seconds.
+    predicted: dict
+
+    def error(self, model: str) -> float:
+        """Signed relative error of ``model`` (paper's convention)."""
+        return (self.measured - self.predicted[model]) / self.measured
+
+
+def validation_sweep(
+    deck: InputDeck,
+    rank_counts,
+    cluster: ClusterConfig,
+    table: CostTable,
+    models=("mesh-specific", "homogeneous", "heterogeneous"),
+    seed: int = 1,
+    partition_method: str = "multilevel",
+) -> list:
+    """Measure and predict ``deck`` at each rank count.
+
+    Returns a list of :class:`ValidationPoint` in ``rank_counts`` order.
+    """
+    faces = build_face_table(deck.mesh)
+    points = []
+    for num_ranks in rank_counts:
+        partition = cached_partition(
+            deck, num_ranks, method=partition_method, seed=seed, faces=faces
+        )
+        census = build_workload_census(deck, partition, faces)
+        measured = measure_iteration_time(
+            deck, partition, cluster=cluster, faces=faces, census=census
+        ).seconds
+
+        predicted = {}
+        for model in models:
+            if model == "mesh-specific":
+                pred = MeshSpecificModel(table=table, network=cluster.network).predict(
+                    census
+                )
+            elif model in ("homogeneous", "heterogeneous"):
+                pred = GeneralModel(
+                    table=table, network=cluster.network, mode=model
+                ).predict(deck.num_cells, num_ranks)
+            else:
+                raise ValueError(f"unknown model {model!r}")
+            predicted[model] = pred.total
+        points.append(
+            ValidationPoint(
+                deck_name=deck.name,
+                num_ranks=num_ranks,
+                measured=measured,
+                predicted=predicted,
+            )
+        )
+    return points
+
+
+def scaling_sweep(
+    deck: InputDeck,
+    cluster: ClusterConfig,
+    table: CostTable,
+    max_ranks: int = 1024,
+    seed: int = 1,
+) -> list:
+    """Figure 5's sweep: powers of two from 1 to ``max_ranks``.
+
+    The single-rank point has no communication; the general models handle it
+    natively and "measured" comes from the same simulator.
+    """
+    counts = []
+    p = 1
+    while p <= max_ranks:
+        counts.append(p)
+        p *= 2
+    return validation_sweep(
+        deck,
+        counts,
+        cluster,
+        table,
+        models=("homogeneous", "heterogeneous"),
+        seed=seed,
+    )

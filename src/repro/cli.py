@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Deck, machine, and phase-structure summary.
+``calibrate``
+    Build and print per-cell cost curves (contrived-grid method).
+``validate``
+    Measure one configuration on the simulated machine and compare all
+    model variants.
+``sweep``
+    Figure-5-style strong-scaling sweep with all general-model variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import TextTable
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.machine import es45_like_cluster
+from repro.machine.costdb import PHASE_SYNC_POINTS, table4_census
+from repro.mesh import DECK_SIZES, MATERIAL_NAMES, build_deck, build_face_table, material_fractions
+from repro.partition import cached_partition
+from repro.perfmodel import (
+    GeneralModel,
+    MeshSpecificModel,
+    TransitionModel,
+    calibrate_contrived_grid,
+    default_sample_sides,
+)
+
+
+def _parse_deck(text: str):
+    if "x" in text and text not in DECK_SIZES:
+        nx, ny = text.split("x")
+        return build_deck((int(nx), int(ny)))
+    return build_deck(text)
+
+
+def _make_cluster(args) -> "object":
+    cluster = es45_like_cluster(speed=args.speed)
+    if getattr(args, "smp", False):
+        cluster = cluster.with_smp()
+    return cluster
+
+
+def cmd_info(args) -> int:
+    """Print deck, machine, and iteration-structure facts."""
+    deck = _parse_deck(args.deck)
+    table = TextTable(f"deck '{deck.name}'", ["property", "value"])
+    table.add_row("cells", deck.num_cells)
+    table.add_row("grid", f"{deck.mesh.nx} x {deck.mesh.ny}")
+    table.add_row("detonator", str(deck.detonator_xy))
+    for name, frac in zip(MATERIAL_NAMES, material_fractions(deck)):
+        table.add_row(name, f"{frac * 100:.1f}%")
+    print(table.render())
+
+    census = table4_census()
+    coll = TextTable("collectives per iteration (Table 4)", ["op", "count", "bytes"])
+    for op, sizes in census.items():
+        for size, count in sorted(sizes.items()):
+            coll.add_row(op, count, size)
+    print()
+    print(coll.render())
+    print(f"\nphases: 15, synchronisation points: {sum(PHASE_SYNC_POINTS)}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Calibrate and print the per-cell cost curves."""
+    cluster = _make_cluster(args)
+    sides = default_sample_sides(args.max_side)
+    table = calibrate_contrived_grid(cluster, sides=sides)
+    out = TextTable(
+        f"per-cell cost [us] for phase {args.phase} (contrived-grid method)",
+        ["cells/PE"] + list(MATERIAL_NAMES),
+    )
+    curve = table.curves[args.phase - 1][0]
+    for i, n in enumerate(curve.cells):
+        out.add_row(
+            int(n),
+            *[table.curves[args.phase - 1][m].per_cell[i] * 1e6 for m in range(4)],
+        )
+    print(out.render())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Measure one configuration and compare every model variant."""
+    deck = _parse_deck(args.deck)
+    cluster = _make_cluster(args)
+    faces = build_face_table(deck.mesh)
+    table = calibrate_contrived_grid(cluster, sides=default_sample_sides(args.max_side))
+    part = cached_partition(deck, args.ranks, seed=args.seed, faces=faces)
+    census = build_workload_census(deck, part, faces)
+    measured = measure_iteration_time(
+        deck, part, cluster=cluster, faces=faces, census=census
+    ).seconds
+
+    out = TextTable(
+        f"{deck.name} deck, {args.ranks} PEs on {cluster.name}",
+        ["model", "predicted (ms)", "error"],
+    )
+    out.add_row("measured", measured * 1e3, "-")
+    predictions = {
+        "mesh-specific": MeshSpecificModel(table=table, network=cluster.network).predict(census).total,
+        "general homogeneous": GeneralModel(
+            table=table, network=cluster.network, mode="homogeneous"
+        ).predict(deck.num_cells, args.ranks).total,
+        "general heterogeneous": GeneralModel(
+            table=table, network=cluster.network, mode="heterogeneous"
+        ).predict(deck.num_cells, args.ranks).total,
+        "transition": TransitionModel.for_deck(deck, table, cluster.network).predict(
+            deck.num_cells, args.ranks
+        ).total,
+    }
+    for name, pred in predictions.items():
+        out.add_row(name, pred * 1e3, f"{(measured - pred) / measured * 100:+.1f}%")
+    print(out.render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Strong-scaling sweep with measured + all general variants."""
+    deck = _parse_deck(args.deck)
+    cluster = _make_cluster(args)
+    faces = build_face_table(deck.mesh)
+    table = calibrate_contrived_grid(cluster, sides=default_sample_sides(args.max_side))
+    homo = GeneralModel(table=table, network=cluster.network, mode="homogeneous")
+    het = GeneralModel(table=table, network=cluster.network, mode="heterogeneous")
+    trans = TransitionModel.for_deck(deck, table, cluster.network)
+
+    out = TextTable(
+        f"strong scaling, {deck.name} deck on {cluster.name}",
+        ["PEs", "measured (ms)", "homo (ms)", "hetero (ms)", "transition (ms)"],
+    )
+    p = 1
+    while p <= args.max_ranks:
+        part = cached_partition(deck, p, seed=args.seed, faces=faces)
+        census = build_workload_census(deck, part, faces)
+        measured = measure_iteration_time(
+            deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        out.add_row(
+            p,
+            measured * 1e3,
+            homo.predict(deck.num_cells, p).total * 1e3,
+            het.predict(deck.num_cells, p).total * 1e3,
+            trans.predict(deck.num_cells, p).total * 1e3,
+        )
+        p *= 2
+    print(out.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Krak performance-model reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
+        p.add_argument("--speed", type=float, default=1.0, help="CPU speed multiplier")
+        p.add_argument("--smp", action="store_true", help="enable 4-way SMP hierarchy")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--max-side", type=int, default=256, help="calibration range")
+
+    p_info = sub.add_parser("info", help="deck and machine summary")
+    p_info.add_argument("--deck", default="small")
+    p_info.set_defaults(func=cmd_info)
+
+    p_cal = sub.add_parser("calibrate", help="print cost curves")
+    common(p_cal)
+    p_cal.add_argument("--phase", type=int, default=2, choices=range(1, 16))
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    p_val = sub.add_parser("validate", help="measure + predict one config")
+    common(p_val)
+    p_val.add_argument("--ranks", type=int, default=16)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
+    common(p_sweep)
+    p_sweep.add_argument("--max-ranks", type=int, default=64)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Top-level MiniKrak runs: "measure" iteration times on the simulated machine.
+
+``run_krak`` executes the full pipeline (deck → partition → census →
+discrete-event run) and returns the trace plus application diagnostics;
+``measure_iteration_time`` is the convenience most benchmarks use — it
+averages the steady-state iterations, skipping a warm-up, exactly how one
+times a production code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hydro.phases import KrakProgram
+from repro.hydro.state import RankState, build_rank_states
+from repro.hydro.workload import WorkloadCensus, build_workload_census
+from repro.machine.cluster import ClusterConfig, es45_like_cluster
+from repro.machine.costdb import NUM_PHASES
+from repro.mesh.connectivity import FaceTable
+from repro.mesh.deck import InputDeck
+from repro.partition.base import Partition
+from repro.simmpi.engine import Engine, SimResult
+
+
+@dataclass(frozen=True)
+class KrakRun:
+    """Everything produced by one simulated Krak execution."""
+
+    deck: InputDeck
+    partition: Partition
+    census: WorkloadCensus
+    cluster: ClusterConfig
+    result: SimResult
+    iterations: int
+    #: Final global diagnostics (same values on every rank); empty in census
+    #: mode except for timing fields.
+    diagnostics: dict
+    #: Functional rank states after the run (None in census mode).
+    states: list[RankState] | None
+
+    def mean_iteration_time(self, warmup: int = 1) -> float:
+        """Steady-state per-iteration time, skipping ``warmup`` iterations."""
+        if warmup >= self.iterations:
+            raise ValueError("warmup must be smaller than the iteration count")
+        return self.result.trace.mean_iteration_time(warmup, self.iterations)
+
+
+@dataclass(frozen=True)
+class MeasuredIteration:
+    """One "measured" data point for model validation."""
+
+    deck_name: str
+    num_ranks: int
+    seconds: float
+    compute_by_phase: np.ndarray
+    comm_by_phase: np.ndarray
+
+
+def run_krak(
+    deck: InputDeck,
+    partition: Partition,
+    cluster: ClusterConfig | None = None,
+    iterations: int = 3,
+    functional: bool = False,
+    faces: FaceTable | None = None,
+    census: WorkloadCensus | None = None,
+) -> KrakRun:
+    """Run MiniKrak on the simulated cluster.
+
+    Parameters
+    ----------
+    deck, partition:
+        The input problem and its cell→rank assignment.
+    cluster:
+        Simulated machine; defaults to the ES-45/QsNet-like validation box.
+    iterations:
+        Full 15-phase iterations to execute.
+    functional:
+        Run the real numerics with array payloads (small problems only);
+        otherwise charge census-based costs (timing mode, any scale).
+    faces, census:
+        Optional precomputed structures to avoid rebuilding in sweeps.
+    """
+    if cluster is None:
+        cluster = es45_like_cluster()
+    if census is None:
+        census = build_workload_census(deck, partition, faces)
+    states = build_rank_states(deck, partition) if functional else None
+
+    programs = [
+        KrakProgram(
+            rank=r,
+            census=census,
+            node_model=cluster.node,
+            state=None if states is None else states[r],
+            iterations=iterations,
+        )
+        for r in range(partition.num_ranks)
+    ]
+    engine = Engine(cluster, partition.num_ranks, NUM_PHASES)
+    result = engine.run(lambda r: programs[r]())
+
+    return KrakRun(
+        deck=deck,
+        partition=partition,
+        census=census,
+        cluster=cluster,
+        result=result,
+        iterations=iterations,
+        diagnostics=dict(programs[0].diagnostics),
+        states=states,
+    )
+
+
+def measure_iteration_time(
+    deck: InputDeck,
+    partition: Partition,
+    cluster: ClusterConfig | None = None,
+    iterations: int = 3,
+    warmup: int = 1,
+    faces: FaceTable | None = None,
+    census: WorkloadCensus | None = None,
+) -> MeasuredIteration:
+    """Produce a "measured" per-iteration time (census/timing mode)."""
+    run = run_krak(
+        deck,
+        partition,
+        cluster=cluster,
+        iterations=iterations,
+        functional=False,
+        faces=faces,
+        census=census,
+    )
+    trace = run.result.trace
+    per_iter = run.mean_iteration_time(warmup)
+    scale = 1.0 / iterations  # phase sums cover all iterations
+    return MeasuredIteration(
+        deck_name=deck.name,
+        num_ranks=partition.num_ranks,
+        seconds=per_iter,
+        compute_by_phase=trace.phase_compute_max() * scale,
+        comm_by_phase=trace.phase_comm_max() * scale,
+    )

@@ -1,0 +1,179 @@
+"""Vectorised numerical kernels for the MiniKrak Lagrangian scheme.
+
+All kernels operate on one rank's :class:`~repro.hydro.state.RankState`
+arrays; nothing here communicates.  The scheme is a standard staggered-grid
+(velocities on nodes, thermodynamics on cells) compatible-style update:
+
+* corner forces from cell pressure + artificial viscosity, via the
+  polygon-boundary formula (force on node k is ``(p+q)/2`` times the
+  outward rotation of the segment joining its neighbouring vertices);
+* von Neumann–Richtmyer scalar artificial viscosity on compression;
+* viscous hourglass damping of the quad's zero-energy mode;
+* internal energy updated from PdV work, keeping total energy conserved to
+  discretisation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.state import RankState
+
+#: Hourglass mode pattern for a quad's four counter-clockwise corners.
+_HG_PATTERN = np.array([1.0, -1.0, 1.0, -1.0])
+
+
+def quad_vertex_fields(state: RankState) -> tuple[np.ndarray, np.ndarray]:
+    """Vertex coordinates per local cell, shape ``(ncells, 4)`` each."""
+    return state.x[state.cell_nodes], state.y[state.cell_nodes]
+
+
+def compute_volumes(state: RankState) -> np.ndarray:
+    """Signed shoelace areas of local cells (planar volume per unit depth)."""
+    x, y = quad_vertex_fields(state)
+    xn = np.roll(x, -1, axis=1)
+    yn = np.roll(y, -1, axis=1)
+    return 0.5 * np.sum(x * yn - xn * y, axis=1)
+
+
+def characteristic_length(state: RankState) -> np.ndarray:
+    """Per-cell characteristic length: area / longest diagonal.
+
+    The conservative choice (shorter than ``sqrt(area)`` for distorted
+    quads) keeps the CFL condition safe as cells shear.
+    """
+    x, y = quad_vertex_fields(state)
+    d1 = np.hypot(x[:, 2] - x[:, 0], y[:, 2] - y[:, 0])
+    d2 = np.hypot(x[:, 3] - x[:, 1], y[:, 3] - y[:, 1])
+    area = np.abs(compute_volumes(state))
+    longest = np.maximum(np.maximum(d1, d2), 1e-300)
+    return area / longest
+
+
+def volume_rate(state: RankState) -> np.ndarray:
+    """Time derivative of cell volume from nodal velocities (shoelace rate)."""
+    x, y = quad_vertex_fields(state)
+    vx = state.vx[state.cell_nodes]
+    vy = state.vy[state.cell_nodes]
+    xn, yn = np.roll(x, -1, axis=1), np.roll(y, -1, axis=1)
+    vxn, vyn = np.roll(vx, -1, axis=1), np.roll(vy, -1, axis=1)
+    return 0.5 * np.sum(x * vyn - xn * vy + vx * yn - vxn * y, axis=1)
+
+
+def scatter_corner_masses(state: RankState) -> np.ndarray:
+    """Local nodal masses: a quarter of each cell's mass to each corner.
+
+    Returns only this rank's *contribution*; shared nodes need the ghost sum
+    (phase 4) to be complete.
+    """
+    contrib = np.zeros(state.num_nodes)
+    quarter = 0.25 * state.cell_mass
+    for k in range(4):
+        np.add.at(contrib, state.cell_nodes[:, k], quarter)
+    return contrib
+
+
+def artificial_viscosity(
+    state: RankState,
+    quad_coeff: float = 2.0,
+    linear_coeff: float = 0.25,
+) -> np.ndarray:
+    """von Neumann–Richtmyer scalar viscosity (active only on compression)."""
+    vol = np.abs(compute_volumes(state))
+    dvol = volume_rate(state)
+    compressing = dvol < 0.0
+    dv = np.where(compressing, -dvol / np.maximum(vol, 1e-300), 0.0)
+    length = characteristic_length(state)
+    du = dv * length  # velocity jump scale across the cell
+    q = state.rho * (quad_coeff * du * du + linear_coeff * state.sound_speed * du)
+    return np.where(compressing, q, 0.0)
+
+
+def corner_forces(state: RankState, hourglass_coeff: float = 0.05) -> tuple[np.ndarray, np.ndarray]:
+    """Nodal force contributions from local cells.
+
+    Pressure + artificial-viscosity force on corner ``k`` of a
+    counter-clockwise quad is ``(p+q)/2 · (y_{k+1} − y_{k−1},
+    −(x_{k+1} − x_{k−1}))`` (outward).  A viscous hourglass force damps the
+    quad's ``(+,−,+,−)`` zero-energy velocity mode, scaled by the cell's
+    acoustic impedance so the damping is dimensionally a pressure.
+    Returns only this rank's contribution; shared nodes need the ghost sum
+    (phase 5).
+    """
+    x, y = quad_vertex_fields(state)
+    p_tot = state.pressure + state.viscosity
+    xn, yn = np.roll(x, -1, axis=1), np.roll(y, -1, axis=1)
+    xp, yp = np.roll(x, 1, axis=1), np.roll(y, 1, axis=1)
+    fx_c = 0.5 * p_tot[:, None] * (yn - yp)
+    fy_c = 0.5 * p_tot[:, None] * (-(xn - xp))
+
+    if hourglass_coeff > 0.0:
+        vx = state.vx[state.cell_nodes]
+        vy = state.vy[state.cell_nodes]
+        hg_x = vx @ _HG_PATTERN * 0.25
+        hg_y = vy @ _HG_PATTERN * 0.25
+        area = np.abs(compute_volumes(state))
+        impedance = state.rho * np.maximum(state.sound_speed, 1.0) * np.sqrt(
+            np.maximum(area, 1e-300)
+        )
+        scale = hourglass_coeff * impedance
+        fx_c -= (scale * hg_x)[:, None] * _HG_PATTERN
+        fy_c -= (scale * hg_y)[:, None] * _HG_PATTERN
+
+    fx = np.zeros(state.num_nodes)
+    fy = np.zeros(state.num_nodes)
+    for k in range(4):
+        np.add.at(fx, state.cell_nodes[:, k], fx_c[:, k])
+        np.add.at(fy, state.cell_nodes[:, k], fy_c[:, k])
+    return fx, fy
+
+
+def advance_nodes(state: RankState, dt: float) -> None:
+    """Leapfrog velocity/position update with rigid-wall boundary conditions.
+
+    ``fix_vx`` defaults to the rotation-axis nodes (reflective axis); test
+    problems close the domain by extending the masks.
+    """
+    mass = np.maximum(state.node_mass, 1e-300)
+    state.vx += dt * state.fx / mass
+    state.vy += dt * state.fy / mass
+    state.vx[state.fix_vx] = 0.0
+    state.vy[state.fix_vy] = 0.0
+    state.x += dt * state.vx
+    state.y += dt * state.vy
+
+
+def update_energy(state: RankState, old_volume: np.ndarray, new_volume: np.ndarray) -> None:
+    """PdV internal-energy update: ``de = −(p+q)·ΔV / m_cell``."""
+    dvol = new_volume - old_volume
+    de = -(state.pressure + state.viscosity) * dvol / np.maximum(state.cell_mass, 1e-300)
+    state.energy = np.maximum(state.energy + de, 0.0)
+
+
+def stable_dt(state: RankState, cfl: float = 0.25, max_dt: float = 1e-5) -> float:
+    """Local CFL timestep: ``cfl · length / (c + 4·|du|)`` minimised over cells."""
+    length = characteristic_length(state)
+    vol = np.abs(compute_volumes(state))
+    dvol = volume_rate(state)
+    du = np.abs(dvol) / np.maximum(vol, 1e-300) * length
+    speed = np.maximum(state.sound_speed + 4.0 * du, 1.0)
+    dt = cfl * np.min(length / speed)
+    return float(min(dt, max_dt))
+
+
+def kinetic_energy(state: RankState, count_shared_once: bool = True) -> float:
+    """This rank's kinetic energy; shared nodes counted only where owned."""
+    ke = 0.5 * state.node_mass * (state.vx**2 + state.vy**2)
+    if count_shared_once:
+        ke = ke[state.node_owner == state.rank]
+    return float(ke.sum())
+
+
+def internal_energy(state: RankState) -> float:
+    """This rank's total internal energy (cell-mass-weighted)."""
+    return float((state.cell_mass * state.energy).sum())
+
+
+def total_mass(state: RankState) -> float:
+    """This rank's total cell mass (invariant in a Lagrangian code)."""
+    return float(state.cell_mass.sum())

@@ -1,0 +1,184 @@
+"""Per-material equations of state.
+
+Four materials, as in the paper's deck (Section 2.1): a high-explosive gas
+core, two aluminum layers, and a foam layer.  The EOS forms are standard
+simplified models:
+
+* **HE gas** — gamma-law products with programmed-burn energy release: the
+  burn fraction scales the detonation energy added to the specific internal
+  energy before the gamma-law pressure is evaluated.
+* **Aluminum** — Mie–Grüneisen about a linear ``c0``/``rho0`` reference
+  (stiffened-gas-like), adequate for shock transmission studies.
+* **Foam** — the same form with a much softer reference plus a crush regime:
+  stiffness is reduced while the foam compacts, mimicking p-α behaviour.
+
+All functions are vectorised over cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.deck import ALUMINUM_INNER, ALUMINUM_OUTER, FOAM, HE_GAS, NUM_MATERIALS
+
+
+@dataclass(frozen=True)
+class MaterialModel:
+    """EOS and reference-state parameters for one material.
+
+    Attributes
+    ----------
+    name:
+        Material label.
+    rho0:
+        Reference density (kg/m³).
+    e0:
+        Initial specific internal energy (J/kg).
+    gamma:
+        Grüneisen coefficient / gamma-law exponent.
+    c0:
+        Reference bulk sound speed (m/s) for the linear pressure term
+        (0 for the pure gamma-law HE products).
+    detonation_energy:
+        Specific energy released by a complete burn (J/kg); 0 for inerts.
+    crush_strength:
+        Pressure (Pa) above which a crushable material compacts with reduced
+        stiffness; ``inf`` disables crushing.
+    crush_softening:
+        Stiffness multiplier while crushing (0 < value ≤ 1).
+    """
+
+    name: str
+    rho0: float
+    e0: float
+    gamma: float
+    c0: float = 0.0
+    detonation_energy: float = 0.0
+    crush_strength: float = np.inf
+    crush_softening: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rho0 <= 0:
+            raise ValueError(f"{self.name}: rho0 must be positive")
+        if self.gamma <= 1.0:
+            raise ValueError(f"{self.name}: gamma must exceed 1")
+        if not 0 < self.crush_softening <= 1:
+            raise ValueError(f"{self.name}: crush_softening must lie in (0, 1]")
+
+
+#: Default material parameters, indexed by the mesh material ids.
+KRAK_MATERIAL_MODELS: tuple[MaterialModel, ...] = (
+    MaterialModel(
+        name="HE Gas",
+        rho0=1600.0,
+        e0=2.0e4,
+        gamma=3.0,
+        c0=0.0,
+        detonation_energy=4.0e6,
+    ),
+    MaterialModel(
+        name="Aluminum (Inner)",
+        rho0=2700.0,
+        e0=1.0e3,
+        gamma=2.0,
+        c0=5300.0,
+    ),
+    MaterialModel(
+        name="Foam",
+        rho0=100.0,
+        e0=1.0e3,
+        gamma=1.4,
+        c0=600.0,
+        crush_strength=2.0e6,
+        crush_softening=0.25,
+    ),
+    MaterialModel(
+        name="Aluminum (Outer)",
+        rho0=2700.0,
+        e0=1.0e3,
+        gamma=2.0,
+        c0=5300.0,
+    ),
+)
+
+assert len(KRAK_MATERIAL_MODELS) == NUM_MATERIALS
+assert KRAK_MATERIAL_MODELS[HE_GAS].detonation_energy > 0
+assert KRAK_MATERIAL_MODELS[ALUMINUM_INNER].c0 == KRAK_MATERIAL_MODELS[ALUMINUM_OUTER].c0
+
+
+def pressure_and_sound_speed(
+    material: np.ndarray,
+    rho: np.ndarray,
+    e: np.ndarray,
+    burn_fraction: np.ndarray,
+    models: tuple[MaterialModel, ...] = KRAK_MATERIAL_MODELS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate pressure and sound speed for every cell.
+
+    Parameters
+    ----------
+    material:
+        Material id per cell.
+    rho:
+        Current density per cell (kg/m³), must be positive.
+    e:
+        Specific internal energy per cell (J/kg), *excluding* detonation
+        energy (the burn contribution is added here).
+    burn_fraction:
+        Burn completion per cell in [0, 1]; only meaningful for HE cells.
+
+    Returns
+    -------
+    pressure, sound_speed:
+        Per-cell arrays; pressures are floored at zero (no tension — the
+        materials here separate rather than pull).
+    """
+    material = np.asarray(material)
+    rho = np.asarray(rho, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    burn_fraction = np.asarray(burn_fraction, dtype=np.float64)
+    if np.any(rho <= 0):
+        raise ValueError("density must be positive everywhere")
+
+    p = np.zeros_like(rho)
+    cs2 = np.zeros_like(rho)
+    for mid, model in enumerate(models):
+        sel = material == mid
+        if not np.any(sel):
+            continue
+        rho_m = rho[sel]
+        e_eff = e[sel]
+        if model.detonation_energy > 0:
+            e_eff = e_eff + burn_fraction[sel] * model.detonation_energy
+        # Linear (bulk) term about the reference state + Grüneisen term.
+        stiff = model.c0**2 * (rho_m - model.rho0)
+        if np.isfinite(model.crush_strength):
+            crushing = stiff > model.crush_strength
+            stiff = np.where(
+                crushing,
+                model.crush_strength
+                + model.crush_softening * (stiff - model.crush_strength),
+                stiff,
+            )
+        p_m = stiff + (model.gamma - 1.0) * rho_m * e_eff
+        p_m = np.maximum(p_m, 0.0)
+        # Sound speed from the same EOS pieces; floored at a fraction of c0
+        # (or the thermal speed) to keep the CFL condition meaningful.
+        c2 = model.c0**2 + model.gamma * (model.gamma - 1.0) * np.maximum(e_eff, 0.0)
+        p[sel] = p_m
+        cs2[sel] = np.maximum(c2, 1.0)
+    return p, np.sqrt(cs2)
+
+
+def initial_density(material: np.ndarray, models=KRAK_MATERIAL_MODELS) -> np.ndarray:
+    """Reference density per cell."""
+    rho0 = np.array([m.rho0 for m in models])
+    return rho0[np.asarray(material)]
+
+
+def initial_energy(material: np.ndarray, models=KRAK_MATERIAL_MODELS) -> np.ndarray:
+    """Initial specific internal energy per cell."""
+    e0 = np.array([m.e0 for m in models])
+    return e0[np.asarray(material)]

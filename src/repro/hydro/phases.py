@@ -1,0 +1,371 @@
+"""The 15-phase Krak iteration as a simulated-MPI rank program.
+
+This module encodes Table 1 of the paper exactly: which phases broadcast,
+which do the boundary exchange and the gather, which update ghost nodes at
+8 or 16 bytes per node, and how many global reductions separate the phases
+(22 allreduces, 6 broadcasts, 1 gather per iteration — Table 4).
+
+The same program runs in two modes:
+
+* **functional** (``state`` given): every phase executes its real numerics
+  and the ghost exchanges carry real array payloads;
+* **census** (``state=None``): phases only charge their modelled compute
+  time and messages carry sizes alone.
+
+Either way the *communication structure and message sizes* are identical,
+driven by the :class:`~repro.hydro.workload.WorkloadCensus`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro import kernels
+from repro.hydro.materials import KRAK_MATERIAL_MODELS, pressure_and_sound_speed
+from repro.hydro.state import RankState
+from repro.hydro.workload import WorkloadCensus
+from repro.machine.costdb import (
+    BOUNDARY_BYTES_PER_FACE,
+    BOUNDARY_BYTES_PER_MULTI_NODE,
+    BOUNDARY_MSGS_PER_STEP,
+    NUM_PHASES,
+    PHASE_ALLREDUCE_SIZES,
+)
+from repro.machine.node import NodeModel
+from repro.simmpi.api import (
+    Allreduce,
+    Bcast,
+    Compute,
+    Gather,
+    Isend,
+    MarkIteration,
+    Recv,
+    SetPhase,
+    WaitSends,
+)
+
+#: Tag arithmetic: tags are unique per (phase, message slot).
+_TAG_STRIDE = 1000
+_FINAL_GROUP_SLOT = 9
+
+
+def _tag(phase: int, slot: int) -> int:
+    return phase * _TAG_STRIDE + slot
+
+
+class KrakProgram:
+    """One rank's Krak execution: ``iterations`` full 15-phase iterations.
+
+    Parameters
+    ----------
+    rank:
+        This rank's id.
+    census:
+        Global workload census (material counts + messaging structure).
+    node_model:
+        Compute-cost model used to charge phase times.
+    state:
+        Functional :class:`RankState`, or ``None`` for census (timing) mode.
+    iterations:
+        Number of iterations to execute.
+    fixed_dt:
+        Timestep used in census mode (functional mode computes a CFL dt).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        census: WorkloadCensus,
+        node_model: NodeModel,
+        state: RankState | None = None,
+        iterations: int = 3,
+        fixed_dt: float = 2.0e-7,
+        models=KRAK_MATERIAL_MODELS,
+    ) -> None:
+        self.rank = rank
+        self.census = census
+        self.node_model = node_model
+        self.state = state
+        self.iterations = iterations
+        self.fixed_dt = fixed_dt
+        self.models = models
+        self.boundary_links = census.boundary_links[rank]
+        self.ghost_links = census.ghost_links[rank]
+        self.work = census.work_vector(rank)
+        #: Map neighbour rank → functional exchange link.
+        self.state_links = (
+            {lk.nbr_rank: lk for lk in state.links} if state is not None else {}
+        )
+        self.time = 0.0
+        self.dt = fixed_dt
+        #: Filled at the end of the run (same values on every rank).
+        self.diagnostics: dict[str, float] = {}
+
+    # ------------------------------------------------------------- helpers
+
+    def _charge(self, phase: int, iteration: int):
+        """Compute charge for ``phase`` from the material census."""
+        return Compute(
+            self.node_model.phase_time(phase, self.work, self.rank, iteration)
+        )
+
+    def _ghost_exchange(self, phase: int, bytes_per_node: int, arrays, additive: bool):
+        """Two-message-per-neighbour ghost-node exchange (Section 4.2).
+
+        ``arrays`` is a list of node-field arrays (modified in place in
+        functional mode); ``additive`` selects sum-combine (phases 4/5) vs
+        owner-authoritative overwrite (phase 7).
+        """
+        st = self.state
+        for gl in self.ghost_links:
+            payload_local = payload_remote = None
+            if st is not None:
+                link = self.state_links[gl.nbr_rank]
+                idx = link.shared_local_idx
+                mine = link.owner_of_shared == self.rank
+                payload_local = [a[idx[mine]].copy() for a in arrays]
+                payload_remote = [a[idx[~mine]].copy() for a in arrays]
+            yield Isend(
+                gl.nbr_rank,
+                _tag(phase, 0),
+                bytes_per_node * gl.owned_by_me,
+                payload_local,
+            )
+            yield Isend(
+                gl.nbr_rank,
+                _tag(phase, 1),
+                bytes_per_node * gl.not_owned_by_me,
+                payload_remote,
+            )
+        yield WaitSends()
+        for gl in self.ghost_links:
+            _, p_local = yield Recv(gl.nbr_rank, _tag(phase, 0))
+            _, p_remote = yield Recv(gl.nbr_rank, _tag(phase, 1))
+            if st is None:
+                continue
+            link = self.state_links[gl.nbr_rank]
+            idx = link.shared_local_idx
+            from_nbr = link.owner_of_shared == gl.nbr_rank
+            if additive:
+                for a, chunk in zip(arrays, p_local):
+                    a[idx[from_nbr]] += chunk
+                for a, chunk in zip(arrays, p_remote):
+                    a[idx[~from_nbr]] += chunk
+            else:
+                # Owner-authoritative: adopt the sender's values for the
+                # nodes the sender owns; the remote message is ignored.
+                for a, chunk in zip(arrays, p_local):
+                    a[idx[from_nbr]] = chunk
+
+    def _boundary_exchange(self, phase: int):
+        """Per-material sextets plus the final all-materials step (§4.1)."""
+        fb = BOUNDARY_BYTES_PER_FACE
+        mb = BOUNDARY_BYTES_PER_MULTI_NODE
+        for bl in self.boundary_links:
+            for (group, faces, multi) in bl.mine.groups:
+                big = fb * faces + mb * multi
+                small = fb * faces
+                for i in range(BOUNDARY_MSGS_PER_STEP):
+                    size = big if i < 2 else small
+                    yield Isend(bl.nbr_rank, _tag(phase, group * 16 + i), size)
+            total = fb * bl.mine.total_faces
+            for i in range(BOUNDARY_MSGS_PER_STEP):
+                yield Isend(bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i), total)
+        yield WaitSends()
+        for bl in self.boundary_links:
+            for (group, faces, multi) in bl.theirs.groups:
+                for i in range(BOUNDARY_MSGS_PER_STEP):
+                    yield Recv(bl.nbr_rank, _tag(phase, group * 16 + i))
+            for i in range(BOUNDARY_MSGS_PER_STEP):
+                yield Recv(bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i))
+
+    # ------------------------------------------------------------- program
+
+    def __call__(self):
+        """The generator the engine runs."""
+        sizes = PHASE_ALLREDUCE_SIZES
+        st = self.state
+        for it in range(self.iterations):
+            yield MarkIteration(it)
+
+            # ---- Phase 1: timestep control (2 bcasts, 2 allreduces) -------
+            yield SetPhase(0)
+            yield self._charge(0, it)
+            if st is not None:
+                dt_local = kernels.stable_dt(st)
+                active = float(st.num_cells)
+            else:
+                dt_local, active = self.fixed_dt, 0.0
+            assert sizes[0] == (4, 8)
+            yield Allreduce(active, "sum", 4)
+            self.dt = yield Allreduce(dt_local, "min", 8)
+            yield Bcast(it if self.rank == 0 else None, 0, 4)
+            self.time = yield Bcast(self.time if self.rank == 0 else None, 0, 8)
+
+            # ---- Phase 2: bcasts + boundary exchange + gather (1 allreduce)
+            yield SetPhase(1)
+            yield self._charge(1, it)
+            yield Bcast(0 if self.rank == 0 else None, 0, 4)
+            yield Bcast(0.0 if self.rank == 0 else None, 0, 8)
+            yield from self._boundary_exchange(1)
+            yield Gather(float(len(self.boundary_links)), 0, 32)
+            assert sizes[1] == (8,)
+            yield Allreduce(0.0, "sum", 8)
+
+            # ---- Phase 3: EOS evaluation (computation only, 3 syncs) ------
+            yield SetPhase(2)
+            yield self._charge(2, it)
+            if st is not None:
+                st.pressure, st.sound_speed = pressure_and_sound_speed(
+                    st.material, st.rho, st.energy, st.burn_frac, self.models
+                )
+                max_cs = float(st.sound_speed.max())
+            else:
+                max_cs = 0.0
+            assert sizes[2] == (4, 4, 8)
+            yield Allreduce(0.0, "max", 4)
+            yield Allreduce(0.0, "sum", 4)
+            yield Allreduce(max_cs, "max", 8)
+
+            # ---- Phase 4: nodal mass + ghost update (8 B/node) ------------
+            yield SetPhase(3)
+            yield self._charge(3, it)
+            if st is not None:
+                st.node_mass[:] = kernels.scatter_corner_masses(st)
+                mass_arrays = [st.node_mass]
+            else:
+                mass_arrays = []
+            yield from self._ghost_exchange(3, 8, mass_arrays, additive=True)
+            assert sizes[3] == (8,)
+            local_mass = kernels.total_mass(st) if st is not None else 0.0
+            total_mass = yield Allreduce(local_mass, "sum", 8)
+
+            # ---- Phase 5: corner forces + ghost update (16 B/node) --------
+            yield SetPhase(4)
+            yield self._charge(4, it)
+            if st is not None:
+                st.viscosity = kernels.artificial_viscosity(st)
+                fx, fy = kernels.corner_forces(st)
+                st.fx[:] = fx
+                st.fy[:] = fy
+                force_arrays = [st.fx, st.fy]
+            else:
+                force_arrays = []
+            yield from self._ghost_exchange(4, 16, force_arrays, additive=True)
+            assert sizes[4] == (4,)
+            yield Allreduce(0.0, "max", 4)
+
+            # ---- Phase 6: velocity / position update (3 syncs) ------------
+            yield SetPhase(5)
+            yield self._charge(5, it)
+            if st is not None:
+                old_volume = st.volume.copy()
+                kernels.advance_nodes(st, self.dt)
+                owned = st.node_owner == st.rank
+                mom_x = float((st.node_mass[owned] * st.vx[owned]).sum())
+                local_ke = kernels.kinetic_energy(st)
+            else:
+                old_volume = None
+                mom_x, local_ke = 0.0, 0.0
+            assert sizes[5] == (4, 8, 8)
+            yield Allreduce(0.0, "sum", 4)
+            total_mom_x = yield Allreduce(mom_x, "sum", 8)
+            total_ke = yield Allreduce(local_ke, "sum", 8)
+
+            # ---- Phase 7: velocity ghost sync (16 B/node) ------------------
+            yield SetPhase(6)
+            yield self._charge(6, it)
+            vel_arrays = [st.vx, st.vy] if st is not None else []
+            yield from self._ghost_exchange(6, 16, vel_arrays, additive=False)
+            assert sizes[6] == (8,)
+            yield Allreduce(0.0, "max", 8)
+
+            # ---- Phase 8: volume / strain rate -----------------------------
+            yield SetPhase(7)
+            yield self._charge(7, it)
+            if st is not None:
+                new_volume = kernels.compute_volumes(st)
+                min_vol = float(new_volume.min())
+            else:
+                new_volume, min_vol = None, 0.0
+            assert sizes[7] == (4,)
+            global_min_vol = yield Allreduce(min_vol, "min", 4)
+            if st is not None and global_min_vol <= 0.0:
+                raise FloatingPointError(
+                    "mesh tangled: non-positive cell volume encountered"
+                )
+
+            # ---- Phase 9: density update -----------------------------------
+            yield SetPhase(8)
+            yield self._charge(8, it)
+            if st is not None:
+                st.rho = st.cell_mass / np.maximum(new_volume, 1e-300)
+            assert sizes[8] == (8,)
+            yield Allreduce(0.0, "max", 8)
+
+            # ---- Phase 10: artificial-viscosity coefficients ---------------
+            yield SetPhase(9)
+            yield self._charge(9, it)
+            assert sizes[9] == (8,)
+            yield Allreduce(0.0, "max", 8)
+
+            # ---- Phase 11: energy update (2 syncs) --------------------------
+            yield SetPhase(10)
+            yield self._charge(10, it)
+            if st is not None:
+                kernels.update_energy(st, old_volume, new_volume)
+                st.volume = np.abs(new_volume)
+                local_ie = kernels.internal_energy(st)
+            else:
+                local_ie = 0.0
+            assert sizes[10] == (4, 8)
+            yield Allreduce(0.0, "sum", 4)
+            total_ie = yield Allreduce(local_ie, "sum", 8)
+
+            # ---- Phase 12: burn-fraction update -----------------------------
+            yield SetPhase(11)
+            yield self._charge(11, it)
+            if st is not None:
+                frac = (self.time + self.dt - st.burn_arrival) / 2.0e-6
+                st.burn_frac = np.clip(
+                    np.nan_to_num(frac, nan=0.0, neginf=0.0, posinf=1.0), 0.0, 1.0
+                )
+            assert sizes[11] == (8,)
+            yield Allreduce(0.0, "sum", 8)
+
+            # ---- Phase 13: hourglass filtering -------------------------------
+            yield SetPhase(12)
+            yield self._charge(12, it)
+            assert sizes[12] == (4,)
+            yield Allreduce(0.0, "max", 4)
+
+            # ---- Phase 14: material strength models --------------------------
+            yield SetPhase(13)
+            yield self._charge(13, it)
+            assert sizes[13] == (8,)
+            yield Allreduce(0.0, "max", 8)
+
+            # ---- Phase 15: diagnostics + broadcasts ---------------------------
+            yield SetPhase(14)
+            yield self._charge(14, it)
+            assert sizes[14] == (4, 8)
+            yield Allreduce(0.0, "sum", 4)
+            total_energy = yield Allreduce(local_ke + local_ie, "sum", 8)
+            yield Bcast(0 if self.rank == 0 else None, 0, 4)
+            yield Bcast(0.0 if self.rank == 0 else None, 0, 8)
+
+            self.time += self.dt
+            self.diagnostics = {
+                "total_mass": total_mass,
+                "total_ke": total_ke,
+                "total_ie": total_ie,
+                "total_momentum_x": total_mom_x,
+                "total_energy": total_energy,
+                "dt": self.dt,
+                "time": self.time,
+            }
+
+        yield MarkIteration(self.iterations)
+
+
+assert len(PHASE_ALLREDUCE_SIZES) == NUM_PHASES

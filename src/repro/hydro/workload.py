@@ -1,0 +1,228 @@
+"""Per-rank workload and messaging census for the execution-driven simulation.
+
+The census captures, for every rank, exactly what the discrete-event
+simulator needs to charge costs without running the numerics:
+
+* the material census (cells per material) for compute charges;
+* for phase 2, per-neighbour boundary-exchange structure: faces per
+  *exchange group* on each side (identical materials — the two aluminums —
+  are combined, as Krak does), plus the count of ghost nodes touching more
+  than one material (they enlarge the first two messages of each sextet);
+* for phases 4/5/7, per-neighbour ghost-node counts split by ownership.
+
+The same census drives both timing-only and functional runs, so the two
+modes are communication-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.connectivity import FaceTable, build_face_table
+from repro.mesh.deck import ALUMINUM_INNER, ALUMINUM_OUTER, FOAM, HE_GAS, InputDeck, NUM_MATERIALS
+from repro.mesh.ghost import BoundaryCensus, boundary_census, node_owners
+from repro.partition.base import Partition
+
+#: Material id → boundary-exchange group ("Identical materials (such as the
+#: two aluminum materials in our input deck) are treated as one during
+#: boundary exchanges", Section 4.1).
+EXCHANGE_GROUP = {HE_GAS: 0, ALUMINUM_INNER: 1, FOAM: 2, ALUMINUM_OUTER: 1}
+NUM_EXCHANGE_GROUPS = 3
+
+
+@dataclass(frozen=True)
+class BoundarySide:
+    """One side's view of a pair boundary for the phase-2 exchange.
+
+    Attributes
+    ----------
+    groups:
+        Tuple of ``(group_id, faces, multi_material_nodes)`` for every
+        exchange group with at least one face on this side.
+    total_faces:
+        All shared faces on the boundary (material-independent final step).
+    """
+
+    groups: tuple
+    total_faces: int
+
+
+@dataclass(frozen=True)
+class GhostLink:
+    """Ghost-node exchange counts between a rank and one neighbour."""
+
+    nbr_rank: int
+    #: Shared nodes owned by this rank ("local" in the paper's wording).
+    owned_by_me: int
+    #: Shared nodes owned by anyone else ("remote").
+    not_owned_by_me: int
+    #: The neighbour's counts (needed to size the matching receives).
+    owned_by_nbr: int
+    not_owned_by_nbr: int
+
+    @property
+    def num_shared(self) -> int:
+        """Total shared nodes on this link."""
+        return self.owned_by_me + self.not_owned_by_me
+
+
+@dataclass(frozen=True)
+class BoundaryLink:
+    """Phase-2 boundary-exchange structure between a rank and one neighbour."""
+
+    nbr_rank: int
+    mine: BoundarySide
+    theirs: BoundarySide
+
+
+@dataclass(frozen=True)
+class WorkloadCensus:
+    """Everything the simulator charges, for every rank."""
+
+    num_ranks: int
+    #: Cells per (rank, material).
+    material_counts: np.ndarray
+    #: rank → list of BoundaryLink, sorted by neighbour (face-sharing pairs).
+    boundary_links: tuple
+    #: rank → list of GhostLink, sorted by neighbour (node-sharing pairs).
+    ghost_links: tuple
+    #: The underlying face-based census (reused by the mesh-specific model).
+    face_census: BoundaryCensus
+
+    def work_vector(self, rank: int) -> np.ndarray:
+        """Material census of ``rank`` as a float work vector."""
+        return self.material_counts[rank].astype(np.float64)
+
+    def neighbors(self, rank: int) -> list:
+        """Neighbour ranks with at least one shared face."""
+        return [bl.nbr_rank for bl in self.boundary_links[rank]]
+
+
+def _group_faces(faces_by_material: np.ndarray) -> np.ndarray:
+    """Collapse per-material face counts into exchange groups."""
+    out = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+    for mat, grp in EXCHANGE_GROUP.items():
+        out[grp] += int(faces_by_material[mat])
+    return out
+
+
+def _multi_by_group(
+    census_pair, side: int, group_faces: np.ndarray
+) -> np.ndarray:
+    """Distribute a side's multi-material node count over its active groups.
+
+    The face census records how many ghost nodes touch more than one
+    material per side; each such node enlarges the messages of the groups it
+    borders.  We attribute each multi-material node to every active group
+    (a node bordering two materials adds 12 bytes to both sextets), split
+    proportionally when exact attribution is unavailable — the totals match
+    the census exactly.
+    """
+    total_multi = int(census_pair.multi_material_nodes[side])
+    active = np.flatnonzero(group_faces > 0)
+    out = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+    if total_multi == 0 or active.size == 0:
+        return out
+    # A node on a material interface borders exactly the adjacent groups;
+    # with ≥2 active groups each multi node belongs to 2 of them.  Spread
+    # evenly over active groups, keeping integer totals.
+    share = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.float64)
+    share[active] = 1.0 / active.size
+    counts = np.floor(total_multi * share).astype(np.int64)
+    remainder = total_multi - int(counts[active].sum())
+    for idx in active[:remainder]:
+        counts[idx] += 1
+    return counts
+
+
+def build_workload_census(
+    deck: InputDeck,
+    partition: Partition,
+    faces: FaceTable | None = None,
+) -> WorkloadCensus:
+    """Build the full :class:`WorkloadCensus` for a deck + partition."""
+    mesh = deck.mesh
+    if faces is None:
+        faces = build_face_table(mesh)
+    census = boundary_census(
+        mesh, faces, deck.cell_material, partition.cell_rank, partition.num_ranks
+    )
+    material_counts = partition.material_census(deck.cell_material, NUM_MATERIALS)
+
+    # --- phase-2 boundary links (face-sharing pairs) -------------------------
+    boundary_links: list[list[BoundaryLink]] = [[] for _ in range(partition.num_ranks)]
+    for (a, b), pb in sorted(census.pairs.items()):
+        sides = []
+        for side in (0, 1):
+            gf = _group_faces(pb.faces_by_material[side])
+            gm = _multi_by_group(pb, side, gf)
+            groups = tuple(
+                (int(g), int(gf[g]), int(gm[g])) for g in range(NUM_EXCHANGE_GROUPS) if gf[g] > 0
+            )
+            sides.append(BoundarySide(groups=groups, total_faces=pb.num_faces))
+        boundary_links[a].append(BoundaryLink(nbr_rank=b, mine=sides[0], theirs=sides[1]))
+        boundary_links[b].append(BoundaryLink(nbr_rank=a, mine=sides[1], theirs=sides[0]))
+    for links in boundary_links:
+        links.sort(key=lambda bl: bl.nbr_rank)
+
+    # --- ghost links (node-sharing pairs, global exactness) ------------------
+    owners = node_owners(mesh, partition.cell_rank)
+    nodes = mesh.cell_nodes.ravel()
+    ranks = np.repeat(partition.cell_rank, 4)
+    pairs_nr = np.unique(nodes * np.int64(partition.num_ranks) + ranks)
+    node_of = pairs_nr // partition.num_ranks
+    rank_of = pairs_nr % partition.num_ranks
+
+    pair_counts: dict[tuple[int, int], list[int]] = {}
+    start = 0
+    n = node_of.shape[0]
+    while start < n:
+        end = start + 1
+        while end < n and node_of[end] == node_of[start]:
+            end += 1
+        if end - start > 1:
+            rs = rank_of[start:end]
+            owner = int(owners[node_of[start]])
+            for i in range(rs.shape[0]):
+                for j in range(i + 1, rs.shape[0]):
+                    key = (int(rs[i]), int(rs[j]))
+                    rec = pair_counts.setdefault(key, [0, 0, 0])
+                    rec[0] += 1  # total shared
+                    if owner == key[0]:
+                        rec[1] += 1  # owned by lower rank
+                    elif owner == key[1]:
+                        rec[2] += 1  # owned by higher rank
+        start = end
+
+    ghost_links: list[list[GhostLink]] = [[] for _ in range(partition.num_ranks)]
+    for (a, b), (tot, own_a, own_b) in sorted(pair_counts.items()):
+        ghost_links[a].append(
+            GhostLink(
+                nbr_rank=b,
+                owned_by_me=own_a,
+                not_owned_by_me=tot - own_a,
+                owned_by_nbr=own_b,
+                not_owned_by_nbr=tot - own_b,
+            )
+        )
+        ghost_links[b].append(
+            GhostLink(
+                nbr_rank=a,
+                owned_by_me=own_b,
+                not_owned_by_me=tot - own_b,
+                owned_by_nbr=own_a,
+                not_owned_by_nbr=tot - own_a,
+            )
+        )
+    for links in ghost_links:
+        links.sort(key=lambda gl: gl.nbr_rank)
+
+    return WorkloadCensus(
+        num_ranks=partition.num_ranks,
+        material_counts=material_counts,
+        boundary_links=tuple(tuple(l) for l in boundary_links),
+        ghost_links=tuple(tuple(l) for l in ghost_links),
+        face_census=census,
+    )

@@ -1,0 +1,55 @@
+"""Simulated-hardware substrate: node compute-cost model and network model.
+
+The paper validated on a 256-node HP/Compaq AlphaServer ES-45 cluster
+(4 × 1.25 GHz EV-68 per node) with a Quadrics QsNet-I fat tree.  We have no
+such machine, so this package defines a *parameterised* cluster whose
+behaviour contains the phenomena the paper's model has to contend with:
+
+* per-cell compute cost that depends on phase and material;
+* a fixed per-phase overhead that produces the "knee" in the per-cell cost
+  curves of Figure 3 (cost per cell rises as subgrids shrink, approaching a
+  constant per-phase floor);
+* a mild cache penalty for subgrids that fall out of cache;
+* deterministic per-rank compute jitter (max-over-ranks ≠ mean);
+* a piecewise-linear message cost with an eager→rendezvous protocol switch.
+
+The discrete-event simulator in :mod:`repro.simmpi` charges these costs to
+produce the reproduction's "measured" times.
+"""
+
+from repro.machine.network import NetworkModel, QSNET_LIKE
+from repro.machine.node import NodeModel
+from repro.machine.costdb import (
+    NUM_PHASES,
+    krak_node_model,
+    PHASE_COMM_KIND,
+    COMM_NONE,
+    COMM_BOUNDARY_EXCHANGE,
+    COMM_GHOST_8,
+    COMM_GHOST_16,
+    PHASE_SYNC_POINTS,
+    PHASE_BCASTS,
+    PHASE_GATHERS,
+)
+from repro.machine.cluster import ClusterConfig, es45_like_cluster
+from repro.machine.hierarchy import HierarchicalNetwork, es45_hierarchical_network
+
+__all__ = [
+    "NetworkModel",
+    "QSNET_LIKE",
+    "NodeModel",
+    "NUM_PHASES",
+    "krak_node_model",
+    "PHASE_COMM_KIND",
+    "COMM_NONE",
+    "COMM_BOUNDARY_EXCHANGE",
+    "COMM_GHOST_8",
+    "COMM_GHOST_16",
+    "PHASE_SYNC_POINTS",
+    "PHASE_BCASTS",
+    "PHASE_GATHERS",
+    "ClusterConfig",
+    "es45_like_cluster",
+    "HierarchicalNetwork",
+    "es45_hierarchical_network",
+]

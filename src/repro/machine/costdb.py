@@ -1,0 +1,183 @@
+"""Krak iteration structure and default cost constants.
+
+This module is the single source of truth for the paper's Table 1 (phase
+actions and synchronisation points), Table 4 (collective sizes/counts), and
+the default per-phase/per-material compute costs of the simulated machine.
+
+Phase numbering is 0-based internally (phase index 0 = the paper's
+"Phase 1").  The per-cell costs are chosen so that iteration times land in
+the paper's range (hundreds of ms at 16 PEs down to tens of ms at 512 PEs on
+the medium deck) with the cost-curve knee near ~10² cells per processor, the
+regime where the paper's small-deck validation breaks down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.node import NodeModel
+from repro.mesh.deck import NUM_MATERIALS
+
+#: Krak iterations comprise 15 phases (paper Table 1).
+NUM_PHASES = 15
+
+# --- Communication kind per phase (Table 1, "Action" column) ---------------
+COMM_NONE = "none"
+COMM_BOUNDARY_EXCHANGE = "boundary_exchange"
+COMM_GHOST_8 = "ghost_update_8"
+COMM_GHOST_16 = "ghost_update_16"
+
+#: Point-to-point activity per phase: phase 2 does the per-material boundary
+#: exchange; phases 4, 5, 7 do ghost-node updates of 8/16/16 bytes per node.
+PHASE_COMM_KIND = (
+    COMM_NONE,  # 1: broadcast only
+    COMM_BOUNDARY_EXCHANGE,  # 2: boundary exchange + gather
+    COMM_NONE,  # 3: computation only
+    COMM_GHOST_8,  # 4: ghost node updates (8 bytes)
+    COMM_GHOST_16,  # 5: ghost node updates (16 bytes)
+    COMM_NONE,  # 6
+    COMM_GHOST_16,  # 7: ghost node updates (16 bytes)
+    COMM_NONE,  # 8
+    COMM_NONE,  # 9
+    COMM_NONE,  # 10
+    COMM_NONE,  # 11
+    COMM_NONE,  # 12
+    COMM_NONE,  # 13
+    COMM_NONE,  # 14
+    COMM_NONE,  # 15: broadcast only
+)
+
+#: Bytes per ghost node moved by each ghost-update phase.
+GHOST_BYTES_PER_NODE = {3: 8, 4: 16, 6: 16}
+
+#: Global synchronisation points (allreduces) per phase; sums to 22,
+#: matching Table 4's 9 four-byte + 13 eight-byte MPI_Allreduce calls.
+PHASE_SYNC_POINTS = (2, 1, 3, 1, 1, 3, 1, 1, 1, 1, 2, 1, 1, 1, 2)
+
+#: Allreduce payload sizes (bytes) per phase; flattening must yield the
+#: Table 4 census: nine 4-byte and thirteen 8-byte operations.
+PHASE_ALLREDUCE_SIZES = (
+    (4, 8),
+    (8,),
+    (4, 4, 8),
+    (8,),
+    (4,),
+    (4, 8, 8),
+    (8,),
+    (4,),
+    (8,),
+    (8,),
+    (4, 8),
+    (8,),
+    (4,),
+    (8,),
+    (4, 8),
+)
+
+#: Broadcast payload sizes per phase (Table 1: phases 1, 2, 15 each
+#: broadcast a 4-byte and an 8-byte value; Table 4 totals 3 + 3).
+PHASE_BCASTS = {0: (4, 8), 1: (4, 8), 14: (4, 8)}
+
+#: Gather payloads per phase (Table 1/4: one 32-byte gather in phase 2).
+PHASE_GATHERS = {1: (32,)}
+
+#: Bytes transferred per boundary face in a boundary-exchange message
+#: (Section 4.1: "12 bytes times the number of faces").
+BOUNDARY_BYTES_PER_FACE = 12
+#: Extra bytes per ghost node touching more than one material (first two
+#: messages of each per-material sextet).
+BOUNDARY_BYTES_PER_MULTI_NODE = 12
+#: Messages per material per neighbour, and in the final all-materials step.
+BOUNDARY_MSGS_PER_STEP = 6
+
+# --- Default compute costs --------------------------------------------------
+# Per-cell cost in seconds per (phase, material); material order is
+# HE gas, aluminum (inner), foam, aluminum (outer).  Phases 3, 11, 12 and 14
+# are strongly material-dependent (EOS, energy, burn, strength), mirroring
+# Figure 2's observation that e.g. phase 14 varies with material.
+_US = 1e-6
+DEFAULT_CELL_COST = np.array(
+    [
+        [0.20, 0.20, 0.20, 0.20],  # 1  timestep control
+        [2.00, 1.90, 2.10, 1.90],  # 2  slip-line / contact search
+        [3.20, 2.50, 3.00, 2.50],  # 3  EOS evaluation
+        [1.00, 1.00, 1.00, 1.00],  # 4  nodal mass accumulation
+        [3.00, 2.90, 3.10, 2.90],  # 5  corner forces + viscosity scatter
+        [1.50, 1.50, 1.50, 1.50],  # 6  velocity / position update
+        [0.80, 0.80, 0.80, 0.80],  # 7  velocity ghost preparation
+        [1.80, 1.80, 1.80, 1.80],  # 8  volume / strain rate
+        [0.60, 0.60, 0.60, 0.60],  # 9  density update
+        [1.20, 1.20, 1.50, 1.20],  # 10 artificial-viscosity coefficients
+        [2.00, 1.40, 1.60, 1.40],  # 11 energy update
+        [1.50, 0.80, 0.80, 0.80],  # 12 burn-fraction update (HE-heavy)
+        [1.40, 1.40, 1.40, 1.40],  # 13 hourglass filtering
+        [0.80, 2.20, 2.60, 2.20],  # 14 material strength models
+        [0.40, 0.40, 0.40, 0.40],  # 15 diagnostics
+    ]
+) * _US
+
+#: Fixed per-phase overhead in seconds: places the per-cell cost-curve knee
+#: near overhead / cell_cost ≈ 10³ cells per processor (Figure 3), which is
+#: also what keeps the medium deck's strong scaling from being ideal at
+#: 256–512 PEs (Tables 5–6: 61 → 49 → 44 ms instead of halving).
+DEFAULT_PHASE_OVERHEAD = np.array(
+    [
+        520.0,  # 1
+        2780.0,  # 2   (the paper singles out phase 2's knee, Figure 3 centre)
+        2260.0,  # 3
+        780.0,  # 4
+        1820.0,  # 5
+        1040.0,  # 6
+        610.0,  # 7
+        1130.0,  # 8
+        430.0,  # 9
+        870.0,  # 10
+        1300.0,  # 11
+        960.0,  # 12
+        1040.0,  # 13
+        2080.0,  # 14
+        390.0,  # 15
+    ]
+) * _US
+
+
+def krak_node_model(
+    speed: float = 1.0,
+    cache_cells: float = 40000.0,
+    cache_penalty: float = 0.20,
+    jitter_frac: float = 0.015,
+    seed: int = 0,
+) -> NodeModel:
+    """Build the default Krak :class:`~repro.machine.node.NodeModel`.
+
+    Parameters
+    ----------
+    speed:
+        Relative processor speed; costs scale as ``1 / speed`` (used by the
+        what-if example to model faster procurement candidates).
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    assert DEFAULT_CELL_COST.shape == (NUM_PHASES, NUM_MATERIALS)
+    return NodeModel(
+        phase_overhead=DEFAULT_PHASE_OVERHEAD / speed,
+        cell_cost=DEFAULT_CELL_COST / speed,
+        cache_cells=cache_cells,
+        cache_penalty=cache_penalty,
+        jitter_frac=jitter_frac,
+        seed=seed,
+    )
+
+
+def table4_census() -> dict:
+    """Derive the Table 4 collective census from the phase structure."""
+    bcast4 = sum(1 for sizes in PHASE_BCASTS.values() for s in sizes if s == 4)
+    bcast8 = sum(1 for sizes in PHASE_BCASTS.values() for s in sizes if s == 8)
+    all4 = sum(1 for sizes in PHASE_ALLREDUCE_SIZES for s in sizes if s == 4)
+    all8 = sum(1 for sizes in PHASE_ALLREDUCE_SIZES for s in sizes if s == 8)
+    gathers = [(s, 1) for sizes in PHASE_GATHERS.values() for s in sizes]
+    return {
+        "MPI_Bcast": {4: bcast4, 8: bcast8},
+        "MPI_Allreduce": {4: all4, 8: all8},
+        "MPI_Gather": dict((s, c) for s, c in gathers),
+    }

@@ -1,0 +1,136 @@
+"""SMP-aware (hierarchical) interconnect extension.
+
+The validation machine was a cluster of 4-way AlphaServer ES-45 SMP nodes:
+ranks on the same node communicate through shared memory at a fraction of
+the QsNet latency.  The paper's flat ``Tmsg`` folds this into one average;
+this extension models it explicitly and provides the *flat-equivalent*
+network (latency blended by the fraction of on-node neighbour pairs) that
+an analytic model can use without pairwise placement information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class HierarchicalNetwork:
+    """Two-level network: shared-memory within a node, NIC between nodes.
+
+    Attributes
+    ----------
+    intra:
+        Message-cost model for ranks on the same node.
+    inter:
+        Message-cost model for ranks on different nodes.
+    ranks_per_node:
+        Consecutive ranks are packed onto nodes in blocks of this size
+        (the usual block placement of an MPI launcher).
+    """
+
+    intra: NetworkModel
+    inter: NetworkModel
+    ranks_per_node: int
+    name: str = "hierarchical"
+
+    def __post_init__(self) -> None:
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+
+    def node_of(self, rank: int) -> int:
+        """The node hosting ``rank`` under block placement."""
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two ranks share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def network_for(self, a: int, b: int) -> NetworkModel:
+        """The applicable flat network for a rank pair."""
+        return self.intra if self.same_node(a, b) else self.inter
+
+    def tmsg_pair(self, a: int, b: int, size) -> float:
+        """Equation (4) for a specific rank pair."""
+        return self.network_for(a, b).tmsg(size)
+
+    # ------------------------------------------------------------- blending
+
+    def local_pair_fraction(self, labels: np.ndarray, pairs) -> float:
+        """Fraction of communicating rank pairs that are on-node.
+
+        ``pairs`` is an iterable of ``(rank_a, rank_b)`` tuples (e.g. the
+        keys of a :class:`~repro.mesh.ghost.BoundaryCensus`).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return 0.0
+        local = sum(1 for a, b in pairs if self.same_node(a, b))
+        return local / len(pairs)
+
+    def flat_equivalent(self, local_fraction: float) -> NetworkModel:
+        """A flat network whose costs are the pair-weighted blend.
+
+        Blends latency and per-byte cost segment-by-segment; requires the
+        two levels to share breakpoint structure (true for the default
+        two-segment models).
+        """
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError("local_fraction must lie in [0, 1]")
+        if not np.array_equal(self.intra.breakpoints, self.inter.breakpoints):
+            raise ValueError("intra/inter breakpoints must match for blending")
+        w = local_fraction
+        return NetworkModel(
+            breakpoints=self.inter.breakpoints.copy(),
+            latency=w * self.intra.latency + (1 - w) * self.inter.latency,
+            per_byte=w * self.intra.per_byte + (1 - w) * self.inter.per_byte,
+            name=f"blend({self.name},{local_fraction:.2f})",
+        )
+
+
+def es45_hierarchical_network(
+    inter: NetworkModel,
+    intra_latency: float = 3e-6,
+    intra_bandwidth: float = 1.2e9,
+    ranks_per_node: int = 4,
+) -> HierarchicalNetwork:
+    """The ES-45-like two-level network: 4-way SMP over the given fabric."""
+    from repro.machine.network import make_network
+
+    eager = float(inter.breakpoints[0]) if inter.breakpoints.size else 4096.0
+    intra = make_network(
+        small_latency=intra_latency,
+        large_latency=2 * intra_latency,
+        eager_threshold=eager,
+        bandwidth_bytes_per_s=intra_bandwidth,
+        name="shared-memory",
+    )
+    return HierarchicalNetwork(
+        intra=intra, inter=inter, ranks_per_node=ranks_per_node, name="es45-smp"
+    )
+
+
+# ---------------------------------------------------------------- collectives
+
+def hier_bcast_time(h: HierarchicalNetwork, num_ranks: int, nbytes: float) -> float:
+    """SMP-aware fan-out: inter-node tree plus an intra-node tree."""
+    from repro.simmpi.collectives import tree_depth
+
+    num_nodes = (num_ranks + h.ranks_per_node - 1) // h.ranks_per_node
+    local = min(num_ranks, h.ranks_per_node)
+    return tree_depth(num_nodes) * h.inter.tmsg(nbytes) + tree_depth(local) * h.intra.tmsg(nbytes)
+
+
+def hier_gather_time(h: HierarchicalNetwork, num_ranks: int, nbytes: float) -> float:
+    """SMP-aware fan-in (same step structure as the fan-out)."""
+    return hier_bcast_time(h, num_ranks, nbytes)
+
+
+def hier_allreduce_time(h: HierarchicalNetwork, num_ranks: int, nbytes: float) -> float:
+    """SMP-aware reduce + broadcast: twice the fan-out time."""
+    return 2.0 * hier_bcast_time(h, num_ranks, nbytes)

@@ -1,0 +1,153 @@
+"""Single-processor compute-cost model.
+
+The "measured" per-phase, per-rank computation time charged by the
+discrete-event simulator is
+
+``T(p, rank) = overhead[p] + cache(n) · Σ_m cell_cost[p, m] · work[m]``
+
+where ``n`` is the rank's total local cell count and ``work[m]`` the
+(possibly multiplier-weighted) cell count per material.  The ``overhead[p]``
+floor produces the Figure-3 knee: per-cell cost ``T/n`` is flat for large
+``n`` and rises as ``1/n`` once subgrids shrink below
+``overhead / cell_cost`` cells.  A deterministic per-(rank, phase) jitter
+models real-machine variability so the max-over-ranks in Equation (3) is a
+meaningful statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import as_float_array
+
+
+def _hash_jitter(rank: int, phase: int, iteration: int, seed: int) -> float:
+    """Deterministic pseudo-random value in [-1, 1) from a 64-bit mix."""
+    x = (
+        (rank + 1) * 0x9E3779B97F4A7C15
+        ^ (phase + 1) * 0xC2B2AE3D27D4EB4F
+        ^ (iteration + 1) * 0x165667B19E3779F9
+        ^ (seed + 1) * 0x27D4EB2F165667C5
+    ) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    return (x / 2**63) - 1.0
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Per-processor compute-cost parameters.
+
+    Attributes
+    ----------
+    phase_overhead:
+        Fixed per-phase cost per rank, shape ``(num_phases,)`` seconds.
+    cell_cost:
+        Per-cell cost, shape ``(num_phases, num_materials)`` seconds.
+    cache_cells:
+        Working-set scale (cells) beyond which the cache penalty saturates.
+    cache_penalty:
+        Fractional slowdown for out-of-cache subgrids (0 disables).
+    jitter_frac:
+        Amplitude of deterministic per-(rank, phase, iteration) compute
+        jitter as a fraction of the cost (0 disables).
+    seed:
+        Seed folded into the jitter hash.
+    """
+
+    phase_overhead: np.ndarray
+    cell_cost: np.ndarray
+    cache_cells: float = 40000.0
+    cache_penalty: float = 0.20
+    jitter_frac: float = 0.015
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ov = as_float_array(self.phase_overhead, "phase_overhead")
+        cc = as_float_array(self.cell_cost, "cell_cost")
+        object.__setattr__(self, "phase_overhead", ov)
+        object.__setattr__(self, "cell_cost", cc)
+        if cc.ndim != 2 or cc.shape[0] != ov.shape[0]:
+            raise ValueError("cell_cost must be (num_phases, num_materials)")
+        if np.any(ov < 0) or np.any(cc < 0):
+            raise ValueError("costs must be non-negative")
+        if not 0 <= self.cache_penalty < 10:
+            raise ValueError("cache_penalty out of sane range")
+        if not 0 <= self.jitter_frac < 0.5:
+            raise ValueError("jitter_frac out of sane range")
+
+    @property
+    def num_phases(self) -> int:
+        """Number of iteration phases this model covers."""
+        return int(self.phase_overhead.shape[0])
+
+    @property
+    def num_materials(self) -> int:
+        """Number of materials this model covers."""
+        return int(self.cell_cost.shape[1])
+
+    def cache_factor(self, total_cells: float) -> float:
+        """Multiplicative slowdown for a subgrid of ``total_cells`` cells.
+
+        Smoothly rises from 1 (fits in cache) to ``1 + cache_penalty``.
+        """
+        if total_cells <= 0:
+            return 1.0
+        return 1.0 + self.cache_penalty * total_cells / (total_cells + self.cache_cells)
+
+    def phase_time(
+        self,
+        phase: int,
+        work_by_material: np.ndarray,
+        rank: int = 0,
+        iteration: int = 0,
+        with_jitter: bool = True,
+    ) -> float:
+        """Compute time of one phase on one rank.
+
+        Parameters
+        ----------
+        phase:
+            0-based phase index.
+        work_by_material:
+            Effective cell counts per material (the hydro workload census may
+            scale raw counts by activity multipliers, e.g. actively-burning
+            HE cells cost more).
+        rank, iteration:
+            Identify the jitter stream.
+        with_jitter:
+            Disable for noise-free queries (used by unit tests).
+        """
+        if not 0 <= phase < self.num_phases:
+            raise ValueError(f"phase must lie in [0, {self.num_phases}), got {phase}")
+        work = np.asarray(work_by_material, dtype=np.float64)
+        if work.shape != (self.num_materials,):
+            raise ValueError(
+                f"work_by_material must have shape ({self.num_materials},)"
+            )
+        if np.any(work < 0):
+            raise ValueError("work counts must be non-negative")
+        n = float(work.sum())
+        base = float(self.phase_overhead[phase]) + self.cache_factor(n) * float(
+            self.cell_cost[phase] @ work
+        )
+        if with_jitter and self.jitter_frac:
+            base *= 1.0 + self.jitter_frac * _hash_jitter(
+                rank, phase, iteration, self.seed
+            )
+        return base
+
+    def per_cell_cost(self, phase: int, material: int, cells: float) -> float:
+        """Noise-free per-cell cost ``T/n`` for a pure-material subgrid.
+
+        This is the quantity plotted in Figure 3: flat for large ``cells``,
+        rising as ``1/cells`` below the knee.
+        """
+        if cells <= 0:
+            raise ValueError("cells must be positive")
+        work = np.zeros(self.num_materials)
+        work[material] = cells
+        return self.phase_time(phase, work, with_jitter=False) / cells

@@ -1,0 +1,155 @@
+"""The paper's input decks: a layered cylinder of four materials.
+
+Section 2.1 describes three deck sizes — small (3 200 cells), medium
+(204 800), large (819 200) — each with a core of high-explosive gas, a layer
+of aluminum, a layer of foam, and a second aluminum layer, with the global
+material ratios of Table 2 (heterogeneous row): 39.1 % / 17.2 % / 20.3 % /
+23.4 %.  The 2-D rectangle is rotated about its left (vertical) edge so the
+domain is a cylinder with the HE gas at the centre, and a detonator sits on
+the rotation axis slightly below centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.grid import QuadMesh, structured_quad_mesh
+from repro.util import bincount_fixed
+
+#: Material ids, in radial order from the axis outward.
+HE_GAS = 0
+ALUMINUM_INNER = 1
+FOAM = 2
+ALUMINUM_OUTER = 3
+
+MATERIALS = (HE_GAS, ALUMINUM_INNER, FOAM, ALUMINUM_OUTER)
+MATERIAL_NAMES = ("HE Gas", "Aluminum (Inner)", "Foam", "Aluminum (Outer)")
+NUM_MATERIALS = len(MATERIALS)
+
+#: Target global material fractions (Table 2, heterogeneous row).
+TABLE2_HETEROGENEOUS = (0.391, 0.172, 0.203, 0.234)
+
+#: Paper deck sizes (Section 2.1) → (nx, ny) with the 2:1 radial:axial aspect
+#: used throughout; ``nx * ny`` reproduces the quoted cell counts exactly.
+DECK_SIZES = {
+    "small": (80, 40),  # 3 200 cells
+    "medium": (640, 320),  # 204 800 cells
+    "large": (1280, 640),  # 819 200 cells
+}
+
+
+@dataclass(frozen=True)
+class InputDeck:
+    """A mesh plus per-cell material assignment and detonator location.
+
+    Attributes
+    ----------
+    name:
+        Deck label (``small``/``medium``/``large`` or ``custom``).
+    mesh:
+        The underlying :class:`~repro.mesh.grid.QuadMesh`.
+    cell_material:
+        Material id per cell, shape ``(num_cells,)``.
+    detonator_xy:
+        Detonation initiation point (on the rotation axis, below centre).
+    """
+
+    name: str
+    mesh: QuadMesh
+    cell_material: np.ndarray
+    detonator_xy: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        mats = np.ascontiguousarray(self.cell_material, dtype=np.int64)
+        object.__setattr__(self, "cell_material", mats)
+        if mats.shape != (self.mesh.num_cells,):
+            raise ValueError("cell_material must have one entry per cell")
+        if mats.size and (mats.min() < 0 or mats.max() >= NUM_MATERIALS):
+            raise ValueError(f"material ids must lie in [0, {NUM_MATERIALS})")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in the deck."""
+        return self.mesh.num_cells
+
+    def material_counts(self) -> np.ndarray:
+        """Cells per material, length :data:`NUM_MATERIALS`."""
+        return bincount_fixed(self.cell_material, NUM_MATERIALS)
+
+
+def _apportion_columns(nx: int, fractions) -> np.ndarray:
+    """Split ``nx`` columns among materials by largest-remainder apportionment.
+
+    Guarantees every material at least one column and that the counts sum to
+    ``nx`` exactly.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if fractions.ndim != 1 or fractions.size == 0:
+        raise ValueError("fractions must be a non-empty 1-D sequence")
+    if np.any(fractions <= 0) or not np.isclose(fractions.sum(), 1.0, atol=1e-6):
+        raise ValueError("fractions must be positive and sum to 1")
+    if nx < fractions.size:
+        raise ValueError(f"need at least {fractions.size} columns, got {nx}")
+    exact = fractions * nx
+    counts = np.floor(exact).astype(np.int64)
+    counts = np.maximum(counts, 1)
+    while counts.sum() > nx:  # floor+minimum may overshoot for tiny nx
+        counts[np.argmax(counts)] -= 1
+    remainders = exact - np.floor(exact)
+    for _ in range(nx - int(counts.sum())):
+        pick = int(np.argmax(remainders))
+        counts[pick] += 1
+        remainders[pick] = -1.0
+    return counts
+
+
+def build_deck(
+    size: str | tuple[int, int],
+    fractions=TABLE2_HETEROGENEOUS,
+    width: float = 1.0,
+    height: float = 2.0,
+) -> InputDeck:
+    """Construct one of the paper's layered-cylinder decks.
+
+    Parameters
+    ----------
+    size:
+        One of ``"small"``/``"medium"``/``"large"`` (Section 2.1 cell
+        counts), or an explicit ``(nx, ny)`` pair for custom studies such as
+        the 65 536-cell grid of Figure 2.
+    fractions:
+        Radial material fractions, defaulting to Table 2's heterogeneous row.
+    width, height:
+        Physical extents; ``x`` is the radial direction (axis at ``x = 0``).
+    """
+    if isinstance(size, str):
+        if size not in DECK_SIZES:
+            raise ValueError(f"unknown deck size {size!r}; options: {sorted(DECK_SIZES)}")
+        nx, ny = DECK_SIZES[size]
+        name = size
+    else:
+        nx, ny = int(size[0]), int(size[1])
+        name = "custom"
+    mesh = structured_quad_mesh(nx, ny, width=width, height=height)
+
+    # Radial layering: columns [0, c0) are HE gas, then aluminum, foam,
+    # aluminum, mirroring Figure 1.
+    col_counts = _apportion_columns(nx, fractions)
+    boundaries = np.concatenate([[0], np.cumsum(col_counts)])
+    column = np.arange(mesh.num_cells) % nx
+    cell_material = np.searchsorted(boundaries, column, side="right") - 1
+    cell_material = np.clip(cell_material, 0, NUM_MATERIALS - 1).astype(np.int64)
+
+    # Detonator on the rotation axis, slightly below centre (Section 2.1).
+    detonator = (0.0, 0.45 * height)
+    return InputDeck(
+        name=name, mesh=mesh, cell_material=cell_material, detonator_xy=detonator
+    )
+
+
+def material_fractions(deck: InputDeck) -> np.ndarray:
+    """Achieved global material fractions of ``deck`` (compare to Table 2)."""
+    counts = deck.material_counts()
+    return counts / counts.sum()

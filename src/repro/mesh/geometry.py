@@ -1,0 +1,73 @@
+"""Geometric quantities for quad meshes, including the paper's cylindrical
+rotation.
+
+Section 2.1: "The rectangular, 2-D spatial grid is rotated about a vertical
+axis so that the domain becomes a cylinder" — cell *volumes* in the rotated
+interpretation follow Pappus's centroid theorem (area × 2π × centroid
+radius), which is what the hydro substrate uses for masses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.grid import QuadMesh
+
+
+def _quad_vertex_coords(mesh: QuadMesh) -> tuple[np.ndarray, np.ndarray]:
+    """Vertex coordinates per cell, shape ``(num_cells, 4)`` each."""
+    return mesh.node_x[mesh.cell_nodes], mesh.node_y[mesh.cell_nodes]
+
+
+def cell_areas(mesh: QuadMesh) -> np.ndarray:
+    """Signed shoelace areas per cell (positive for counter-clockwise quads)."""
+    x, y = _quad_vertex_coords(mesh)
+    x_next = np.roll(x, -1, axis=1)
+    y_next = np.roll(y, -1, axis=1)
+    return 0.5 * np.sum(x * y_next - x_next * y, axis=1)
+
+
+def cell_centroids(mesh: QuadMesh) -> np.ndarray:
+    """Area centroids per cell, shape ``(num_cells, 2)``.
+
+    Uses the polygon-centroid formula; degenerate (zero-area) quads fall back
+    to the vertex average so downstream code never divides by zero.
+    """
+    x, y = _quad_vertex_coords(mesh)
+    x_next = np.roll(x, -1, axis=1)
+    y_next = np.roll(y, -1, axis=1)
+    cross = x * y_next - x_next * y
+    area = 0.5 * np.sum(cross, axis=1)
+    cx = np.sum((x + x_next) * cross, axis=1)
+    cy = np.sum((y + y_next) * cross, axis=1)
+    out = np.empty((mesh.num_cells, 2))
+    ok = np.abs(area) > 1e-300
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out[:, 0] = np.where(ok, cx / (6.0 * area), x.mean(axis=1))
+        out[:, 1] = np.where(ok, cy / (6.0 * area), y.mean(axis=1))
+    return out
+
+
+def cylindrical_volumes(mesh: QuadMesh) -> np.ndarray:
+    """Cell volumes after rotating the planar mesh about the ``x = 0`` axis.
+
+    By Pappus's theorem the solid of revolution swept by a planar region of
+    area ``A`` whose centroid sits at radius ``r`` has volume ``2·π·r·A``.
+    Cells touching the axis have small but positive volume as long as their
+    centroid radius is positive.
+    """
+    areas = np.abs(cell_areas(mesh))
+    radii = cell_centroids(mesh)[:, 0]
+    if np.any(radii < -1e-12):
+        raise ValueError("mesh crosses the rotation axis (negative centroid radius)")
+    return 2.0 * np.pi * np.clip(radii, 0.0, None) * areas
+
+
+def mesh_extents(mesh: QuadMesh) -> tuple[float, float, float, float]:
+    """Return the bounding box ``(xmin, xmax, ymin, ymax)``."""
+    return (
+        float(mesh.node_x.min()),
+        float(mesh.node_x.max()),
+        float(mesh.node_y.min()),
+        float(mesh.node_y.max()),
+    )

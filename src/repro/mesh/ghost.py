@@ -1,0 +1,254 @@
+"""Partition-boundary census: shared faces, ghost nodes, and ownership.
+
+Section 2 of the paper: "ghost nodes" are the nodes whose faces lie on
+boundaries between processors; every ghost node is *local* to (owned by)
+exactly one processor and *remote* to all others that share it.  Boundary-
+exchange message sizes depend on the number of shared faces per material and
+on ghost nodes touching more than one material (Section 4.1); ghost-node
+update sizes depend on local/remote ownership per processor pair
+(Section 4.2).  This module computes all of that exactly for an arbitrary
+partition — it is the ground truth the mesh-specific model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.connectivity import FaceTable
+from repro.mesh.deck import NUM_MATERIALS
+from repro.mesh.grid import QuadMesh
+from repro.util import as_int_array, bincount_fixed
+
+
+@dataclass(frozen=True)
+class PairBoundary:
+    """Census of the boundary between one pair of ranks (``rank_a < rank_b``).
+
+    Attributes
+    ----------
+    face_ids:
+        Mesh face ids along the shared boundary.
+    faces_by_material:
+        Shape ``(2, NUM_MATERIALS)``: row 0 counts boundary faces by the
+        material of the ``rank_a``-side cell, row 1 by the ``rank_b`` side.
+    ghost_nodes:
+        Unique node ids on the shared boundary.
+    owned_by_a, owned_by_b, owned_by_other:
+        How many ghost nodes each side owns (ownership = minimum incident
+        rank over the whole mesh, so corner nodes may belong to a third rank).
+    multi_material_nodes:
+        Shape ``(2,)``: ghost nodes incident to faces of more than one
+        material on the a-side / b-side respectively (these enlarge the first
+        two boundary-exchange messages by 12 bytes each, Section 4.1).
+    """
+
+    rank_a: int
+    rank_b: int
+    face_ids: np.ndarray
+    faces_by_material: np.ndarray
+    ghost_nodes: np.ndarray
+    owned_by_a: int
+    owned_by_b: int
+    owned_by_other: int
+    multi_material_nodes: np.ndarray
+
+    @property
+    def num_faces(self) -> int:
+        """Total shared faces, independent of material."""
+        return int(self.face_ids.shape[0])
+
+    @property
+    def num_ghost_nodes(self) -> int:
+        """Total ghost nodes on this pair boundary."""
+        return int(self.ghost_nodes.shape[0])
+
+    def side_index(self, rank: int) -> int:
+        """Return 0/1 depending on whether ``rank`` is ``rank_a``/``rank_b``."""
+        if rank == self.rank_a:
+            return 0
+        if rank == self.rank_b:
+            return 1
+        raise ValueError(f"rank {rank} is not part of pair ({self.rank_a}, {self.rank_b})")
+
+    def local_ghost_count(self, rank: int) -> int:
+        """Ghost nodes on this boundary owned by ``rank``."""
+        return self.owned_by_a if self.side_index(rank) == 0 else self.owned_by_b
+
+    def remote_ghost_count(self, rank: int) -> int:
+        """Ghost nodes on this boundary *not* owned by ``rank``."""
+        return self.num_ghost_nodes - self.local_ghost_count(rank)
+
+
+@dataclass(frozen=True)
+class BoundaryCensus:
+    """All pair boundaries of a partition, plus per-rank lookup helpers."""
+
+    num_ranks: int
+    pairs: dict
+    #: node id → owning rank for every mesh node (not just ghosts).
+    owners: np.ndarray
+
+    def neighbors(self, rank: int) -> list:
+        """Sorted neighbour ranks of ``rank``."""
+        out = []
+        for (a, b) in self.pairs:
+            if a == rank:
+                out.append(b)
+            elif b == rank:
+                out.append(a)
+        return sorted(out)
+
+    def pair(self, rank_a: int, rank_b: int) -> PairBoundary:
+        """The :class:`PairBoundary` between two ranks (order-insensitive)."""
+        key = (min(rank_a, rank_b), max(rank_a, rank_b))
+        return self.pairs[key]
+
+    def total_boundary_faces(self, rank: int) -> int:
+        """Sum of shared faces over all of ``rank``'s neighbours."""
+        return sum(self.pair(rank, n).num_faces for n in self.neighbors(rank))
+
+    def neighbor_count_stats(self) -> tuple[float, int, int]:
+        """Return (mean, min, max) neighbour counts over ranks with cells."""
+        counts = np.zeros(self.num_ranks, dtype=np.int64)
+        for (a, b) in self.pairs:
+            counts[a] += 1
+            counts[b] += 1
+        active = counts[counts > 0]
+        if active.size == 0:
+            return (0.0, 0, 0)
+        return (float(active.mean()), int(active.min()), int(active.max()))
+
+
+def node_owners(mesh: QuadMesh, cell_rank: np.ndarray) -> np.ndarray:
+    """Assign every node to the minimum rank among its incident cells.
+
+    This mirrors the paper's rule that each ghost node is "local" to exactly
+    one processor; interior nodes trivially belong to their only rank.
+    """
+    cell_rank = as_int_array(cell_rank, "cell_rank")
+    if cell_rank.shape != (mesh.num_cells,):
+        raise ValueError("cell_rank must have one entry per cell")
+    owners = np.full(mesh.num_nodes, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(owners, mesh.cell_nodes.ravel(), np.repeat(cell_rank, 4))
+    if np.any(owners == np.iinfo(np.int64).max):
+        raise ValueError("mesh has nodes not referenced by any cell")
+    return owners
+
+
+def boundary_census(
+    mesh: QuadMesh,
+    faces: FaceTable,
+    cell_material: np.ndarray,
+    cell_rank: np.ndarray,
+    num_ranks: int,
+) -> BoundaryCensus:
+    """Compute the full partition-boundary census.
+
+    Parameters
+    ----------
+    mesh, faces:
+        The mesh and its face table.
+    cell_material:
+        Material id per cell.
+    cell_rank:
+        Partition assignment per cell, values in ``[0, num_ranks)``.
+    num_ranks:
+        Number of ranks in the partition.
+    """
+    cell_material = as_int_array(cell_material, "cell_material")
+    cell_rank = as_int_array(cell_rank, "cell_rank")
+    if cell_rank.size and (cell_rank.min() < 0 or cell_rank.max() >= num_ranks):
+        raise ValueError(f"cell_rank values must lie in [0, {num_ranks})")
+
+    owners = node_owners(mesh, cell_rank)
+
+    interior = faces.interior_mask()
+    c0 = faces.face_cells[interior, 0]
+    c1 = faces.face_cells[interior, 1]
+    r0 = cell_rank[c0]
+    r1 = cell_rank[c1]
+    cut = r0 != r1
+    face_ids_all = np.flatnonzero(interior)[cut]
+    c0, c1, r0, r1 = c0[cut], c1[cut], r0[cut], r1[cut]
+
+    # Canonicalise so side a is the lower rank.
+    swap = r0 > r1
+    ca = np.where(swap, c1, c0)
+    cb = np.where(swap, c0, c1)
+    ra = np.where(swap, r1, r0)
+    rb = np.where(swap, r0, r1)
+    mat_a = cell_material[ca]
+    mat_b = cell_material[cb]
+
+    pair_key = ra * np.int64(num_ranks) + rb
+    order = np.argsort(pair_key, kind="stable")
+    pair_key = pair_key[order]
+    face_ids_all = face_ids_all[order]
+    mat_a, mat_b = mat_a[order], mat_b[order]
+    ra, rb = ra[order], rb[order]
+
+    pairs: dict = {}
+    unique_keys, starts = np.unique(pair_key, return_index=True)
+    bounds = np.append(starts, pair_key.shape[0])
+    for k, key in enumerate(unique_keys):
+        s, e = bounds[k], bounds[k + 1]
+        a = int(key // num_ranks)
+        b = int(key % num_ranks)
+        fids = face_ids_all[s:e]
+        fm = np.stack(
+            [
+                bincount_fixed(mat_a[s:e], NUM_MATERIALS),
+                bincount_fixed(mat_b[s:e], NUM_MATERIALS),
+            ]
+        )
+        fnodes = faces.face_nodes[fids]  # (nf, 2)
+        ghost = np.unique(fnodes)
+        node_owner = owners[ghost]
+        owned_a = int(np.count_nonzero(node_owner == a))
+        owned_b = int(np.count_nonzero(node_owner == b))
+        owned_other = int(ghost.shape[0] - owned_a - owned_b)
+
+        multi = np.zeros(2, dtype=np.int64)
+        for side, side_mat in enumerate((mat_a[s:e], mat_b[s:e])):
+            # A ghost node "touches more than one material" if its incident
+            # boundary faces (within this pair) carry differing materials.
+            multi[side] = _count_multi_material_nodes(fnodes, side_mat)
+
+        pairs[(a, b)] = PairBoundary(
+            rank_a=a,
+            rank_b=b,
+            face_ids=fids,
+            faces_by_material=fm,
+            ghost_nodes=ghost,
+            owned_by_a=owned_a,
+            owned_by_b=owned_b,
+            owned_by_other=owned_other,
+            multi_material_nodes=multi,
+        )
+
+    return BoundaryCensus(num_ranks=num_ranks, pairs=pairs, owners=owners)
+
+
+def _count_multi_material_nodes(face_nodes: np.ndarray, face_material: np.ndarray) -> int:
+    """Count nodes incident to boundary faces of more than one material."""
+    nodes = face_nodes.ravel()
+    mats = np.repeat(face_material, 2)
+    order = np.argsort(nodes, kind="stable")
+    nodes, mats = nodes[order], mats[order]
+    count = 0
+    i = 0
+    n = nodes.shape[0]
+    while i < n:
+        j = i + 1
+        first = mats[i]
+        differs = False
+        while j < n and nodes[j] == nodes[i]:
+            if mats[j] != first:
+                differs = True
+            j += 1
+        if differs:
+            count += 1
+        i = j
+    return count

@@ -1,0 +1,39 @@
+"""Graph partitioning substrate (the paper's Metis 4.0 stand-in).
+
+Section 2: "Partitioning is performed using Metis with an algorithm to
+balance cell counts on each processor while minimizing edge cuts.  The
+partitioning is done in an irregular fashion."  We provide a from-scratch
+multilevel k-way partitioner with the same contract, plus two regular
+baselines (recursive coordinate bisection and block partitioning) used by
+the ablation benchmarks.
+"""
+
+from repro.partition.base import Partition
+from repro.partition.graph import CSRGraph, dual_graph_of_mesh
+from repro.partition.matching import heavy_edge_matching
+from repro.partition.block import block_partition, structured_block_partition
+from repro.partition.rcb import rcb_partition
+from repro.partition.multilevel import multilevel_partition
+from repro.partition.metrics import (
+    PartitionQuality,
+    edge_cut,
+    imbalance,
+    partition_quality,
+)
+from repro.partition.cache import cached_partition
+
+__all__ = [
+    "Partition",
+    "CSRGraph",
+    "dual_graph_of_mesh",
+    "heavy_edge_matching",
+    "block_partition",
+    "structured_block_partition",
+    "rcb_partition",
+    "multilevel_partition",
+    "PartitionQuality",
+    "edge_cut",
+    "imbalance",
+    "partition_quality",
+    "cached_partition",
+]

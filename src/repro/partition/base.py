@@ -1,0 +1,64 @@
+"""The :class:`Partition` container shared by all partitioning algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import as_int_array, bincount_fixed
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of cells to ranks.
+
+    Attributes
+    ----------
+    num_ranks:
+        Number of parts (processors).
+    cell_rank:
+        Rank id per cell, shape ``(num_cells,)``, values in ``[0, num_ranks)``.
+    method:
+        Human-readable label of the producing algorithm.
+    """
+
+    num_ranks: int
+    cell_rank: np.ndarray
+    method: str = "unknown"
+
+    def __post_init__(self) -> None:
+        ranks = as_int_array(self.cell_rank, "cell_rank")
+        object.__setattr__(self, "cell_rank", ranks)
+        if self.num_ranks <= 0:
+            raise ValueError(f"num_ranks must be positive, got {self.num_ranks}")
+        if ranks.size and (ranks.min() < 0 or ranks.max() >= self.num_ranks):
+            raise ValueError(f"cell_rank values must lie in [0, {self.num_ranks})")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of partitioned cells."""
+        return int(self.cell_rank.shape[0])
+
+    def counts(self) -> np.ndarray:
+        """Cells per rank, length ``num_ranks``."""
+        return bincount_fixed(self.cell_rank, self.num_ranks)
+
+    def cells_of(self, rank: int) -> np.ndarray:
+        """Cell ids assigned to ``rank`` (ascending)."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank must lie in [0, {self.num_ranks}), got {rank}")
+        return np.flatnonzero(self.cell_rank == rank)
+
+    def material_census(self, cell_material: np.ndarray, num_materials: int) -> np.ndarray:
+        """Cells per (rank, material), shape ``(num_ranks, num_materials)``.
+
+        This is the ``Cells`` matrix of the paper's Equation (1): entry
+        ``[j, m]`` counts cells of material ``m`` on processor ``j``.
+        """
+        cell_material = as_int_array(cell_material, "cell_material")
+        if cell_material.shape != self.cell_rank.shape:
+            raise ValueError("cell_material must align with cell_rank")
+        combined = self.cell_rank * np.int64(num_materials) + cell_material
+        flat = bincount_fixed(combined, self.num_ranks * num_materials)
+        return flat.reshape(self.num_ranks, num_materials)

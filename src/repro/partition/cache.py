@@ -1,0 +1,81 @@
+"""Disk cache for partitions.
+
+Multilevel partitioning of the large deck at 512 ranks costs tens of
+seconds; every validation table and figure reuses the same partitions, so we
+memoise them as ``.npz`` files keyed by deck geometry, rank count, method,
+and seed.  The cache is content-addressed by parameters only — all
+partitioners are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.connectivity import FaceTable
+from repro.mesh.deck import InputDeck
+from repro.partition.base import Partition
+from repro.partition.multilevel import multilevel_partition
+from repro.partition.rcb import rcb_partition
+from repro.partition.block import block_partition, structured_block_partition
+
+#: Default cache directory at the repository root (src/repro/partition/
+#: cache.py → up three levels past src/); override via REPRO_CACHE_DIR.
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "partitions"
+
+
+def cache_dir() -> Path:
+    """Resolve the partition cache directory."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    return Path(override) / "partitions" if override else DEFAULT_CACHE_DIR
+
+
+def _cache_key(deck: InputDeck, num_ranks: int, method: str, seed: int) -> str:
+    mesh = deck.mesh
+    return (
+        f"{deck.name}-{mesh.nx}x{mesh.ny}-c{mesh.num_cells}"
+        f"-p{num_ranks}-{method}-s{seed}"
+    )
+
+
+def cached_partition(
+    deck: InputDeck,
+    num_ranks: int,
+    method: str = "multilevel",
+    seed: int = 0,
+    faces: FaceTable | None = None,
+    use_cache: bool = True,
+) -> Partition:
+    """Partition ``deck`` with memoisation to disk.
+
+    Parameters
+    ----------
+    method:
+        ``"multilevel"`` (the Metis analogue, default), ``"rcb"``,
+        ``"block"``, or ``"structured-block"``.
+    use_cache:
+        Disable to force recomputation (the cache file is then refreshed).
+    """
+    path = cache_dir() / f"{_cache_key(deck, num_ranks, method, seed)}.npz"
+    if use_cache and path.exists():
+        data = np.load(path)
+        return Partition(
+            num_ranks=num_ranks, cell_rank=data["cell_rank"], method=str(data["method"])
+        )
+
+    if method == "multilevel":
+        part = multilevel_partition(deck.mesh, num_ranks, faces=faces, seed=seed)
+    elif method == "rcb":
+        part = rcb_partition(deck.mesh, num_ranks)
+    elif method == "block":
+        part = block_partition(deck.mesh.num_cells, num_ranks)
+    elif method == "structured-block":
+        part = structured_block_partition(deck.mesh, num_ranks)
+    else:
+        raise ValueError(f"unknown partition method {method!r}")
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, cell_rank=part.cell_rank, method=part.method)
+    return part

@@ -1,0 +1,114 @@
+"""Heavy-edge matching for multilevel coarsening.
+
+Classic Metis coarsening visits vertices in random order and matches each
+with its heaviest unmatched neighbour.  A strictly sequential visit is slow
+in Python, so we use the standard parallel-friendly variant: every vertex
+*proposes* to its heaviest eligible neighbour (ties broken by lower id), and
+mutual proposals are accepted; a few rounds match almost as many vertices as
+the sequential algorithm, which is all coarsening needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.graph import CSRGraph
+
+
+def _segment_argmax_neighbor(
+    graph: CSRGraph, eligible: np.ndarray, tiebreak: np.ndarray
+) -> np.ndarray:
+    """For each vertex, its max-weight eligible neighbour (or -1).
+
+    ``tiebreak`` is a per-vertex random permutation value; among equal-weight
+    neighbours the one with the smallest tiebreak value wins, which keeps the
+    matching deterministic given the RNG seed.
+    """
+    n = graph.num_vertices
+    arc_dst = graph.indices
+    arc_ok = eligible[arc_dst]
+    # Composite score: primary = weight, secondary = reversed tiebreak.
+    w = graph.eweights.astype(np.float64)
+    score = np.where(arc_ok, w * (n + 1) + (n - tiebreak[arc_dst]), -1.0)
+
+    best = np.full(n, -1, dtype=np.int64)
+    starts = graph.indptr[:-1]
+    ends = graph.indptr[1:]
+    nonempty = ends > starts
+    if not np.any(nonempty):
+        return best
+    # reduceat over CSR segments; empty segments produce garbage we mask out.
+    seg_max = np.maximum.reduceat(score, np.maximum(starts, 0)[nonempty])
+    idx_best = np.full(n, -1, dtype=np.int64)
+    # Find the arg of the max per segment: compare score to segment max.
+    seg_of_arc = np.repeat(np.arange(n), np.diff(graph.indptr))
+    max_per_vertex = np.full(n, -np.inf)
+    max_per_vertex[np.flatnonzero(nonempty)] = seg_max
+    is_max = score == max_per_vertex[seg_of_arc]
+    # First arc achieving the max in each segment wins.
+    arc_ids = np.arange(arc_dst.shape[0])
+    first_max = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first_max, seg_of_arc[is_max], arc_ids[is_max])
+    has = first_max != np.iinfo(np.int64).max
+    idx_best[has] = arc_dst[first_max[has]]
+    valid = has & (max_per_vertex > -0.5)
+    best[valid] = idx_best[valid]
+    return best
+
+
+def heavy_edge_matching(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    max_rounds: int = 4,
+    max_vweight: int | None = None,
+) -> np.ndarray:
+    """Compute a heavy-edge matching as an involution array.
+
+    Parameters
+    ----------
+    graph:
+        The graph to match.
+    rng:
+        Seeded generator for deterministic tie-breaking.
+    max_rounds:
+        Mutual-proposal rounds; each round matches a large fraction of the
+        remaining eligible vertices.
+    max_vweight:
+        If given, refuse matches whose combined vertex weight would exceed
+        this bound (keeps coarse vertices from ballooning, as in Metis).
+
+    Returns
+    -------
+    match:
+        ``match[i]`` = partner of ``i`` or ``i`` when unmatched.
+    """
+    n = graph.num_vertices
+    match = np.arange(n, dtype=np.int64)
+    if n == 0 or graph.indices.size == 0:
+        return match
+    eligible = np.ones(n, dtype=bool)
+
+    for _ in range(max_rounds):
+        if not np.any(eligible):
+            break
+        tiebreak = rng.permutation(n)
+        proposal = _segment_argmax_neighbor(graph, eligible, tiebreak)
+        # A vertex only proposes if it is itself eligible.
+        proposal[~eligible] = -1
+        has = proposal >= 0
+        # Mutual: proposal[proposal[i]] == i.
+        mutual = has.copy()
+        idx = np.flatnonzero(has)
+        mutual[idx] = proposal[proposal[idx]] == idx
+        if max_vweight is not None:
+            idx = np.flatnonzero(mutual)
+            combined = graph.vweights[idx] + graph.vweights[proposal[idx]]
+            mutual[idx] &= combined <= max_vweight
+        winners = np.flatnonzero(mutual)
+        if winners.size == 0:
+            break
+        match[winners] = proposal[winners]
+        eligible[winners] = False
+        eligible[proposal[winners]] = False
+
+    return match

@@ -1,0 +1,237 @@
+"""Fiduccia–Mattheyses boundary refinement for 2-way partitions.
+
+Used at every uncoarsening level of the multilevel bisection.  The
+implementation is the classic single-move-with-rollback FM: vertices are
+moved one at a time in best-gain order subject to a balance constraint, and
+the pass is rolled back to the best prefix seen.  Only boundary vertices
+enter the priority queue, so a pass costs O(boundary · degree · log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.partition.graph import CSRGraph
+
+
+def compute_side_weights(graph: CSRGraph, side: np.ndarray) -> tuple[int, int]:
+    """Total vertex weight on side 0 and side 1."""
+    w1 = int(graph.vweights[side.astype(bool)].sum())
+    return graph.total_vweight - w1, w1
+
+
+def compute_cut(graph: CSRGraph, side: np.ndarray) -> int:
+    """Total weight of edges crossing the bisection."""
+    cross = side[graph.indices] != np.repeat(side, np.diff(graph.indptr))
+    return int(graph.eweights[cross].sum() // 2)
+
+
+def _internal_external(graph: CSRGraph, side: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-vertex edge weight to the same side (internal) and other (external)."""
+    src_side = np.repeat(side, np.diff(graph.indptr))
+    same = side[graph.indices] == src_side
+    n = graph.num_vertices
+    internal = np.zeros(n, dtype=np.int64)
+    external = np.zeros(n, dtype=np.int64)
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    np.add.at(internal, src[same], graph.eweights[same])
+    np.add.at(external, src[~same], graph.eweights[~same])
+    return internal, external
+
+
+def fm_refine(
+    graph: CSRGraph,
+    side: np.ndarray,
+    target_frac0: float = 0.5,
+    rng: np.random.Generator | None = None,
+    max_passes: int = 8,
+    imbalance_tol: float = 0.03,
+) -> int:
+    """Refine a bisection in place; return the final cut weight.
+
+    Parameters
+    ----------
+    graph:
+        The graph being bisected.
+    side:
+        0/1 assignment per vertex, modified in place.
+    target_frac0:
+        Desired fraction of total vertex weight on side 0 (≠ 0.5 when the
+        recursive driver splits an odd rank count).
+    rng:
+        Tie-break source; ``None`` uses a fixed generator.
+    max_passes:
+        FM passes; stops early when a pass yields no improvement.
+    imbalance_tol:
+        Allowed relative deviation of side-0 weight from its target.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = graph.num_vertices
+    side = np.asarray(side)
+    if side.shape != (n,):
+        raise ValueError("side must have one entry per vertex")
+
+    total = graph.total_vweight
+    target0 = target_frac0 * total
+    max_vw = int(graph.vweights.max()) if n else 1
+    slack = max(max_vw, int(np.ceil(imbalance_tol * total)))
+
+    internal, external = _internal_external(graph, side)
+    cut = compute_cut(graph, side)
+    w0, _ = compute_side_weights(graph, side)
+
+    stamp = np.zeros(n, dtype=np.int64)
+
+    for _ in range(max_passes):
+        locked = np.zeros(n, dtype=bool)
+        heap: list = []
+        tiebreak = rng.permutation(n)
+
+        def push(v: int) -> None:
+            gain = int(external[v] - internal[v])
+            stamp[v] += 1
+            heapq.heappush(heap, (-gain, int(tiebreak[v]), int(v), int(stamp[v])))
+
+        for v in np.flatnonzero(external > 0):
+            push(int(v))
+
+        moves: list[int] = []
+        best_prefix = 0
+        best_cut = cut
+        w0_now = w0
+        cut_now = cut
+        move_limit = max(64, 4 * len(heap))
+        # Classic FM early exit: abandon the pass once the hill-climb has
+        # gone this long without finding a new best prefix.
+        stall_limit = max(48, len(heap) // 8)
+        indptr = graph.indptr
+        indices = graph.indices
+        eweights = graph.eweights
+
+        while heap and len(moves) < move_limit:
+            neg_gain, _, v, st = heapq.heappop(heap)
+            if locked[v] or st != stamp[v]:
+                continue
+            gain = -neg_gain
+            vw = int(graph.vweights[v])
+            new_w0 = w0_now - vw if side[v] == 0 else w0_now + vw
+            # Balance gate: allow the move if it keeps side 0 within the
+            # slack band, or strictly improves distance to the target.
+            if abs(new_w0 - target0) > slack and abs(new_w0 - target0) >= abs(
+                w0_now - target0
+            ):
+                locked[v] = True
+                continue
+
+            # Apply the move.
+            old_side = int(side[v])
+            side[v] = 1 - old_side
+            locked[v] = True
+            w0_now = new_w0
+            cut_now -= gain
+            internal[v], external[v] = external[v], internal[v]
+            lo, hi = indptr[v], indptr[v + 1]
+            nbrs = indices[lo:hi]
+            wts = eweights[lo:hi]
+            for u, w in zip(nbrs.tolist(), wts.tolist()):
+                if side[u] == side[v]:
+                    internal[u] += w
+                    external[u] -= w
+                else:
+                    internal[u] -= w
+                    external[u] += w
+                if not locked[u]:
+                    push(u)
+            moves.append(v)
+
+            # Prefer better cuts; among equal cuts prefer better balance.
+            if cut_now < best_cut:
+                best_cut = cut_now
+                best_prefix = len(moves)
+            elif len(moves) - best_prefix > stall_limit:
+                break
+
+        # Roll back to the best prefix.
+        for v in moves[best_prefix:]:
+            old_side = int(side[v])
+            side[v] = 1 - old_side
+            internal[v], external[v] = external[v], internal[v]
+            for u, w in zip(
+                graph.neighbors(v).tolist(), graph.edge_weights_of(v).tolist()
+            ):
+                if side[u] == side[v]:
+                    internal[u] += w
+                    external[u] -= w
+                else:
+                    internal[u] -= w
+                    external[u] += w
+        w0, _ = compute_side_weights(graph, side)
+        improved = best_cut < cut
+        cut = best_cut
+        if not improved:
+            break
+
+    return cut
+
+
+def greedy_grow_bisection(
+    graph: CSRGraph, target_frac0: float, rng: np.random.Generator, trials: int = 4
+) -> np.ndarray:
+    """Initial bisection by greedy region growing (Metis's GGGP analogue).
+
+    Grows side 0 from a random seed vertex, always absorbing the frontier
+    vertex most connected to the region, until side 0 reaches its target
+    weight.  Runs ``trials`` seeds and keeps the smallest cut.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    total = graph.total_vweight
+    target0 = target_frac0 * total
+
+    best_side: np.ndarray | None = None
+    best_cut = np.iinfo(np.int64).max
+    for _ in range(max(1, trials)):
+        side = np.ones(n, dtype=np.int64)
+        grown = 0
+        # Connectivity of each frontier vertex to the growing region.
+        conn = np.zeros(n, dtype=np.int64)
+        heap: list = []
+        stamp = np.zeros(n, dtype=np.int64)
+        in_region = np.zeros(n, dtype=bool)
+
+        def push(v: int) -> None:
+            stamp[v] += 1
+            heapq.heappush(heap, (-int(conn[v]), int(rng.integers(n + 1)), int(v), int(stamp[v])))
+
+        start = int(rng.integers(n))
+        push(start)
+        while grown < target0:
+            while heap:
+                _, _, v, st = heapq.heappop(heap)
+                if not in_region[v] and st == stamp[v]:
+                    break
+            else:
+                # Disconnected remainder: restart from any vertex outside.
+                outside = np.flatnonzero(~in_region)
+                if outside.size == 0:
+                    break
+                v = int(outside[0])
+            in_region[v] = True
+            side[v] = 0
+            grown += int(graph.vweights[v])
+            for u, w in zip(
+                graph.neighbors(v).tolist(), graph.edge_weights_of(v).tolist()
+            ):
+                if not in_region[u]:
+                    conn[u] += w
+                    push(u)
+        cut = compute_cut(graph, side)
+        if cut < best_cut:
+            best_cut = cut
+            best_side = side
+    assert best_side is not None
+    return best_side

@@ -1,0 +1,85 @@
+"""The boundary-exchange model: Equation (5) and the Table 3 message tally.
+
+Per neighbour, the exchange consists of one six-message step per material
+with boundary faces, plus a final six-message step covering all faces.
+Message sizes are 12 bytes per face; when the Table-3 refinement is enabled,
+the first two messages of each per-material sextet additionally carry
+12 bytes per ghost node touching more than one material.
+
+Equation (5) as printed ignores the multi-material surcharge, the merging of
+identical materials, and any overlap between neighbours — all three are
+switchable here so the ablation benchmarks can quantify each approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.costdb import (
+    BOUNDARY_BYTES_PER_FACE,
+    BOUNDARY_BYTES_PER_MULTI_NODE,
+    BOUNDARY_MSGS_PER_STEP,
+)
+from repro.machine.network import NetworkModel
+
+
+def boundary_message_sizes(
+    faces_by_material: np.ndarray,
+    multi_nodes_by_material: np.ndarray | None = None,
+) -> list:
+    """The Table 3 tally: ``(count, bytes)`` rows for one neighbour boundary.
+
+    Parameters
+    ----------
+    faces_by_material:
+        Boundary faces per material (or per combined exchange group).
+    multi_nodes_by_material:
+        Ghost nodes touching more than one material, attributed per
+        material; ``None`` means the Equation-(5) simplification (no
+        surcharge).
+    """
+    # Float face counts are legal: the general model divides sqrt(Cells/PEs)
+    # faces equally among materials, which is rarely an integer.
+    faces = np.asarray(faces_by_material, dtype=np.float64)
+    if np.any(faces < 0):
+        raise ValueError("face counts must be non-negative")
+    multi = (
+        np.zeros_like(faces)
+        if multi_nodes_by_material is None
+        else np.asarray(multi_nodes_by_material, dtype=np.float64)
+    )
+    if multi.shape != faces.shape:
+        raise ValueError("multi_nodes_by_material must align with faces_by_material")
+
+    rows = []
+    for f, g in zip(faces.tolist(), multi.tolist()):
+        if f <= 0:
+            continue
+        big = BOUNDARY_BYTES_PER_FACE * f + BOUNDARY_BYTES_PER_MULTI_NODE * g
+        small = BOUNDARY_BYTES_PER_FACE * f
+        rows.append((2, big))
+        rows.append((4, small))
+    total = BOUNDARY_BYTES_PER_FACE * float(faces.sum())
+    rows.append((BOUNDARY_MSGS_PER_STEP, total))
+    return rows
+
+
+def boundary_exchange_time(
+    network: NetworkModel,
+    faces_by_material: np.ndarray,
+    multi_nodes_by_material: np.ndarray | None = None,
+) -> float:
+    """Equation (5): serial sum of all boundary-exchange messages.
+
+    With ``multi_nodes_by_material=None`` this is the paper's printed
+    Equation (5); with the surcharge it reproduces the Table 3 sizes.
+    Identical-material merging is the *caller's* job (pass combined groups
+    instead of raw materials) because the paper's general model deliberately
+    does not merge them.
+    """
+    total = 0.0
+    for count, nbytes in boundary_message_sizes(
+        faces_by_material, multi_nodes_by_material
+    ):
+        total += count * network.tmsg(nbytes)
+    return total

@@ -1,0 +1,142 @@
+"""Cost-curve calibration, both ways described in Section 3.1.
+
+**Contrived-grid method** — "Two processes are required; in order for a
+detonation to occur, high-explosive gas must be present.  However, the gas
+can be isolated to a single process while the material on the second process
+varies."  For every sample subgrid size we build exactly that two-process
+deck, run it on the simulated machine, and read the second process's
+per-phase compute time divided by its cell count.
+
+**Linear-system method** — used by the paper for its validation results:
+run the *actual* deck at several processor counts and, for each phase, solve
+the least-squares system ``time[rank] ≈ Σ_m c_m · cells[rank, m]`` for the
+per-cell cost of each material, giving one curve sample per processor count
+(at the mean cells-per-processor abscissa).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.hydro.driver import run_krak
+from repro.machine.cluster import ClusterConfig
+from repro.machine.costdb import NUM_PHASES
+from repro.mesh.deck import HE_GAS, NUM_MATERIALS, InputDeck
+from repro.mesh.grid import structured_quad_mesh
+from repro.partition.base import Partition
+from repro.partition.block import structured_block_partition
+from repro.perfmodel.costcurves import CostTable
+
+
+def default_sample_sides(max_side: int = 512) -> list:
+    """Power-of-two subgrid sides: sample sizes 1, 4, 16, … cells/processor.
+
+    Figure 3 samples per-cell costs from 1 to ~10⁶ cells per processor on a
+    log axis; ``max_side=512`` covers up to 262 144 cells per processor.
+    """
+    sides = []
+    s = 1
+    while s <= max_side:
+        sides.append(s)
+        s *= 2
+    return sides
+
+
+def _contrived_deck(side: int, material: int) -> InputDeck:
+    """A ``2·side × side`` deck: left half HE gas, right half ``material``."""
+    mesh = structured_quad_mesh(2 * side, side, width=2.0 * side * 0.0125, height=side * 0.0125)
+    column = np.arange(mesh.num_cells) % (2 * side)
+    cell_material = np.where(column < side, HE_GAS, material).astype(np.int64)
+    return InputDeck(
+        name=f"contrived-{side}-{material}",
+        mesh=mesh,
+        cell_material=cell_material,
+        detonator_xy=(0.0, 0.45 * side * 0.0125),
+    )
+
+
+def calibrate_contrived_grid(
+    cluster: ClusterConfig,
+    sides=None,
+    iterations: int = 2,
+) -> CostTable:
+    """Build a :class:`CostTable` from two-process contrived-grid runs.
+
+    For each sample side ``s`` and each material, rank 0 holds ``s²`` HE-gas
+    cells (the detonation driver) and rank 1 holds ``s²`` cells of the
+    material under study; the measured per-phase compute time on rank 1
+    divided by ``s²`` is the per-cell cost sample.
+    """
+    if sides is None:
+        sides = default_sample_sides()
+    sides = sorted(set(int(s) for s in sides))
+    if any(s < 1 for s in sides):
+        raise ValueError("sample sides must be >= 1")
+
+    cells = np.array([s * s for s in sides], dtype=np.float64)
+    per_cell = np.zeros((NUM_PHASES, NUM_MATERIALS, len(sides)))
+
+    for si, side in enumerate(sides):
+        for material in range(NUM_MATERIALS):
+            deck = _contrived_deck(side, material)
+            partition = structured_block_partition(deck.mesh, 2, px=2, py=1)
+            run = run_krak(
+                deck, partition, cluster=cluster, iterations=iterations, functional=False
+            )
+            # Rank 1 is the right half (columns >= side) under a 2x1 tiling.
+            rank_times = run.result.trace.compute[1] / iterations
+            per_cell[:, material, si] = rank_times / (side * side)
+
+    return CostTable.from_arrays(cells, per_cell)
+
+
+def calibrate_linear_system(
+    cluster: ClusterConfig,
+    deck: InputDeck,
+    partitions: list,
+    iterations: int = 2,
+) -> CostTable:
+    """Build a :class:`CostTable` by solving per-phase linear systems.
+
+    Parameters
+    ----------
+    partitions:
+        Partitions of ``deck`` at several processor counts; each contributes
+        one curve sample at ``total_cells / num_ranks`` cells per processor.
+        Must be sorted by descending rank count (ascending cells/PE).
+    """
+    if not partitions:
+        raise ValueError("need at least one partition")
+    order = sorted(partitions, key=lambda p: -p.num_ranks)
+    xs = []
+    samples = []
+    for partition in order:
+        if partition.num_cells != deck.num_cells:
+            raise ValueError("partition does not match deck")
+        run = run_krak(
+            deck, partition, cluster=cluster, iterations=iterations, functional=False
+        )
+        counts = partition.material_census(deck.cell_material, NUM_MATERIALS).astype(
+            np.float64
+        )
+        times = run.result.trace.compute / iterations  # (ranks, phases)
+        coeffs = np.zeros((NUM_PHASES, NUM_MATERIALS))
+        for p in range(NUM_PHASES):
+            # Non-negative least squares: per-cell costs cannot be negative,
+            # and homogeneous subgrids make plain lstsq ill-conditioned.
+            coeffs[p], _ = nnls(counts, times[:, p])
+        # Materials absent from every rank get the column mean of the
+        # others so the curve stays evaluable (rare: tiny rank counts).
+        present = counts.sum(axis=0) > 0
+        if not np.all(present):
+            fallback = coeffs[:, present].mean(axis=1)
+            for m in np.flatnonzero(~present):
+                coeffs[:, m] = fallback
+        xs.append(deck.num_cells / partition.num_ranks)
+        samples.append(coeffs)
+
+    xs_arr = np.array(xs)
+    uniq, idx = np.unique(xs_arr, return_index=True)
+    per_cell = np.stack([samples[i] for i in idx], axis=-1)  # (P, M, S)
+    return CostTable.from_arrays(uniq, per_cell)

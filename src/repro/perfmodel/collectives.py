@@ -1,0 +1,41 @@
+"""The collective-communication model: Equations (8)–(10).
+
+Per iteration (Table 4): six broadcasts (3×4 B + 3×8 B), twenty-two
+allreduces (9×4 B + 13×8 B, each costing a fan-in *and* a fan-out), and one
+32-byte gather — all over binary trees of depth ``log2(P)``.
+"""
+
+from __future__ import annotations
+
+from repro.machine.network import NetworkModel
+from repro.simmpi.collectives import tree_depth
+
+
+def broadcast_time(network: NetworkModel, num_ranks: int) -> float:
+    """Equation (8): ``3·log(P)·Tmsg(4) + 3·log(P)·Tmsg(8)``."""
+    depth = tree_depth(num_ranks)
+    return 3 * depth * network.tmsg(4) + 3 * depth * network.tmsg(8)
+
+
+def allreduce_total_time(network: NetworkModel, num_ranks: int) -> float:
+    """Equation (9): ``18·log(P)·Tmsg(4) + 26·log(P)·Tmsg(8)``.
+
+    The 18/26 coefficients are 2× the per-iteration allreduce counts (9 and
+    13) because a reduction is a fan-in plus a fan-out.
+    """
+    depth = tree_depth(num_ranks)
+    return 18 * depth * network.tmsg(4) + 26 * depth * network.tmsg(8)
+
+
+def gather_total_time(network: NetworkModel, num_ranks: int) -> float:
+    """Equation (10): ``log(P)·Tmsg(32)``."""
+    return tree_depth(num_ranks) * network.tmsg(32)
+
+
+def collectives_time(network: NetworkModel, num_ranks: int) -> float:
+    """Total per-iteration collective time (sum of Equations 8–10)."""
+    return (
+        broadcast_time(network, num_ranks)
+        + allreduce_total_time(network, num_ranks)
+        + gather_total_time(network, num_ranks)
+    )

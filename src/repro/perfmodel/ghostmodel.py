@@ -1,0 +1,35 @@
+"""The ghost-node update model: Equations (6) and (7).
+
+``T_GNPhase4(N_L, N_R) = Tmsg(8·N_L) + Tmsg(8·N_R)`` and the 16-byte
+equivalents for phases 5 and 7 — one message for the locally-owned ghost
+nodes and one for the remote ones, per neighbour, with no overlap assumed.
+"""
+
+from __future__ import annotations
+
+from repro.machine.costdb import GHOST_BYTES_PER_NODE
+from repro.machine.network import NetworkModel
+
+#: (0-based phase, bytes per ghost node) for the three ghost-update phases.
+GHOST_PHASES = tuple(sorted(GHOST_BYTES_PER_NODE.items()))
+
+
+def ghost_update_time(
+    network: NetworkModel, n_local: int, n_remote: int, bytes_per_node: int
+) -> float:
+    """Equations (6)/(7) for one neighbour in one ghost-update phase."""
+    if n_local < 0 or n_remote < 0:
+        raise ValueError("ghost-node counts must be non-negative")
+    if bytes_per_node <= 0:
+        raise ValueError("bytes_per_node must be positive")
+    return network.tmsg(bytes_per_node * n_local) + network.tmsg(
+        bytes_per_node * n_remote
+    )
+
+
+def ghost_phase_total(network: NetworkModel, n_local: int, n_remote: int) -> float:
+    """All three ghost-update phases for one neighbour (8 + 16 + 16 bytes)."""
+    return sum(
+        ghost_update_time(network, n_local, n_remote, nbytes)
+        for _, nbytes in GHOST_PHASES
+    )

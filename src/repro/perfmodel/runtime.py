@@ -1,0 +1,45 @@
+"""Predicted-time breakdown and validation error helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictedTime:
+    """One model prediction, decomposed the way the paper composes it.
+
+    Total runtime = computation + boundary exchange + ghost updates +
+    collectives (Section 5: "computation does not overlap with
+    communication; the overall runtime is the summation ...").
+    """
+
+    computation: float
+    boundary_exchange: float
+    ghost_updates: float
+    collectives: float
+
+    def __post_init__(self) -> None:
+        for name in ("computation", "boundary_exchange", "ghost_updates", "collectives"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def communication(self) -> float:
+        """All communication components combined."""
+        return self.boundary_exchange + self.ghost_updates + self.collectives
+
+    @property
+    def total(self) -> float:
+        """Predicted per-iteration runtime."""
+        return self.computation + self.communication
+
+    def error_vs(self, measured: float) -> float:
+        """Signed relative error ``(measured − predicted) / measured``.
+
+        Matches the paper's Table 5/6 sign convention, where a positive
+        error means the model under-predicts.
+        """
+        if measured <= 0:
+            raise ValueError("measured time must be positive")
+        return (measured - self.total) / measured

@@ -1,0 +1,107 @@
+"""Request objects yielded by simulated rank programs.
+
+A rank program is a generator; it communicates with the engine by yielding
+these requests and receiving results back via ``send()``.  The vocabulary
+matches what Krak needs (Section 4): asynchronous sends + blocking receives,
+waits on outstanding sends, and the three collective types of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge ``seconds`` of computation to the current phase."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"compute time must be non-negative, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class SetPhase:
+    """Attribute subsequent compute/comm time to iteration phase ``phase``."""
+
+    phase: int
+
+
+@dataclass(frozen=True)
+class MarkIteration:
+    """Record the rank's clock at the start of iteration ``index``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Post an asynchronous send of ``nbytes`` to ``dst`` with ``tag``.
+
+    ``payload`` is optional application data (functional mode); timing-only
+    runs send ``None`` payloads and pay for ``nbytes`` on the wire.
+    """
+
+    dst: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive from ``src`` with ``tag``; yields ``(nbytes, payload)``."""
+
+    src: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class WaitSends:
+    """Block until all of this rank's posted sends have left the NIC."""
+
+
+@dataclass(frozen=True)
+class Allreduce:
+    """Combine ``value`` across all ranks with ``op`` (``"sum"|"min"|"max"``).
+
+    ``nbytes`` is the wire payload per tree message (Table 4: 4 or 8 bytes).
+    """
+
+    value: Any
+    op: str = "sum"
+    nbytes: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("sum", "min", "max"):
+            raise ValueError(f"unsupported reduction op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Bcast:
+    """Broadcast ``value`` from ``root``; every rank receives root's value."""
+
+    value: Any
+    root: int = 0
+    nbytes: float = 8.0
+
+
+@dataclass(frozen=True)
+class Gather:
+    """Gather per-rank values to ``root``; root receives the full list."""
+
+    value: Any
+    root: int = 0
+    nbytes: float = 32.0
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronise all ranks (modelled as a zero-payload allreduce)."""

@@ -1,0 +1,64 @@
+"""Binary-tree collective timing (the paper's Section 4.3 abstraction).
+
+"Collective communication is modeled as either fan-out, fan-in, or fan-in
+and fan-out pattern with messages reaching every node over a binary-tree
+structure.  Therefore, a one-to-all communication requires log(P) messages,
+and a synchronization point requires 2·log(P) messages."  The simulator uses
+the same tree shape, so truth-vs-model differences for collectives come only
+from arrival skew, exactly as on a real machine with a good MPI library.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.network import NetworkModel
+
+
+def tree_depth(num_ranks: int) -> int:
+    """Binary-tree depth ``ceil(log2 P)``; 0 for a single rank."""
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    return math.ceil(math.log2(num_ranks)) if num_ranks > 1 else 0
+
+
+def bcast_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
+    """Fan-out over a binary tree: ``log2(P) · Tmsg(S)``."""
+    return tree_depth(num_ranks) * network.tmsg(nbytes)
+
+
+def gather_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
+    """Fan-in over a binary tree: ``log2(P) · Tmsg(S)`` (Equation 10 form)."""
+    return tree_depth(num_ranks) * network.tmsg(nbytes)
+
+
+def allreduce_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
+    """Fan-in plus fan-out: ``2 · log2(P) · Tmsg(S)`` (Equations 8–9 form)."""
+    return 2.0 * tree_depth(num_ranks) * network.tmsg(nbytes)
+
+
+def combine(op: str, values: list):
+    """Apply a reduction ``op`` to a list of per-rank contributions.
+
+    Works on scalars and NumPy arrays alike (elementwise for arrays).
+    """
+    if not values:
+        raise ValueError("cannot reduce an empty value list")
+    it = iter(values)
+    acc = next(it)
+    if op == "sum":
+        for v in it:
+            acc = acc + v
+    elif op == "min":
+        import numpy as np
+
+        for v in it:
+            acc = np.minimum(acc, v)
+    elif op == "max":
+        import numpy as np
+
+        for v in it:
+            acc = np.maximum(acc, v)
+    else:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    return acc

@@ -1,0 +1,270 @@
+"""The logical-time cooperative scheduler.
+
+Each rank advances its own virtual clock; the engine only mediates where
+ranks interact (message matching, collective barriers).  Because Krak's
+communication uses fully-specified sources and tags (no wildcards) and every
+phase ends in a global reduction, logical-time simulation is *exact*: no
+global event heap is needed, and results are independent of scheduling
+order.
+
+Timing rules (see :mod:`repro.machine`):
+
+* ``Isend``: sender pays ``send_overhead`` CPU time; the message's bandwidth
+  term serialises through the sender's NIC (``nic_free``), while its
+  start-up latency pipelines.  Arrival at the receiver is
+  ``nic_start + L(S) + S·TB(S)``.
+* ``Recv``: receiver blocks until arrival, then pays ``recv_overhead``.
+* Collectives: all ranks enter; completion is the latest entry time plus the
+  binary-tree time; all ranks resume synchronised at completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.machine.cluster import ClusterConfig
+from repro.simmpi import api
+from repro.simmpi.collectives import allreduce_time, bcast_time, combine, gather_time
+from repro.simmpi.tracing import PhaseTrace
+
+
+class DeadlockError(RuntimeError):
+    """All ranks are blocked and no progress is possible."""
+
+
+@dataclass
+class _RankState:
+    """Mutable per-rank bookkeeping."""
+
+    program: Iterator
+    clock: float = 0.0
+    nic_free: float = 0.0
+    phase: int = 0
+    finished: bool = False
+    #: Value fed into the generator at the next resume.
+    pending_value: Any = None
+    #: Mailbox key when parked on a blocking receive.
+    waiting_recv: tuple | None = None
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of an engine run."""
+
+    trace: PhaseTrace
+    final_clocks: np.ndarray
+
+    @property
+    def makespan(self) -> float:
+        """Latest rank completion time."""
+        return float(self.final_clocks.max())
+
+
+class Engine:
+    """Run a set of rank programs to completion over a simulated cluster."""
+
+    def __init__(self, cluster: ClusterConfig, num_ranks: int, num_phases: int) -> None:
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.cluster = cluster
+        self.num_ranks = num_ranks
+        self.trace = PhaseTrace(num_ranks, num_phases)
+        #: (src, dst, tag) → deque of (arrival_time, nbytes, payload)
+        self._mailboxes: dict[tuple, deque] = {}
+        #: (src, dst, tag) → rank id parked on that receive
+        self._recv_waiters: dict[tuple, int] = {}
+        #: Per-rank count of collectives entered (rendezvous sequence ids).
+        self._coll_seq_entered: list[int] = [0] * num_ranks
+        #: sequence id → {rank: (request, entry clock)}
+        self._coll_pending: dict[int, dict[int, tuple]] = {}
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, make_program: Callable[[int], Iterator]) -> SimResult:
+        """Execute ``make_program(rank)`` for every rank until all finish.
+
+        ``make_program`` must return a generator yielding request objects
+        from :mod:`repro.simmpi.api`.
+        """
+        states = [_RankState(program=make_program(r)) for r in range(self.num_ranks)]
+        runnable = deque(range(self.num_ranks))
+
+        while runnable:
+            rank = runnable.popleft()
+            st = states[rank]
+            if st.finished:
+                continue
+            self._advance(rank, st, states, runnable)
+
+        if not all(st.finished for st in states):
+            blocked = [r for r, st in enumerate(states) if not st.finished]
+            raise DeadlockError(
+                f"{len(blocked)} ranks blocked forever (first few: {blocked[:8]})"
+            )
+        clocks = np.array([st.clock for st in states])
+        return SimResult(trace=self.trace, final_clocks=clocks)
+
+    # ------------------------------------------------------- request handling
+
+    def _satisfy_recv(self, rank: int, st: _RankState, key: tuple) -> bool:
+        """Try to complete a receive on ``key``; True on success."""
+        box = self._mailboxes.get(key)
+        if not box:
+            return False
+        arrival, nbytes, payload = box.popleft()
+        wait = max(0.0, arrival - st.clock) + self.cluster.recv_overhead
+        st.clock += wait
+        self.trace.add_comm(rank, st.phase, wait)
+        st.pending_value = (nbytes, payload)
+        return True
+
+    def _advance(
+        self,
+        rank: int,
+        st: _RankState,
+        states: list[_RankState],
+        runnable: deque,
+    ) -> None:
+        """Run ``rank`` until it blocks or finishes."""
+        net = self.cluster.network
+
+        # If the rank was parked on a receive, the wake-up implies a message
+        # is (normally) available; spurious wake-ups simply re-park.
+        if st.waiting_recv is not None:
+            key = st.waiting_recv
+            if not self._satisfy_recv(rank, st, key):
+                self._recv_waiters[key] = rank
+                return
+            st.waiting_recv = None
+
+        while True:
+            try:
+                req = st.program.send(st.pending_value)
+            except StopIteration:
+                st.finished = True
+                return
+            st.pending_value = None
+
+            if isinstance(req, api.Compute):
+                st.clock += req.seconds
+                self.trace.add_compute(rank, st.phase, req.seconds)
+
+            elif isinstance(req, api.SetPhase):
+                if not 0 <= req.phase < self.trace.num_phases:
+                    raise ValueError(f"phase {req.phase} out of range")
+                st.phase = req.phase
+
+            elif isinstance(req, api.MarkIteration):
+                self.trace.mark_iteration(rank, req.index, st.clock)
+
+            elif isinstance(req, api.Isend):
+                if not 0 <= req.dst < self.num_ranks:
+                    raise ValueError(f"Isend to invalid rank {req.dst}")
+                if req.dst == rank:
+                    raise ValueError("self-sends are not supported")
+                overhead = self.cluster.send_overhead
+                st.clock += overhead
+                self.trace.add_comm(rank, st.phase, overhead)
+                pair_net = self.cluster.network_for(rank, req.dst)
+                nic_start = max(st.clock, st.nic_free)
+                bw = pair_net.bandwidth_time(req.nbytes)
+                arrival = nic_start + pair_net.startup_time(req.nbytes) + bw
+                st.nic_free = nic_start + bw
+                key = (rank, req.dst, req.tag)
+                self._mailboxes.setdefault(key, deque()).append(
+                    (arrival, req.nbytes, req.payload)
+                )
+                waiter = self._recv_waiters.pop(key, None)
+                if waiter is not None:
+                    runnable.append(waiter)
+
+            elif isinstance(req, api.WaitSends):
+                if st.nic_free > st.clock:
+                    self.trace.add_comm(rank, st.phase, st.nic_free - st.clock)
+                    st.clock = st.nic_free
+
+            elif isinstance(req, api.Recv):
+                key = (req.src, rank, req.tag)
+                if not self._satisfy_recv(rank, st, key):
+                    st.waiting_recv = key
+                    if key in self._recv_waiters:
+                        raise RuntimeError(f"two receivers parked on {key}")
+                    self._recv_waiters[key] = rank
+                    return
+
+            elif isinstance(req, (api.Allreduce, api.Bcast, api.Gather, api.Barrier)):
+                seq = self._coll_seq_entered[rank]
+                self._coll_seq_entered[rank] += 1
+                pend = self._coll_pending.setdefault(seq, {})
+                pend[rank] = (req, st.clock)
+                if len(pend) == self.num_ranks:
+                    self._complete_collective(seq, states, runnable)
+                return
+
+            else:
+                raise TypeError(f"unknown request {req!r}")
+
+    def _complete_collective(
+        self, seq: int, states: list[_RankState], runnable: deque
+    ) -> None:
+        """All ranks have entered collective ``seq``: time it and wake them."""
+        pend = self._coll_pending.pop(seq)
+        reqs = [pend[r][0] for r in range(self.num_ranks)]
+        enter_times = [pend[r][1] for r in range(self.num_ranks)]
+        kind = type(reqs[0])
+        if any(type(q) is not kind for q in reqs):
+            raise RuntimeError(f"collective mismatch at sequence {seq}")
+
+        net = self.cluster.network
+        hierarchy = self.cluster.hierarchy
+        if hierarchy is not None:
+            from repro.machine.hierarchy import (
+                hier_allreduce_time,
+                hier_bcast_time,
+                hier_gather_time,
+            )
+
+            t_allreduce = lambda n: hier_allreduce_time(hierarchy, self.num_ranks, n)
+            t_bcast = lambda n: hier_bcast_time(hierarchy, self.num_ranks, n)
+            t_gather = lambda n: hier_gather_time(hierarchy, self.num_ranks, n)
+        else:
+            t_allreduce = lambda n: allreduce_time(net, self.num_ranks, n)
+            t_bcast = lambda n: bcast_time(net, self.num_ranks, n)
+            t_gather = lambda n: gather_time(net, self.num_ranks, n)
+
+        start = max(enter_times)
+        if kind is api.Allreduce:
+            op = reqs[0].op
+            nbytes = max(q.nbytes for q in reqs)
+            duration = t_allreduce(nbytes)
+            result = combine(op, [q.value for q in reqs])
+            results: list[Any] = [result] * self.num_ranks
+        elif kind is api.Bcast:
+            root = reqs[0].root
+            nbytes = reqs[root].nbytes
+            duration = t_bcast(nbytes)
+            results = [reqs[root].value] * self.num_ranks
+        elif kind is api.Gather:
+            root = reqs[0].root
+            nbytes = max(q.nbytes for q in reqs)
+            duration = t_gather(nbytes)
+            gathered = [q.value for q in reqs]
+            results = [gathered if r == root else None for r in range(self.num_ranks)]
+        elif kind is api.Barrier:
+            duration = t_allreduce(4.0)
+            results = [None] * self.num_ranks
+        else:  # pragma: no cover - guarded by _advance
+            raise TypeError(kind)
+
+        finish = start + duration
+        for r, st in enumerate(states):
+            waited = finish - st.clock
+            if waited > 0:
+                self.trace.add_comm(r, st.phase, waited)
+                st.clock = finish
+            st.pending_value = results[r]
+            runnable.append(r)

@@ -1,0 +1,79 @@
+"""Per-phase, per-rank time attribution (how Figure 2 is measured).
+
+The tracer splits each rank's virtual time into *compute* and
+*communication* buckets per iteration phase, with MPI time excluded from
+compute — matching the paper's Figure 2 caption ("Time (s) — No MPI").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PhaseTrace:
+    """Accumulates compute/comm seconds per ``(rank, phase)``.
+
+    Attributes
+    ----------
+    compute:
+        Array ``(num_ranks, num_phases)`` of computation seconds.
+    comm:
+        Array ``(num_ranks, num_phases)`` of communication seconds (send
+        overheads, receive blocking, collective time).
+    iteration_starts:
+        ``iteration_starts[i][rank]`` = rank's clock at its ``MarkIteration(i)``.
+    """
+
+    def __init__(self, num_ranks: int, num_phases: int) -> None:
+        if num_ranks < 1 or num_phases < 1:
+            raise ValueError("num_ranks and num_phases must be positive")
+        self.num_ranks = num_ranks
+        self.num_phases = num_phases
+        self.compute = np.zeros((num_ranks, num_phases))
+        self.comm = np.zeros((num_ranks, num_phases))
+        self.iteration_starts: dict[int, np.ndarray] = {}
+
+    def add_compute(self, rank: int, phase: int, seconds: float) -> None:
+        """Charge computation time."""
+        self.compute[rank, phase] += seconds
+
+    def add_comm(self, rank: int, phase: int, seconds: float) -> None:
+        """Charge communication time."""
+        self.comm[rank, phase] += seconds
+
+    def mark_iteration(self, rank: int, index: int, clock: float) -> None:
+        """Record ``rank``'s clock at the start of iteration ``index``."""
+        marks = self.iteration_starts.setdefault(
+            index, np.full(self.num_ranks, np.nan)
+        )
+        marks[rank] = clock
+
+    # ---- summaries ---------------------------------------------------------
+
+    def phase_compute_max(self) -> np.ndarray:
+        """Max-over-ranks compute seconds per phase (Equation 2's max)."""
+        return self.compute.max(axis=0)
+
+    def phase_comm_max(self) -> np.ndarray:
+        """Max-over-ranks communication seconds per phase."""
+        return self.comm.max(axis=0)
+
+    def iteration_time(self, first: int, last: int) -> float:
+        """Virtual time from the start of iteration ``first`` to ``last``.
+
+        Uses the max over ranks of the recorded marks; iterations end with a
+        global synchronisation, so rank clocks agree to within skew.
+        """
+        if first not in self.iteration_starts or last not in self.iteration_starts:
+            raise KeyError("requested iterations were not marked")
+        first_marks = self.iteration_starts[first]
+        last_marks = self.iteration_starts[last]
+        if np.isnan(first_marks).any() or np.isnan(last_marks).any():
+            raise ValueError("iteration marks incomplete (some ranks missing)")
+        return float(last_marks.max() - first_marks.max())
+
+    def mean_iteration_time(self, first: int, last: int) -> float:
+        """Average per-iteration time over the window ``[first, last)``."""
+        if last <= first:
+            raise ValueError("need last > first")
+        return self.iteration_time(first, last) / (last - first)

@@ -1,0 +1,48 @@
+"""Time and size units plus human-readable formatting helpers.
+
+All simulator-internal times are in **seconds** (floats); these constants
+exist so model code can say ``5 * MICROSECOND`` instead of ``5e-6``.
+"""
+
+from __future__ import annotations
+
+#: One second, the base unit of virtual time.
+SECOND = 1.0
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+#: One nanosecond in seconds.
+NANOSECOND = 1e-9
+
+#: Bytes per kibibyte / mebibyte.
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def bytes_to_mib(nbytes: float) -> float:
+    """Convert a byte count to mebibytes."""
+    return nbytes / MIB
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary-prefix unit (``B``/``KiB``/``MiB``)."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    if nbytes < KIB:
+        return f"{nbytes:.0f} B"
+    if nbytes < MIB:
+        return f"{nbytes / KIB:.2f} KiB"
+    return f"{nbytes / MIB:.2f} MiB"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an SI-prefix unit (``ns``/``us``/``ms``/``s``)."""
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    if magnitude >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.3f} us"
+    return f"{seconds / NANOSECOND:.1f} ns"

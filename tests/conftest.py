@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Session-scoped where construction is expensive (decks, face tables,
+partitions, calibrated cost tables) — everything here is deterministic, so
+sharing across tests is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import es45_like_cluster
+from repro.mesh import build_deck, build_face_table
+from repro.partition import multilevel_partition, structured_block_partition
+from repro.perfmodel import calibrate_contrived_grid
+
+
+@pytest.fixture(scope="session")
+def small_deck():
+    """The paper's small deck: 3 200 cells, four materials."""
+    return build_deck("small")
+
+
+@pytest.fixture(scope="session")
+def small_faces(small_deck):
+    """Face table of the small deck."""
+    return build_face_table(small_deck.mesh)
+
+
+@pytest.fixture(scope="session")
+def tiny_deck():
+    """A 16×8 custom deck for fast functional runs."""
+    return build_deck((16, 8))
+
+
+@pytest.fixture(scope="session")
+def tiny_faces(tiny_deck):
+    """Face table of the tiny deck."""
+    return build_face_table(tiny_deck.mesh)
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    """Default simulated validation cluster."""
+    return es45_like_cluster()
+
+
+@pytest.fixture(scope="session")
+def quiet_cluster():
+    """Cluster with compute jitter disabled (exact-arithmetic tests)."""
+    return es45_like_cluster(jitter_frac=0.0)
+
+
+@pytest.fixture(scope="session")
+def small_partition_16(small_deck, small_faces):
+    """Multilevel partition of the small deck on 16 ranks."""
+    return multilevel_partition(small_deck.mesh, 16, faces=small_faces, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_partition_4(tiny_deck):
+    """2×2 structured tiling of the tiny deck."""
+    return structured_block_partition(tiny_deck.mesh, 4)
+
+
+@pytest.fixture(scope="session")
+def coarse_cost_table(cluster):
+    """A contrived-grid cost table at power-of-two sides (factor-4 sample
+    spacing in cells — dense enough to keep knee interpolation error ≤25%)."""
+    return calibrate_contrived_grid(cluster, sides=[1, 2, 4, 8, 16, 32, 64, 128, 256])
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,52 @@
+"""Integration tests for validation sweeps."""
+
+import pytest
+
+from repro.analysis import scaling_sweep, validation_sweep
+from repro.mesh import build_deck
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestValidationSweep:
+    def test_points_and_errors(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((32, 16))
+        points = validation_sweep(
+            deck, [4, 8], cluster, coarse_cost_table, models=("homogeneous",)
+        )
+        assert [p.num_ranks for p in points] == [4, 8]
+        for p in points:
+            assert p.measured > 0
+            assert "homogeneous" in p.predicted
+            assert abs(p.error("homogeneous")) < 1.0
+
+    def test_all_three_models(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((32, 16))
+        (point,) = validation_sweep(deck, [4], cluster, coarse_cost_table)
+        assert set(point.predicted) == {
+            "mesh-specific",
+            "homogeneous",
+            "heterogeneous",
+        }
+
+    def test_unknown_model_rejected(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((32, 16))
+        with pytest.raises(ValueError, match="unknown model"):
+            validation_sweep(deck, [4], cluster, coarse_cost_table, models=("psychic",))
+
+
+class TestScalingSweep:
+    def test_power_of_two_counts(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((32, 16))
+        points = scaling_sweep(deck, cluster, coarse_cost_table, max_ranks=8)
+        assert [p.num_ranks for p in points] == [1, 2, 4, 8]
+
+    def test_measured_strong_scales(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((64, 32))
+        points = scaling_sweep(deck, cluster, coarse_cost_table, max_ranks=8)
+        times = [p.measured for p in points]
+        assert times[0] > times[-1]

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.deck == "small"
+        assert args.ranks == 16
+        assert not args.smp
+
+    def test_phase_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate", "--phase", "16"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--deck", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "3200" in out
+        assert "MPI_Allreduce" in out
+        assert "synchronisation points: 22" in out
+
+    def test_info_custom_deck(self, capsys):
+        assert main(["info", "--deck", "16x8"]) == 0
+        assert "128" in capsys.readouterr().out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--max-side", "8", "--phase", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-cell cost" in out
+        assert "HE Gas" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--deck", "16x8", "--ranks", "4", "--max-side", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "transition" in out
+        assert "general homogeneous" in out
+
+    def test_validate_smp(self, capsys):
+        assert (
+            main(
+                [
+                    "validate",
+                    "--deck",
+                    "16x8",
+                    "--ranks",
+                    "4",
+                    "--max-side",
+                    "16",
+                    "--smp",
+                ]
+            )
+            == 0
+        )
+        assert "smp4" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--deck",
+                    "32x16",
+                    "--max-ranks",
+                    "4",
+                    "--max-side",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "strong scaling" in out
+        # P = 1, 2, 4 rows present.
+        assert out.count("\n") >= 7

@@ -1,0 +1,90 @@
+"""Unit tests for programmed burn."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import ProgrammedBurn
+from repro.mesh import build_deck
+from repro.mesh.deck import HE_GAS
+from repro.mesh.geometry import cell_centroids
+
+
+@pytest.fixture(scope="module")
+def burn():
+    deck = build_deck("small")
+    return ProgrammedBurn.from_deck(
+        cell_centroids(deck.mesh), deck.cell_material, deck.detonator_xy
+    ), deck
+
+
+class TestArrivalTimes:
+    def test_inert_cells_never_burn(self, burn):
+        schedule, deck = burn
+        inert = deck.cell_material != HE_GAS
+        assert np.all(np.isinf(schedule.arrival_time[inert]))
+
+    def test_he_cells_finite(self, burn):
+        schedule, deck = burn
+        he = deck.cell_material == HE_GAS
+        assert np.all(np.isfinite(schedule.arrival_time[he]))
+
+    def test_wave_travels_outward(self, burn):
+        schedule, deck = burn
+        centroids = cell_centroids(deck.mesh)
+        he = np.flatnonzero(deck.cell_material == HE_GAS)
+        d = np.hypot(
+            centroids[he, 0] - deck.detonator_xy[0],
+            centroids[he, 1] - deck.detonator_xy[1],
+        )
+        t = schedule.arrival_time[he]
+        order = np.argsort(d)
+        assert np.all(np.diff(t[order]) >= 0)
+
+    def test_arrival_is_distance_over_speed(self, burn):
+        schedule, deck = burn
+        centroids = cell_centroids(deck.mesh)
+        he = np.flatnonzero(deck.cell_material == HE_GAS)[0]
+        d = np.hypot(
+            centroids[he, 0] - deck.detonator_xy[0],
+            centroids[he, 1] - deck.detonator_xy[1],
+        )
+        assert schedule.arrival_time[he] == pytest.approx(d / schedule.detonation_speed)
+
+
+class TestBurnFraction:
+    def test_clipping(self, burn):
+        schedule, _ = burn
+        f0 = schedule.burn_fraction(0.0)
+        assert np.all((f0 >= 0) & (f0 <= 1))
+        f_late = schedule.burn_fraction(1.0)  # long after everything burned
+        he = np.isfinite(schedule.arrival_time)
+        assert np.all(f_late[he] == 1.0)
+        assert np.all(f_late[~he] == 0.0)
+
+    def test_monotone_in_time(self, burn):
+        schedule, _ = burn
+        f1 = schedule.burn_fraction(1e-5)
+        f2 = schedule.burn_fraction(2e-5)
+        assert np.all(f2 >= f1)
+
+    def test_actively_burning_band(self, burn):
+        schedule, _ = burn
+        t = float(np.min(schedule.arrival_time)) + schedule.ramp_time / 2
+        active = schedule.actively_burning(t)
+        assert active.any()
+        f = schedule.burn_fraction(t)
+        assert np.all((f[active] > 0) & (f[active] < 1))
+
+
+class TestValidation:
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            ProgrammedBurn(
+                detonation_speed=0.0, ramp_time=1e-6, arrival_time=np.array([0.0])
+            )
+
+    def test_rejects_bad_ramp(self):
+        with pytest.raises(ValueError):
+            ProgrammedBurn(
+                detonation_speed=1.0, ramp_time=0.0, arrival_time=np.array([0.0])
+            )

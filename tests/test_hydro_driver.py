@@ -1,0 +1,79 @@
+"""Unit tests for the run driver and measurement wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import measure_iteration_time, run_krak
+from repro.machine import NUM_PHASES, es45_like_cluster
+from repro.mesh import build_deck, build_face_table
+from repro.partition import structured_block_partition
+
+
+@pytest.fixture(scope="module")
+def setup():
+    deck = build_deck((32, 16))
+    faces = build_face_table(deck.mesh)
+    part = structured_block_partition(deck.mesh, 8)
+    return deck, faces, part
+
+
+class TestRunKrak:
+    def test_census_mode_has_no_states(self, setup):
+        deck, faces, part = setup
+        run = run_krak(deck, part, iterations=2, faces=faces)
+        assert run.states is None
+        assert run.iterations == 2
+
+    def test_functional_mode_returns_states(self, setup):
+        deck, faces, part = setup
+        run = run_krak(deck, part, iterations=2, functional=True, faces=faces)
+        assert run.states is not None
+        assert len(run.states) == 8
+
+    def test_mean_iteration_time_warmup_check(self, setup):
+        deck, faces, part = setup
+        run = run_krak(deck, part, iterations=2, faces=faces)
+        with pytest.raises(ValueError):
+            run.mean_iteration_time(warmup=2)
+
+    def test_default_cluster_used(self, setup):
+        deck, faces, part = setup
+        run = run_krak(deck, part, iterations=2, faces=faces)
+        assert run.cluster.name == "es45-qsnet-like"
+
+
+class TestMeasureIterationTime:
+    def test_fields(self, setup):
+        deck, faces, part = setup
+        m = measure_iteration_time(deck, part, faces=faces)
+        assert m.deck_name == "custom"
+        assert m.num_ranks == 8
+        assert m.seconds > 0
+        assert m.compute_by_phase.shape == (NUM_PHASES,)
+        assert m.comm_by_phase.shape == (NUM_PHASES,)
+
+    def test_phase_sum_close_to_total(self, setup):
+        """Max-over-rank phase times bound the iteration time from above."""
+        deck, faces, part = setup
+        m = measure_iteration_time(deck, part, faces=faces)
+        upper = m.compute_by_phase.sum() + m.comm_by_phase.sum()
+        assert m.seconds <= upper * 1.01
+
+    def test_deterministic(self, setup):
+        deck, faces, part = setup
+        m1 = measure_iteration_time(deck, part, faces=faces)
+        m2 = measure_iteration_time(deck, part, faces=faces)
+        assert m1.seconds == m2.seconds
+
+    def test_strong_scaling_census_mode(self):
+        """More ranks => faster iterations (well above the knee)."""
+        deck = build_deck((64, 32))
+        faces = build_face_table(deck.mesh)
+        cluster = es45_like_cluster()
+        t2 = measure_iteration_time(
+            deck, structured_block_partition(deck.mesh, 2), cluster=cluster, faces=faces
+        ).seconds
+        t8 = measure_iteration_time(
+            deck, structured_block_partition(deck.mesh, 8), cluster=cluster, faces=faces
+        ).seconds
+        assert t8 < t2

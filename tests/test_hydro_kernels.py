@@ -1,0 +1,175 @@
+"""Unit tests for the hydro numerical kernels (single rank)."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import build_rank_states
+from repro.hydro import kernels
+from repro.mesh import build_deck
+from repro.partition import block_partition
+
+
+@pytest.fixture()
+def single_state():
+    deck = build_deck((8, 4))
+    part = block_partition(deck.num_cells, 1)
+    return build_rank_states(deck, part)[0]
+
+
+class TestGeometryKernels:
+    def test_volumes_match_initial(self, single_state):
+        st = single_state
+        vols = kernels.compute_volumes(st)
+        assert np.allclose(vols, st.volume)
+        assert np.all(vols > 0)
+
+    def test_characteristic_length_scale(self, single_state):
+        st = single_state
+        lengths = kernels.characteristic_length(st)
+        # The (8, 4) deck spans 1.0 x 2.0, so cells are 0.125 x 0.5:
+        # length = area / longest diagonal.
+        assert np.allclose(lengths, 0.125 * 0.5 / np.hypot(0.125, 0.5))
+
+    def test_volume_rate_zero_at_rest(self, single_state):
+        assert np.allclose(kernels.volume_rate(single_state), 0.0)
+
+    def test_volume_rate_uniform_expansion(self, single_state):
+        st = single_state
+        # Radial velocity field v = (x, y): dA/dt = 2A.
+        st.vx[:] = st.x
+        st.vy[:] = st.y
+        rate = kernels.volume_rate(st)
+        assert np.allclose(rate, 2.0 * st.volume, rtol=1e-12)
+
+
+class TestScatterMasses:
+    def test_total_preserved(self, single_state):
+        st = single_state
+        contrib = kernels.scatter_corner_masses(st)
+        assert contrib.sum() == pytest.approx(st.cell_mass.sum())
+
+    def test_interior_node_gets_four_corners(self, single_state):
+        st = single_state
+        contrib = kernels.scatter_corner_masses(st)
+        # All cells same area; interior nodes receive 4 quarter-masses.
+        interior = np.zeros(st.num_nodes, dtype=int)
+        for k in range(4):
+            np.add.at(interior, st.cell_nodes[:, k], 1)
+        four = interior == 4
+        assert four.any()
+        per_quarter = st.cell_mass.min() * 0.25
+        assert np.all(contrib[four] >= 4 * per_quarter * 0.999)
+
+
+class TestCornerForces:
+    def test_uniform_pressure_interior_equilibrium(self, single_state):
+        st = single_state
+        st.pressure[:] = 1e5
+        st.viscosity[:] = 0.0
+        st.sound_speed[:] = 100.0
+        fx, fy = kernels.corner_forces(st, hourglass_coeff=0.0)
+        # Interior nodes feel zero net force under uniform pressure.
+        count = np.zeros(st.num_nodes, dtype=int)
+        for k in range(4):
+            np.add.at(count, st.cell_nodes[:, k], 1)
+        interior = count == 4
+        assert np.allclose(fx[interior], 0.0, atol=1e-9)
+        assert np.allclose(fy[interior], 0.0, atol=1e-9)
+
+    def test_boundary_pushed_outward(self, single_state):
+        st = single_state
+        st.pressure[:] = 1e5
+        st.viscosity[:] = 0.0
+        st.sound_speed[:] = 100.0
+        fx, fy = kernels.corner_forces(st, hourglass_coeff=0.0)
+        right = st.x == st.x.max()
+        left = st.x == st.x.min()
+        assert np.all(fx[right] > 0)
+        assert np.all(fx[left] < 0)
+
+    def test_total_force_zero(self, single_state):
+        """Uniform pressure exerts zero net force on the whole body."""
+        st = single_state
+        st.pressure[:] = 2e5
+        st.viscosity[:] = 0.0
+        st.sound_speed[:] = 100.0
+        fx, fy = kernels.corner_forces(st, hourglass_coeff=0.0)
+        assert fx.sum() == pytest.approx(0.0, abs=1e-8)
+        assert fy.sum() == pytest.approx(0.0, abs=1e-8)
+
+    def test_hourglass_damps_mode(self, single_state):
+        st = single_state
+        st.pressure[:] = 0.0
+        st.viscosity[:] = 0.0
+        st.sound_speed[:] = 100.0
+        # Excite the (+,-,+,-) hourglass pattern on one cell's corners.
+        nodes = st.cell_nodes[0]
+        st.vx[nodes] = np.array([1.0, -1.0, 1.0, -1.0])
+        fx, _ = kernels.corner_forces(st, hourglass_coeff=0.05)
+        # The restoring force opposes the mode.
+        mode_force = fx[nodes] @ np.array([1.0, -1.0, 1.0, -1.0])
+        assert mode_force < 0
+
+
+class TestViscosity:
+    def test_zero_on_expansion(self, single_state):
+        st = single_state
+        st.sound_speed[:] = 100.0
+        st.vx[:] = st.x  # uniform expansion
+        q = kernels.artificial_viscosity(st)
+        assert np.allclose(q, 0.0)
+
+    def test_positive_on_compression(self, single_state):
+        st = single_state
+        st.sound_speed[:] = 100.0
+        st.vx[:] = -st.x
+        q = kernels.artificial_viscosity(st)
+        assert np.all(q > 0)
+
+
+class TestAdvanceAndEnergy:
+    def test_axis_bc(self, single_state):
+        st = single_state
+        st.node_mass[:] = 1.0
+        st.fx[:] = 1.0
+        kernels.advance_nodes(st, 1e-3)
+        assert np.all(st.vx[st.on_axis] == 0.0)
+        assert np.all(st.vx[~st.on_axis] > 0.0)
+
+    def test_pdv_heating_on_compression(self, single_state):
+        st = single_state
+        st.pressure[:] = 1e5
+        st.viscosity[:] = 0.0
+        old = st.volume.copy()
+        new = 0.9 * old
+        e0 = st.energy.copy()
+        kernels.update_energy(st, old, new)
+        assert np.all(st.energy > e0)
+
+    def test_energy_floor(self, single_state):
+        st = single_state
+        st.pressure[:] = 1e12
+        st.energy[:] = 0.0
+        kernels.update_energy(st, st.volume, 2 * st.volume)
+        assert np.all(st.energy >= 0.0)
+
+    def test_stable_dt_positive_and_cfl(self, single_state):
+        st = single_state
+        st.sound_speed[:] = 5000.0
+        dt = kernels.stable_dt(st, cfl=0.25)
+        length = kernels.characteristic_length(st).min()
+        assert 0 < dt <= 0.25 * length / 5000.0 * 1.001
+
+
+class TestDiagnostics:
+    def test_kinetic_energy_owned_only(self, single_state):
+        st = single_state
+        st.node_mass[:] = 2.0
+        st.vx[:] = 3.0
+        ke = kernels.kinetic_energy(st)
+        assert ke == pytest.approx(0.5 * 2.0 * 9.0 * st.num_nodes)
+
+    def test_total_mass(self, single_state):
+        assert kernels.total_mass(single_state) == pytest.approx(
+            single_state.cell_mass.sum()
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for the material EOS library."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import KRAK_MATERIAL_MODELS, MaterialModel, pressure_and_sound_speed
+from repro.hydro.materials import initial_density, initial_energy
+from repro.mesh.deck import ALUMINUM_INNER, ALUMINUM_OUTER, FOAM, HE_GAS
+
+
+class TestMaterialCatalogue:
+    def test_four_materials(self):
+        assert len(KRAK_MATERIAL_MODELS) == 4
+
+    def test_only_he_detonates(self):
+        for mid, m in enumerate(KRAK_MATERIAL_MODELS):
+            if mid == HE_GAS:
+                assert m.detonation_energy > 0
+            else:
+                assert m.detonation_energy == 0
+
+    def test_aluminum_layers_identical_eos(self):
+        """Section 4.1: the two aluminums are 'identical materials'."""
+        inner = KRAK_MATERIAL_MODELS[ALUMINUM_INNER]
+        outer = KRAK_MATERIAL_MODELS[ALUMINUM_OUTER]
+        assert inner.rho0 == outer.rho0
+        assert inner.c0 == outer.c0
+        assert inner.gamma == outer.gamma
+
+    def test_foam_is_soft_and_crushable(self):
+        foam = KRAK_MATERIAL_MODELS[FOAM]
+        assert foam.rho0 < 1000
+        assert np.isfinite(foam.crush_strength)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaterialModel(name="bad", rho0=-1, e0=0, gamma=2)
+        with pytest.raises(ValueError):
+            MaterialModel(name="bad", rho0=1, e0=0, gamma=0.5)
+        with pytest.raises(ValueError):
+            MaterialModel(name="bad", rho0=1, e0=0, gamma=2, crush_softening=0)
+
+
+class TestPressureAndSoundSpeed:
+    def test_reference_state_near_zero_pressure(self):
+        """At reference density and tiny energy, inerts are nearly stress-free."""
+        mats = np.array([ALUMINUM_INNER])
+        rho = np.array([KRAK_MATERIAL_MODELS[ALUMINUM_INNER].rho0])
+        e = np.array([0.0])
+        p, c = pressure_and_sound_speed(mats, rho, e, np.zeros(1))
+        assert p[0] == pytest.approx(0.0, abs=1e-6)
+        assert c[0] >= KRAK_MATERIAL_MODELS[ALUMINUM_INNER].c0
+
+    def test_compression_raises_pressure(self):
+        mats = np.array([ALUMINUM_INNER, ALUMINUM_INNER])
+        rho0 = KRAK_MATERIAL_MODELS[ALUMINUM_INNER].rho0
+        rho = np.array([rho0, 1.1 * rho0])
+        e = np.array([1e3, 1e3])
+        p, _ = pressure_and_sound_speed(mats, rho, e, np.zeros(2))
+        assert p[1] > p[0]
+
+    def test_burn_releases_energy(self):
+        mats = np.array([HE_GAS, HE_GAS])
+        rho = np.full(2, KRAK_MATERIAL_MODELS[HE_GAS].rho0)
+        e = np.full(2, 1e4)
+        p, _ = pressure_and_sound_speed(mats, rho, e, np.array([0.0, 1.0]))
+        assert p[1] > 10 * p[0]
+
+    def test_no_tension(self):
+        """Expanded cells floor at zero pressure (materials separate)."""
+        mats = np.array([ALUMINUM_INNER])
+        rho = np.array([0.5 * KRAK_MATERIAL_MODELS[ALUMINUM_INNER].rho0])
+        p, _ = pressure_and_sound_speed(mats, rho, np.zeros(1), np.zeros(1))
+        assert p[0] == 0.0
+
+    def test_foam_crush_softens(self):
+        """Past crush strength, extra compression adds less pressure."""
+        foam = KRAK_MATERIAL_MODELS[FOAM]
+        mats = np.array([FOAM, FOAM, FOAM])
+        # Densities giving stiff terms below, at, and far above the strength.
+        drho = foam.crush_strength / foam.c0**2
+        rho = np.array([foam.rho0 + 0.5 * drho, foam.rho0 + drho, foam.rho0 + 2 * drho])
+        p, _ = pressure_and_sound_speed(mats, rho, np.zeros(3), np.zeros(3))
+        # Slope below crush is c0^2; above, softened.
+        below = (p[1] - p[0]) / (0.5 * drho)
+        above = (p[2] - p[1]) / drho
+        assert above < 0.5 * below
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError):
+            pressure_and_sound_speed(
+                np.array([0]), np.array([0.0]), np.array([0.0]), np.array([0.0])
+            )
+
+    def test_sound_speed_positive(self):
+        mats = np.array([HE_GAS, ALUMINUM_INNER, FOAM, ALUMINUM_OUTER])
+        rho = initial_density(mats)
+        e = initial_energy(mats)
+        _, c = pressure_and_sound_speed(mats, rho, e, np.zeros(4))
+        assert np.all(c > 0)
+
+
+class TestInitialState:
+    def test_initial_density_lookup(self):
+        mats = np.array([HE_GAS, FOAM])
+        rho = initial_density(mats)
+        assert rho[0] == KRAK_MATERIAL_MODELS[HE_GAS].rho0
+        assert rho[1] == KRAK_MATERIAL_MODELS[FOAM].rho0
+
+    def test_initial_energy_lookup(self):
+        mats = np.array([ALUMINUM_OUTER])
+        assert initial_energy(mats)[0] == KRAK_MATERIAL_MODELS[ALUMINUM_OUTER].e0

@@ -1,0 +1,108 @@
+"""Unit tests for the workload census."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import build_workload_census
+from repro.hydro.workload import EXCHANGE_GROUP, NUM_EXCHANGE_GROUPS
+from repro.mesh import build_deck, build_face_table
+from repro.mesh.deck import ALUMINUM_INNER, ALUMINUM_OUTER, NUM_MATERIALS
+from repro.partition import structured_block_partition
+
+
+@pytest.fixture(scope="module")
+def census_setup():
+    deck = build_deck("small")
+    faces = build_face_table(deck.mesh)
+    part = structured_block_partition(deck.mesh, 8)
+    return deck, part, build_workload_census(deck, part, faces)
+
+
+class TestExchangeGroups:
+    def test_aluminums_share_a_group(self):
+        """Identical materials are combined during boundary exchanges."""
+        assert EXCHANGE_GROUP[ALUMINUM_INNER] == EXCHANGE_GROUP[ALUMINUM_OUTER]
+        assert len(set(EXCHANGE_GROUP.values())) == NUM_EXCHANGE_GROUPS
+
+
+class TestMaterialCounts:
+    def test_shape_and_total(self, census_setup):
+        deck, part, census = census_setup
+        assert census.material_counts.shape == (8, NUM_MATERIALS)
+        assert census.material_counts.sum() == deck.num_cells
+
+    def test_work_vector(self, census_setup):
+        _, _, census = census_setup
+        wv = census.work_vector(0)
+        assert wv.dtype == np.float64
+        assert np.array_equal(wv, census.material_counts[0])
+
+
+class TestBoundaryLinks:
+    def test_symmetry(self, census_setup):
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            for bl in census.boundary_links[rank]:
+                peer_links = {
+                    l.nbr_rank: l for l in census.boundary_links[bl.nbr_rank]
+                }
+                back = peer_links[rank]
+                assert back.mine.total_faces == bl.theirs.total_faces
+                assert back.theirs.groups == bl.mine.groups
+
+    def test_group_faces_sum_to_total(self, census_setup):
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            for bl in census.boundary_links[rank]:
+                s = sum(f for (_, f, _) in bl.mine.groups)
+                assert s == bl.mine.total_faces
+
+    def test_neighbors_sorted(self, census_setup):
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            nbrs = census.neighbors(rank)
+            assert nbrs == sorted(nbrs)
+            assert rank not in nbrs
+
+
+class TestGhostLinks:
+    def test_symmetry(self, census_setup):
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            for gl in census.ghost_links[rank]:
+                back = next(
+                    l
+                    for l in census.ghost_links[gl.nbr_rank]
+                    if l.nbr_rank == rank
+                )
+                assert back.num_shared == gl.num_shared
+                assert back.owned_by_me == gl.owned_by_nbr
+                assert back.owned_by_nbr == gl.owned_by_me
+
+    def test_ownership_partition(self, census_setup):
+        """owned_by_me + owned_by_nbr <= shared (remainder owned by thirds)."""
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            for gl in census.ghost_links[rank]:
+                assert gl.owned_by_me + gl.owned_by_nbr <= gl.num_shared
+                assert gl.owned_by_me >= 0 and gl.owned_by_nbr >= 0
+
+    def test_ghost_links_superset_of_boundary_links(self, census_setup):
+        """Every face-sharing pair also shares nodes."""
+        _, _, census = census_setup
+        for rank in range(census.num_ranks):
+            face_nbrs = {bl.nbr_rank for bl in census.boundary_links[rank]}
+            node_nbrs = {gl.nbr_rank for gl in census.ghost_links[rank]}
+            assert face_nbrs <= node_nbrs
+
+    def test_straight_cut_ghost_count(self):
+        """For a 1-D chain of tiles, shared nodes per pair = ny + 1."""
+        deck = build_deck((16, 8))
+        faces = build_face_table(deck.mesh)
+        part = structured_block_partition(deck.mesh, 2, px=2, py=1)
+        census = build_workload_census(deck, part, faces)
+        gl = census.ghost_links[0][0]
+        assert gl.num_shared == 9
+        # Lower rank owns everything on the seam.
+        assert gl.owned_by_me == 9
+        assert gl.owned_by_nbr == 0

@@ -1,0 +1,100 @@
+"""Tests that the cost database encodes Tables 1 and 4 of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    COMM_BOUNDARY_EXCHANGE,
+    COMM_GHOST_8,
+    COMM_GHOST_16,
+    COMM_NONE,
+    NUM_PHASES,
+    PHASE_BCASTS,
+    PHASE_COMM_KIND,
+    PHASE_GATHERS,
+    PHASE_SYNC_POINTS,
+    krak_node_model,
+)
+from repro.machine.costdb import (
+    DEFAULT_CELL_COST,
+    DEFAULT_PHASE_OVERHEAD,
+    GHOST_BYTES_PER_NODE,
+    PHASE_ALLREDUCE_SIZES,
+    table4_census,
+)
+
+
+class TestTable1Structure:
+    def test_fifteen_phases(self):
+        assert NUM_PHASES == 15
+        assert len(PHASE_COMM_KIND) == 15
+        assert len(PHASE_SYNC_POINTS) == 15
+
+    def test_sync_points_match_table1(self):
+        """Table 1's Sync Points column: 2,1,3,1,1,3,1,1,1,1,2,1,1,1,2."""
+        assert PHASE_SYNC_POINTS == (2, 1, 3, 1, 1, 3, 1, 1, 1, 1, 2, 1, 1, 1, 2)
+        assert sum(PHASE_SYNC_POINTS) == 22
+
+    def test_allreduce_sizes_match_sync_points(self):
+        for sizes, count in zip(PHASE_ALLREDUCE_SIZES, PHASE_SYNC_POINTS):
+            assert len(sizes) == count
+
+    def test_boundary_exchange_in_phase_2(self):
+        assert PHASE_COMM_KIND[1] == COMM_BOUNDARY_EXCHANGE
+        assert PHASE_COMM_KIND.count(COMM_BOUNDARY_EXCHANGE) == 1
+
+    def test_ghost_updates_in_phases_4_5_7(self):
+        """Table 1: 8-byte updates in phase 4; 16-byte in phases 5 and 7."""
+        assert PHASE_COMM_KIND[3] == COMM_GHOST_8
+        assert PHASE_COMM_KIND[4] == COMM_GHOST_16
+        assert PHASE_COMM_KIND[6] == COMM_GHOST_16
+        assert GHOST_BYTES_PER_NODE == {3: 8, 4: 16, 6: 16}
+
+    def test_computation_only_phases(self):
+        for idx in (2, 5, 7, 8, 9, 10, 11, 12, 13):
+            assert PHASE_COMM_KIND[idx] == COMM_NONE
+
+    def test_bcast_phases(self):
+        """Table 1: broadcasts in phases 1, 2 and 15 (4 + 8 bytes each)."""
+        assert set(PHASE_BCASTS) == {0, 1, 14}
+        assert all(sizes == (4, 8) for sizes in PHASE_BCASTS.values())
+
+    def test_gather_phase(self):
+        assert PHASE_GATHERS == {1: (32,)}
+
+
+class TestTable4Census:
+    def test_collective_counts(self):
+        """Table 4: Bcast 3×4B + 3×8B; Allreduce 9×4B + 13×8B; Gather 1×32B."""
+        census = table4_census()
+        assert census["MPI_Bcast"] == {4: 3, 8: 3}
+        assert census["MPI_Allreduce"] == {4: 9, 8: 13}
+        assert census["MPI_Gather"] == {32: 1}
+
+
+class TestDefaultCosts:
+    def test_shapes(self):
+        assert DEFAULT_CELL_COST.shape == (15, 4)
+        assert DEFAULT_PHASE_OVERHEAD.shape == (15,)
+
+    def test_positive(self):
+        assert np.all(DEFAULT_CELL_COST > 0)
+        assert np.all(DEFAULT_PHASE_OVERHEAD > 0)
+
+    def test_phase14_material_dependent(self):
+        """Figure 2: phase 14's cost varies strongly with material."""
+        row = DEFAULT_CELL_COST[13]
+        assert row.max() / row.min() > 2.0
+
+    def test_burn_phase_he_heavy(self):
+        row = DEFAULT_CELL_COST[11]
+        assert row[0] == row.max()
+
+    def test_speed_scaling(self):
+        fast = krak_node_model(speed=2.0)
+        slow = krak_node_model(speed=1.0)
+        assert np.allclose(fast.cell_cost * 2.0, slow.cell_cost)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            krak_node_model(speed=0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the network model (Equation 4)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import NetworkModel, QSNET_LIKE
+from repro.machine.network import make_network
+
+
+class TestTmsg:
+    def test_equation4_form(self):
+        net = make_network(
+            small_latency=10e-6,
+            large_latency=20e-6,
+            eager_threshold=1024,
+            bandwidth_bytes_per_s=1e8,
+        )
+        # Below threshold: L + S/BW.
+        assert net.tmsg(100) == pytest.approx(10e-6 + 100 / 1e8)
+        # Above threshold: rendezvous latency.
+        assert net.tmsg(2048) == pytest.approx(20e-6 + 2048 / 1e8)
+
+    def test_zero_size_pays_latency(self):
+        assert QSNET_LIKE.tmsg(0) == pytest.approx(QSNET_LIKE.latency[0])
+
+    def test_monotone_in_size_within_segment(self):
+        sizes = np.array([1, 10, 100, 1000])
+        times = QSNET_LIKE.tmsg(sizes)
+        assert np.all(np.diff(times) > 0)
+
+    def test_vectorised(self):
+        out = QSNET_LIKE.tmsg(np.array([4.0, 8.0, 32.0]))
+        assert out.shape == (3,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            QSNET_LIKE.tmsg(-1)
+
+    def test_components_sum(self):
+        s = 512
+        assert QSNET_LIKE.tmsg(s) == pytest.approx(
+            QSNET_LIKE.startup_time(s) + QSNET_LIKE.bandwidth_time(s)
+        )
+
+
+class TestSegments:
+    def test_segment_of(self):
+        net = make_network(eager_threshold=4096)
+        assert net.segment_of(4096) == 0  # boundary belongs to eager
+        assert net.segment_of(4097) == 1
+
+    def test_validation_rejects_descending_breakpoints(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                breakpoints=np.array([10.0, 5.0]),
+                latency=np.array([1e-6, 1e-6, 1e-6]),
+                per_byte=np.array([1e-9, 1e-9, 1e-9]),
+            )
+
+    def test_validation_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                breakpoints=np.array([10.0]),
+                latency=np.array([1e-6]),
+                per_byte=np.array([1e-9]),
+            )
+
+    def test_validation_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                breakpoints=np.array([10.0]),
+                latency=np.array([-1e-6, 1e-6]),
+                per_byte=np.array([1e-9, 1e-9]),
+            )

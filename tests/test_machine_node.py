@@ -1,0 +1,118 @@
+"""Unit tests for the node compute-cost model (knee, cache, jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import krak_node_model
+from repro.machine.node import NodeModel, _hash_jitter
+from repro.mesh.deck import NUM_MATERIALS
+
+
+@pytest.fixture(scope="module")
+def node():
+    return krak_node_model(jitter_frac=0.0)
+
+
+class TestPhaseTime:
+    def test_overhead_floor(self, node):
+        """At tiny subgrids the phase time approaches the overhead constant."""
+        work = np.zeros(NUM_MATERIALS)
+        work[0] = 1
+        t = node.phase_time(0, work, with_jitter=False)
+        assert t >= node.phase_overhead[0]
+        assert t <= node.phase_overhead[0] * 1.2 + node.cell_cost[0, 0] * 2
+
+    def test_linear_regime(self, node):
+        """Far above the knee, doubling cells roughly doubles the time."""
+        work1 = np.array([0.0, 1e6, 0.0, 0.0])
+        work2 = 2 * work1
+        t1 = node.phase_time(2, work1, with_jitter=False)
+        t2 = node.phase_time(2, work2, with_jitter=False)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_material_dependence(self, node):
+        """Phase 14 (index 13) is strongly material dependent (Figure 2)."""
+        he = np.array([1000.0, 0, 0, 0])
+        foam = np.array([0, 0, 1000.0, 0])
+        assert node.phase_time(13, foam, with_jitter=False) > node.phase_time(
+            13, he, with_jitter=False
+        )
+
+    def test_rejects_bad_phase(self, node):
+        with pytest.raises(ValueError):
+            node.phase_time(15, np.zeros(NUM_MATERIALS))
+
+    def test_rejects_negative_work(self, node):
+        with pytest.raises(ValueError):
+            node.phase_time(0, np.array([-1.0, 0, 0, 0]))
+
+    def test_rejects_wrong_shape(self, node):
+        with pytest.raises(ValueError):
+            node.phase_time(0, np.zeros(3))
+
+
+class TestPerCellCost:
+    def test_knee_shape(self, node):
+        """Per-cell cost decreases with subgrid size then flattens (Figure 3)."""
+        ns = np.array([1, 10, 100, 1000, 10000, 100000])
+        costs = [node.per_cell_cost(1, 0, n) for n in ns]
+        # Strictly decreasing until the flat region.
+        assert costs[0] > costs[1] > costs[2] > costs[3]
+        # Flat (within cache effect) at large sizes.
+        assert costs[-1] == pytest.approx(costs[-2], rel=0.25)
+
+    def test_rejects_nonpositive_cells(self, node):
+        with pytest.raises(ValueError):
+            node.per_cell_cost(0, 0, 0)
+
+
+class TestCacheFactor:
+    def test_bounds(self, node):
+        assert node.cache_factor(0) == 1.0
+        assert node.cache_factor(1) < 1.0 + node.cache_penalty
+        assert node.cache_factor(1e12) == pytest.approx(
+            1.0 + node.cache_penalty, rel=1e-6
+        )
+
+    def test_monotone(self, node):
+        ns = [10, 100, 1000, 10000, 100000]
+        factors = [node.cache_factor(n) for n in ns]
+        assert all(a < b for a, b in zip(factors, factors[1:]))
+
+
+class TestJitter:
+    def test_deterministic(self):
+        assert _hash_jitter(3, 5, 7, 11) == _hash_jitter(3, 5, 7, 11)
+
+    def test_bounded(self):
+        vals = [_hash_jitter(r, p, i, 0) for r in range(8) for p in range(15) for i in range(3)]
+        assert all(-1.0 <= v < 1.0 for v in vals)
+
+    def test_varies_across_ranks(self):
+        vals = {_hash_jitter(r, 0, 0, 0) for r in range(16)}
+        assert len(vals) > 10
+
+    def test_jitter_scales_phase_time(self):
+        noisy = krak_node_model(jitter_frac=0.1)
+        quiet = krak_node_model(jitter_frac=0.0)
+        work = np.array([1000.0, 0, 0, 0])
+        t_quiet = quiet.phase_time(0, work, rank=3)
+        t_noisy = noisy.phase_time(0, work, rank=3)
+        assert t_noisy != t_quiet
+        assert abs(t_noisy - t_quiet) / t_quiet <= 0.1
+
+
+class TestValidation:
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            NodeModel(
+                phase_overhead=np.array([-1.0]),
+                cell_cost=np.array([[1.0]]),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NodeModel(
+                phase_overhead=np.array([1.0, 2.0]),
+                cell_cost=np.array([[1.0]]),
+            )

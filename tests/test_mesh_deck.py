@@ -1,0 +1,117 @@
+"""Unit tests for repro.mesh.deck (the paper's Section 2.1 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    DECK_SIZES,
+    HE_GAS,
+    ALUMINUM_INNER,
+    ALUMINUM_OUTER,
+    FOAM,
+    NUM_MATERIALS,
+    InputDeck,
+    build_deck,
+    material_fractions,
+)
+from repro.mesh.deck import TABLE2_HETEROGENEOUS, _apportion_columns
+
+
+class TestDeckSizes:
+    """Section 2.1: small=3200, medium=204 800, large=819 200 cells."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("small", 3200), ("medium", 204800), ("large", 819200)],
+    )
+    def test_paper_cell_counts(self, name, expected):
+        nx, ny = DECK_SIZES[name]
+        assert nx * ny == expected
+
+    def test_small_deck_builds(self):
+        deck = build_deck("small")
+        assert deck.num_cells == 3200
+        assert deck.name == "small"
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown deck size"):
+            build_deck("gigantic")
+
+    def test_custom_size(self):
+        deck = build_deck((32, 16))
+        assert deck.num_cells == 512
+        assert deck.name == "custom"
+
+
+class TestMaterialLayout:
+    def test_all_materials_present(self):
+        deck = build_deck("small")
+        counts = deck.material_counts()
+        assert counts.shape == (NUM_MATERIALS,)
+        assert np.all(counts > 0)
+
+    def test_fractions_close_to_table2(self):
+        deck = build_deck("medium")
+        fracs = material_fractions(deck)
+        for got, want in zip(fracs, TABLE2_HETEROGENEOUS):
+            assert got == pytest.approx(want, abs=0.01)
+
+    def test_radial_ordering(self):
+        """Materials appear in radial order: HE core, Al, foam, Al."""
+        deck = build_deck("small")
+        nx = deck.mesh.nx
+        first_row = deck.cell_material[:nx]
+        # Monotonically non-decreasing across the radius.
+        assert np.all(np.diff(first_row) >= 0)
+        assert first_row[0] == HE_GAS
+        assert first_row[-1] == ALUMINUM_OUTER
+        assert FOAM in first_row and ALUMINUM_INNER in first_row
+
+    def test_rows_identical(self):
+        deck = build_deck("small")
+        mats = deck.cell_material.reshape(deck.mesh.ny, deck.mesh.nx)
+        assert np.all(mats == mats[0])
+
+    def test_detonator_on_axis_below_center(self):
+        """Section 2.1: detonator on rotation axis, slightly below centre."""
+        deck = build_deck("small", height=2.0)
+        x, y = deck.detonator_xy
+        assert x == 0.0
+        assert 0.0 < y < 1.0  # below the centre at y = 1.0
+
+
+class TestApportionColumns:
+    def test_sums_to_total(self):
+        counts = _apportion_columns(80, TABLE2_HETEROGENEOUS)
+        assert counts.sum() == 80
+
+    def test_every_material_gets_a_column(self):
+        counts = _apportion_columns(4, TABLE2_HETEROGENEOUS)
+        assert np.all(counts >= 1)
+
+    def test_rejects_too_few_columns(self):
+        with pytest.raises(ValueError):
+            _apportion_columns(3, TABLE2_HETEROGENEOUS)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            _apportion_columns(10, [0.5, 0.4])  # doesn't sum to 1
+
+
+class TestInputDeckValidation:
+    def test_wrong_material_length(self, tiny_deck):
+        with pytest.raises(ValueError, match="one entry per cell"):
+            InputDeck(
+                name="bad",
+                mesh=tiny_deck.mesh,
+                cell_material=np.zeros(3, dtype=np.int64),
+                detonator_xy=(0, 0),
+            )
+
+    def test_out_of_range_material(self, tiny_deck):
+        mats = np.zeros(tiny_deck.num_cells, dtype=np.int64)
+        mats[0] = NUM_MATERIALS
+        with pytest.raises(ValueError, match="material ids"):
+            InputDeck(
+                name="bad", mesh=tiny_deck.mesh, cell_material=mats, detonator_xy=(0, 0)
+            )

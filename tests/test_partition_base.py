@@ -1,0 +1,53 @@
+"""Unit tests for repro.partition.base."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.deck import NUM_MATERIALS
+from repro.partition import Partition
+
+
+class TestPartitionValidation:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            Partition(num_ranks=0, cell_rank=np.array([0]))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            Partition(num_ranks=2, cell_rank=np.array([0, 2]))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            Partition(num_ranks=2, cell_rank=np.array([-1]))
+
+
+class TestPartitionQueries:
+    def test_counts(self):
+        p = Partition(num_ranks=3, cell_rank=np.array([0, 1, 1, 2, 2, 2]))
+        assert p.counts().tolist() == [1, 2, 3]
+        assert p.num_cells == 6
+
+    def test_cells_of(self):
+        p = Partition(num_ranks=2, cell_rank=np.array([1, 0, 1]))
+        assert p.cells_of(0).tolist() == [1]
+        assert p.cells_of(1).tolist() == [0, 2]
+
+    def test_cells_of_range_check(self):
+        p = Partition(num_ranks=2, cell_rank=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            p.cells_of(2)
+
+    def test_material_census_is_equation1_cells_matrix(self):
+        """The census is the Cells matrix of Equation (1)."""
+        p = Partition(num_ranks=2, cell_rank=np.array([0, 0, 1, 1]))
+        mats = np.array([0, 3, 3, 3])
+        census = p.material_census(mats, NUM_MATERIALS)
+        assert census.shape == (2, NUM_MATERIALS)
+        assert census[0].tolist() == [1, 0, 0, 1]
+        assert census[1].tolist() == [0, 0, 0, 2]
+        assert census.sum() == 4
+
+    def test_material_census_alignment_check(self):
+        p = Partition(num_ranks=1, cell_rank=np.array([0, 0]))
+        with pytest.raises(ValueError, match="align"):
+            p.material_census(np.array([0]), NUM_MATERIALS)

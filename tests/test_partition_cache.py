@@ -1,0 +1,47 @@
+"""Unit tests for the partition disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import build_deck
+from repro.partition import cached_partition
+from repro.partition import cache as cache_mod
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestCachedPartition:
+    def test_roundtrip(self, tmp_cache):
+        deck = build_deck((16, 8))
+        p1 = cached_partition(deck, 4, method="rcb")
+        files = list((tmp_cache / "partitions").glob("*.npz"))
+        assert len(files) == 1
+        p2 = cached_partition(deck, 4, method="rcb")
+        assert np.array_equal(p1.cell_rank, p2.cell_rank)
+        assert p2.method == "rcb"
+
+    def test_distinct_keys(self, tmp_cache):
+        deck = build_deck((16, 8))
+        cached_partition(deck, 2, method="rcb")
+        cached_partition(deck, 4, method="rcb")
+        cached_partition(deck, 4, method="block")
+        files = list((tmp_cache / "partitions").glob("*.npz"))
+        assert len(files) == 3
+
+    def test_bypass_cache(self, tmp_cache):
+        deck = build_deck((16, 8))
+        p1 = cached_partition(deck, 4, method="multilevel", seed=3)
+        p2 = cached_partition(deck, 4, method="multilevel", seed=3, use_cache=False)
+        assert np.array_equal(p1.cell_rank, p2.cell_rank)
+
+    def test_unknown_method(self, tmp_cache):
+        deck = build_deck((16, 8))
+        with pytest.raises(ValueError, match="unknown partition method"):
+            cached_partition(deck, 4, method="voodoo")
+
+    def test_env_override_respected(self, tmp_cache):
+        assert str(cache_mod.cache_dir()).startswith(str(tmp_cache))

@@ -1,0 +1,57 @@
+"""Unit tests for repro.partition.matching (heavy-edge matching)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import build_face_table, structured_quad_mesh
+from repro.partition import heavy_edge_matching
+from repro.partition.graph import dual_graph_of_mesh, graph_from_edges
+from repro.util import seeded_rng
+
+
+def assert_valid_matching(graph, match):
+    n = graph.num_vertices
+    assert match.shape == (n,)
+    assert np.array_equal(match[match], np.arange(n))
+    for v in range(n):
+        if match[v] != v:
+            assert match[v] in graph.neighbors(v)
+
+
+class TestHeavyEdgeMatching:
+    def test_involution_on_grid(self):
+        mesh = structured_quad_mesh(10, 10)
+        g = dual_graph_of_mesh(mesh, build_face_table(mesh))
+        match = heavy_edge_matching(g, seeded_rng(0))
+        assert_valid_matching(g, match)
+
+    def test_matches_most_vertices_on_grid(self):
+        mesh = structured_quad_mesh(20, 20)
+        g = dual_graph_of_mesh(mesh, build_face_table(mesh))
+        match = heavy_edge_matching(g, seeded_rng(0))
+        matched = np.count_nonzero(match != np.arange(g.num_vertices))
+        assert matched >= 0.7 * g.num_vertices
+
+    def test_prefers_heavy_edges(self):
+        # Path 0-1-2 with weights 1, 100: vertex 1 must pair with 2.
+        g = graph_from_edges(3, [0, 1], [1, 2], [1, 100])
+        match = heavy_edge_matching(g, seeded_rng(0))
+        assert match[1] == 2 and match[2] == 1
+        assert match[0] == 0
+
+    def test_respects_max_vweight(self):
+        g = graph_from_edges(2, [0], [1], vweights=np.array([5, 5]))
+        match = heavy_edge_matching(g, seeded_rng(0), max_vweight=6)
+        assert match.tolist() == [0, 1]  # refused: combined weight 10 > 6
+
+    def test_empty_graph(self):
+        g = graph_from_edges(3, [], [])
+        match = heavy_edge_matching(g, seeded_rng(0))
+        assert match.tolist() == [0, 1, 2]
+
+    def test_deterministic_given_seed(self):
+        mesh = structured_quad_mesh(12, 12)
+        g = dual_graph_of_mesh(mesh, build_face_table(mesh))
+        m1 = heavy_edge_matching(g, seeded_rng(42))
+        m2 = heavy_edge_matching(g, seeded_rng(42))
+        assert np.array_equal(m1, m2)

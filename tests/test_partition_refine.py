@@ -1,0 +1,105 @@
+"""Unit tests for repro.partition.refine (FM refinement + greedy growing)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import build_face_table, structured_quad_mesh
+from repro.partition.graph import dual_graph_of_mesh, graph_from_edges
+from repro.partition.refine import (
+    compute_cut,
+    compute_side_weights,
+    fm_refine,
+    greedy_grow_bisection,
+)
+from repro.util import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def grid_graph():
+    mesh = structured_quad_mesh(16, 16)
+    return dual_graph_of_mesh(mesh, build_face_table(mesh))
+
+
+class TestComputeCut:
+    def test_no_cut(self):
+        g = graph_from_edges(4, [0, 1, 2], [1, 2, 3])
+        assert compute_cut(g, np.zeros(4, dtype=np.int64)) == 0
+
+    def test_single_cut_edge(self):
+        g = graph_from_edges(4, [0, 1, 2], [1, 2, 3])
+        assert compute_cut(g, np.array([0, 0, 1, 1])) == 1
+
+    def test_weighted_cut(self):
+        g = graph_from_edges(2, [0], [1], [7])
+        assert compute_cut(g, np.array([0, 1])) == 7
+
+
+class TestSideWeights:
+    def test_balanced(self):
+        g = graph_from_edges(4, [0, 1, 2], [1, 2, 3])
+        w0, w1 = compute_side_weights(g, np.array([0, 0, 1, 1]))
+        assert (w0, w1) == (2, 2)
+
+
+class TestFmRefine:
+    def test_improves_bad_bisection(self, grid_graph):
+        rng = seeded_rng(0)
+        n = grid_graph.num_vertices
+        # Checkerboard start: terrible cut, perfectly balanced.
+        side = (np.arange(n) % 2).astype(np.int64)
+        before = compute_cut(grid_graph, side)
+        after = fm_refine(grid_graph, side, 0.5, rng)
+        assert after < before
+        assert after == compute_cut(grid_graph, side)
+
+    def test_respects_balance(self, grid_graph):
+        rng = seeded_rng(1)
+        n = grid_graph.num_vertices
+        side = (np.arange(n) >= n // 2).astype(np.int64)
+        fm_refine(grid_graph, side, 0.5, rng, imbalance_tol=0.05)
+        w0, w1 = compute_side_weights(grid_graph, side)
+        assert abs(w0 - n / 2) <= max(1, 0.06 * n)
+
+    def test_ideal_bisection_untouched(self):
+        # Two cliques joined by one edge, already optimally cut.
+        u = [0, 0, 1, 3, 3, 4, 2]
+        v = [1, 2, 2, 4, 5, 5, 3]
+        g = graph_from_edges(6, u, v)
+        side = np.array([0, 0, 0, 1, 1, 1])
+        cut = fm_refine(g, side, 0.5, seeded_rng(0))
+        assert cut == 1
+        assert sorted(side.tolist()) == [0, 0, 0, 1, 1, 1]
+
+
+class TestGreedyGrowBisection:
+    def test_target_fraction(self, grid_graph):
+        side = greedy_grow_bisection(grid_graph, 0.5, seeded_rng(0))
+        w0 = int(np.count_nonzero(side == 0))
+        n = grid_graph.num_vertices
+        assert abs(w0 - n / 2) <= 0.05 * n
+
+    def test_uneven_target(self, grid_graph):
+        side = greedy_grow_bisection(grid_graph, 0.25, seeded_rng(0))
+        w0 = int(np.count_nonzero(side == 0))
+        n = grid_graph.num_vertices
+        assert abs(w0 - n / 4) <= 0.05 * n
+
+    def test_region_is_connected(self, grid_graph):
+        """Greedy growing produces a connected side-0 region on a grid."""
+        side = greedy_grow_bisection(grid_graph, 0.5, seeded_rng(3))
+        zero = set(np.flatnonzero(side == 0).tolist())
+        start = next(iter(zero))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for u in grid_graph.neighbors(v):
+                u = int(u)
+                if u in zero and u not in seen:
+                    seen.add(u)
+                    frontier.append(u)
+        assert seen == zero
+
+    def test_empty_graph(self):
+        g = graph_from_edges(0, [], [])
+        assert greedy_grow_bisection(g, 0.5, seeded_rng(0)).size == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the boundary-exchange model (Equation 5 / Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import QSNET_LIKE
+from repro.perfmodel import boundary_exchange_time, boundary_message_sizes
+
+
+class TestTable3Example:
+    """Figure 4's boundary: 3 HE faces, 2+2 aluminum, 3 foam."""
+
+    @pytest.fixture()
+    def tally(self):
+        # Identical materials combined: HE=3, Al=2+2, Foam=3 faces; Table 3's
+        # big-message sizes imply 1/3/2 extra 12-byte ghost-node entries.
+        faces = np.array([3, 4, 3])
+        multi = np.array([1, 3, 2])
+        return boundary_message_sizes(faces, multi)
+
+    def test_message_counts_and_sizes(self, tally):
+        """Reproduce Table 3 exactly."""
+        assert (2, 48) in tally  # HE: 3*12 + 1*12
+        assert (4, 36) in tally  # HE small
+        assert (2, 84) in tally  # Al (both): 2*12+2*12 + 3*12
+        assert (4, 48) in tally  # Al small
+        assert (2, 60) in tally  # Foam: 3*12 + 2*12
+        # Final step: all 10 faces.
+        assert (6, 120) in tally
+
+    def test_total_message_count(self, tally):
+        assert sum(c for c, _ in tally) == 3 * 6 + 6
+
+
+class TestBoundaryMessageSizes:
+    def test_no_surcharge_variant(self):
+        """The printed Equation (5): all six messages are 12·faces."""
+        tally = boundary_message_sizes(np.array([5]))
+        assert tally == [(2, 60), (4, 60), (6, 60)]
+
+    def test_empty_materials_skipped(self):
+        tally = boundary_message_sizes(np.array([0, 4, 0]))
+        # Only aluminum's sextet plus the final step.
+        assert sum(c for c, _ in tally) == 12
+
+    def test_float_faces_supported(self):
+        """The general model divides sqrt(n) faces equally — fractional."""
+        tally = boundary_message_sizes(np.array([2.5]))
+        assert tally[0][1] == pytest.approx(30.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            boundary_message_sizes(np.array([-1]))
+
+    def test_rejects_misaligned_multi(self):
+        with pytest.raises(ValueError):
+            boundary_message_sizes(np.array([1, 2]), np.array([0]))
+
+
+class TestBoundaryExchangeTime:
+    def test_serial_sum(self):
+        faces = np.array([3, 4, 3])
+        t = boundary_exchange_time(QSNET_LIKE, faces)
+        expected = sum(
+            c * QSNET_LIKE.tmsg(s) for c, s in boundary_message_sizes(faces)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_surcharge_increases_time(self):
+        faces = np.array([3, 4, 3])
+        multi = np.array([1, 5, 2])
+        assert boundary_exchange_time(QSNET_LIKE, faces, multi) > boundary_exchange_time(
+            QSNET_LIKE, faces
+        )
+
+    def test_splitting_materials_costs_more(self):
+        """Per-material messages cost more latency than combined ones —
+        the heterogeneous model's large-scale failure mode (Section 5.2)."""
+        combined = boundary_exchange_time(QSNET_LIKE, np.array([12.0]))
+        split = boundary_exchange_time(QSNET_LIKE, np.array([3.0, 3.0, 3.0, 3.0]))
+        assert split > combined

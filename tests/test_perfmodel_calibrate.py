@@ -1,0 +1,118 @@
+"""Tests for both calibration methods of Section 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.machine import NUM_PHASES, es45_like_cluster
+from repro.mesh import build_deck, build_face_table
+from repro.mesh.deck import NUM_MATERIALS
+from repro.partition import structured_block_partition
+from repro.perfmodel import (
+    calibrate_contrived_grid,
+    calibrate_linear_system,
+    default_sample_sides,
+)
+
+
+@pytest.fixture(scope="module")
+def quiet_cluster_module():
+    return es45_like_cluster(jitter_frac=0.0)
+
+
+class TestDefaultSampleSides:
+    def test_powers_of_two(self):
+        assert default_sample_sides(8) == [1, 2, 4, 8]
+
+    def test_covers_figure3_range(self):
+        sides = default_sample_sides()
+        assert sides[0] == 1
+        assert sides[-1] ** 2 >= 250_000
+
+
+class TestContrivedGridCalibration:
+    def test_table_shape(self, quiet_cluster_module):
+        table = calibrate_contrived_grid(quiet_cluster_module, sides=[2, 8])
+        assert table.num_phases == NUM_PHASES
+        assert table.num_materials == NUM_MATERIALS
+
+    def test_recovers_flat_region_costs(self, quiet_cluster_module):
+        """Far above the knee, the calibrated per-cell cost approaches the
+        machine's true cell cost (within the cache factor)."""
+        cl = quiet_cluster_module
+        table = calibrate_contrived_grid(cl, sides=[256])
+        n = 256 * 256
+        for phase in (0, 5, 13):
+            for mat in range(NUM_MATERIALS):
+                truth = cl.node.cell_cost[phase, mat] * cl.node.cache_factor(n)
+                knee = cl.node.phase_overhead[phase] / n
+                got = table.per_cell(phase, mat, n)
+                assert got == pytest.approx(truth + knee, rel=0.02)
+
+    def test_captures_knee(self, quiet_cluster_module):
+        """Per-cell cost at 1 cell/PE is dominated by the phase overhead."""
+        cl = quiet_cluster_module
+        table = calibrate_contrived_grid(cl, sides=[1, 64])
+        got = table.per_cell(1, 0, 1.0)
+        assert got == pytest.approx(
+            cl.node.phase_overhead[1] + cl.node.cell_cost[1, 0] * cl.node.cache_factor(1),
+            rel=0.01,
+        )
+
+    def test_material_distinction(self, quiet_cluster_module):
+        """Phase 14's per-cell costs must differ by material (Figure 3)."""
+        table = calibrate_contrived_grid(quiet_cluster_module, sides=[64])
+        n = 64 * 64
+        he = table.per_cell(13, 0, n)
+        foam = table.per_cell(13, 2, n)
+        assert foam > he
+
+    def test_rejects_bad_sides(self, quiet_cluster_module):
+        with pytest.raises(ValueError):
+            calibrate_contrived_grid(quiet_cluster_module, sides=[0])
+
+
+class TestLinearSystemCalibration:
+    def test_recovers_costs_from_real_deck(self, quiet_cluster_module):
+        """NNLS on a heterogeneous partition recovers per-material costs."""
+        cl = quiet_cluster_module
+        deck = build_deck((64, 32))
+        faces = build_face_table(deck.mesh)
+        parts = [structured_block_partition(deck.mesh, k) for k in (4, 16)]
+        table = calibrate_linear_system(cl, deck, parts)
+        n = deck.num_cells / 16
+        # Compare against the machine truth at the calibrated abscissa.
+        for phase in (2, 13):
+            for mat in range(NUM_MATERIALS):
+                truth = (
+                    cl.node.cell_cost[phase, mat] * cl.node.cache_factor(n)
+                    + cl.node.phase_overhead[phase] / n
+                )
+                got = table.per_cell(phase, mat, n)
+                assert got == pytest.approx(truth, rel=0.35)
+
+    def test_sorted_samples(self, quiet_cluster_module):
+        deck = build_deck((32, 16))
+        parts = [structured_block_partition(deck.mesh, k) for k in (2, 8)]
+        table = calibrate_linear_system(quiet_cluster_module, deck, parts)
+        curve = table.curves[0][0]
+        assert np.all(np.diff(curve.cells) > 0)
+
+    def test_rejects_empty_partitions(self, quiet_cluster_module):
+        deck = build_deck((32, 16))
+        with pytest.raises(ValueError):
+            calibrate_linear_system(quiet_cluster_module, deck, [])
+
+    def test_rejects_mismatched_partition(self, quiet_cluster_module):
+        deck = build_deck((32, 16))
+        other = build_deck((16, 8))
+        parts = [structured_block_partition(other.mesh, 2)]
+        with pytest.raises(ValueError):
+            calibrate_linear_system(quiet_cluster_module, deck, parts)
+
+    def test_nonnegative_costs(self, quiet_cluster_module):
+        deck = build_deck((32, 16))
+        parts = [structured_block_partition(deck.mesh, 8)]
+        table = calibrate_linear_system(quiet_cluster_module, deck, parts)
+        for p in range(table.num_phases):
+            for m in range(table.num_materials):
+                assert np.all(table.curves[p][m].per_cell >= 0)

@@ -1,0 +1,76 @@
+"""Unit tests for the computation model (Equations 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    CostTable,
+    computation_time,
+    computation_time_by_phase,
+    phase_computation_time,
+)
+
+
+@pytest.fixture()
+def flat_table():
+    """Two phases, two materials, size-independent per-cell costs."""
+    cells = np.array([1.0, 1e6])
+    per_cell = np.zeros((2, 2, 2))
+    per_cell[0] = [[1e-6, 1e-6], [2e-6, 2e-6]]  # phase 0: mat0=1us, mat1=2us
+    per_cell[1] = [[3e-6, 3e-6], [1e-6, 1e-6]]  # phase 1: mat0=3us, mat1=1us
+    return CostTable.from_arrays(cells, per_cell)
+
+
+class TestPhaseComputationTime:
+    def test_single_rank(self, flat_table):
+        cells = np.array([[100.0, 50.0]])
+        t = phase_computation_time(flat_table, 0, cells)
+        assert t == pytest.approx(100 * 1e-6 + 50 * 2e-6)
+
+    def test_max_over_ranks(self, flat_table):
+        """Equation (2): the phase takes as long as its slowest processor."""
+        cells = np.array([[100.0, 0.0], [0.0, 100.0]])
+        t0 = phase_computation_time(flat_table, 0, cells)
+        assert t0 == pytest.approx(200e-6)  # material 1 rank dominates
+        t1 = phase_computation_time(flat_table, 1, cells)
+        assert t1 == pytest.approx(300e-6)  # material 0 rank dominates
+
+    def test_different_phases_different_winners(self, flat_table):
+        """The max is per phase, not per iteration — a rank heavy in one
+        material can dominate one phase and not another."""
+        cells = np.array([[100.0, 0.0], [0.0, 100.0]])
+        total = computation_time(flat_table, cells)
+        assert total == pytest.approx(200e-6 + 300e-6)
+
+    def test_empty_rank_ignored(self, flat_table):
+        cells = np.array([[0.0, 0.0], [10.0, 0.0]])
+        t = phase_computation_time(flat_table, 0, cells)
+        assert t == pytest.approx(10e-6)
+
+    def test_rejects_negative_counts(self, flat_table):
+        with pytest.raises(ValueError):
+            phase_computation_time(flat_table, 0, np.array([[-1.0, 0.0]]))
+
+    def test_rejects_wrong_materials(self, flat_table):
+        with pytest.raises(ValueError):
+            phase_computation_time(flat_table, 0, np.array([[1.0, 2.0, 3.0]]))
+
+
+class TestComputationTime:
+    def test_by_phase_sums_to_total(self, flat_table):
+        cells = np.array([[30.0, 20.0], [25.0, 25.0]])
+        by_phase = computation_time_by_phase(flat_table, cells)
+        assert by_phase.shape == (2,)
+        assert computation_time(flat_table, cells) == pytest.approx(by_phase.sum())
+
+    def test_per_cell_evaluated_at_total_local_cells(self):
+        """Equation (2) evaluates T at |Cells_j| (the rank's total), so a
+        rank's mixed-material cells share one abscissa."""
+        cells_axis = np.array([1.0, 100.0])
+        per = np.zeros((1, 2, 2))
+        per[0, 0] = [10e-6, 1e-6]  # strongly size-dependent
+        per[0, 1] = [10e-6, 1e-6]
+        table = CostTable.from_arrays(cells_axis, per)
+        # 100 total cells on the rank: per-cell cost must be the n=100 value.
+        t = phase_computation_time(table, 0, np.array([[50.0, 50.0]]))
+        assert t == pytest.approx(100 * 1e-6)

@@ -1,0 +1,80 @@
+"""Unit tests for the ghost-update (Eq 6–7) and collective (Eq 8–10) models."""
+
+import pytest
+
+from repro.machine import QSNET_LIKE
+from repro.perfmodel import (
+    allreduce_total_time,
+    broadcast_time,
+    collectives_time,
+    gather_total_time,
+    ghost_phase_total,
+    ghost_update_time,
+)
+from repro.perfmodel.ghostmodel import GHOST_PHASES
+
+
+class TestGhostUpdateModel:
+    def test_equation6_form(self):
+        """T = Tmsg(8·N_L) + Tmsg(8·N_R)."""
+        t = ghost_update_time(QSNET_LIKE, 10, 11, 8)
+        assert t == pytest.approx(QSNET_LIKE.tmsg(80) + QSNET_LIKE.tmsg(88))
+
+    def test_equation7_uses_16_bytes(self):
+        t = ghost_update_time(QSNET_LIKE, 10, 10, 16)
+        assert t == pytest.approx(2 * QSNET_LIKE.tmsg(160))
+
+    def test_phase_total_is_8_16_16(self):
+        assert [b for _, b in GHOST_PHASES] == [8, 16, 16]
+        total = ghost_phase_total(QSNET_LIKE, 5, 5)
+        expected = (
+            ghost_update_time(QSNET_LIKE, 5, 5, 8)
+            + 2 * ghost_update_time(QSNET_LIKE, 5, 5, 16)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_zero_counts_still_pay_latency(self):
+        assert ghost_update_time(QSNET_LIKE, 0, 0, 8) == pytest.approx(
+            2 * QSNET_LIKE.tmsg(0)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ghost_update_time(QSNET_LIKE, -1, 0, 8)
+        with pytest.raises(ValueError):
+            ghost_update_time(QSNET_LIKE, 0, 0, 0)
+
+
+class TestCollectiveModel:
+    def test_equation8(self):
+        """3·log(P)·Tmsg(4) + 3·log(P)·Tmsg(8) with log2(64) = 6."""
+        t = broadcast_time(QSNET_LIKE, 64)
+        assert t == pytest.approx(18 * QSNET_LIKE.tmsg(4) + 18 * QSNET_LIKE.tmsg(8))
+
+    def test_equation9(self):
+        """18·log(P)·Tmsg(4) + 26·log(P)·Tmsg(8)."""
+        t = allreduce_total_time(QSNET_LIKE, 64)
+        assert t == pytest.approx(
+            18 * 6 * QSNET_LIKE.tmsg(4) + 26 * 6 * QSNET_LIKE.tmsg(8)
+        )
+
+    def test_equation10(self):
+        assert gather_total_time(QSNET_LIKE, 64) == pytest.approx(
+            6 * QSNET_LIKE.tmsg(32)
+        )
+
+    def test_total_is_sum(self):
+        total = collectives_time(QSNET_LIKE, 128)
+        assert total == pytest.approx(
+            broadcast_time(QSNET_LIKE, 128)
+            + allreduce_total_time(QSNET_LIKE, 128)
+            + gather_total_time(QSNET_LIKE, 128)
+        )
+
+    def test_single_rank_free(self):
+        assert collectives_time(QSNET_LIKE, 1) == 0.0
+
+    def test_grows_with_log_p(self):
+        t128 = collectives_time(QSNET_LIKE, 128)
+        t512 = collectives_time(QSNET_LIKE, 512)
+        assert t512 / t128 == pytest.approx(9 / 7, rel=1e-6)

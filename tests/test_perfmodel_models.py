@@ -1,0 +1,158 @@
+"""Unit + integration tests for the mesh-specific and general models."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.mesh import build_deck, build_face_table
+from repro.mesh.deck import NUM_MATERIALS
+from repro.partition import multilevel_partition
+from repro.perfmodel import GeneralModel, MeshSpecificModel, TABLE2_RATIOS
+from repro.perfmodel.collectives import collectives_time
+
+
+@pytest.fixture(scope="module")
+def small_setup(request):
+    deck = build_deck("small")
+    faces = build_face_table(deck.mesh)
+    part = multilevel_partition(deck.mesh, 16, faces=faces, seed=1)
+    census = build_workload_census(deck, part, faces)
+    return deck, faces, part, census
+
+
+class TestMeshSpecificModel:
+    def test_breakdown_components_positive(self, small_setup, cluster, coarse_cost_table):
+        _, _, _, census = small_setup
+        pred = MeshSpecificModel(table=coarse_cost_table, network=cluster.network).predict(census)
+        assert pred.computation > 0
+        assert pred.boundary_exchange > 0
+        assert pred.ghost_updates > 0
+        assert pred.collectives == pytest.approx(
+            collectives_time(cluster.network, 16)
+        )
+
+    def test_multi_surcharge_toggle(self, small_setup, cluster, coarse_cost_table):
+        _, _, _, census = small_setup
+        with_s = MeshSpecificModel(
+            table=coarse_cost_table, network=cluster.network, include_multi_surcharge=True
+        ).predict(census)
+        without = MeshSpecificModel(
+            table=coarse_cost_table, network=cluster.network, include_multi_surcharge=False
+        ).predict(census)
+        assert with_s.boundary_exchange >= without.boundary_exchange
+        assert with_s.computation == without.computation
+
+    def test_prediction_within_50pc_of_measured(self, small_setup, cluster, coarse_cost_table):
+        """Even the coarse table lands in the right ballpark."""
+        deck, faces, part, census = small_setup
+        measured = measure_iteration_time(
+            deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        pred = MeshSpecificModel(table=coarse_cost_table, network=cluster.network).predict(census)
+        assert abs(pred.error_vs(measured)) < 0.5
+
+
+class TestGeneralModel:
+    def test_mode_validation(self, cluster, coarse_cost_table):
+        with pytest.raises(ValueError):
+            GeneralModel(table=coarse_cost_table, network=cluster.network, mode="other")
+
+    def test_ratio_validation(self, cluster, coarse_cost_table):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GeneralModel(
+                table=coarse_cost_table,
+                network=cluster.network,
+                ratios=(0.5, 0.5, 0.2, 0.0),
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            GeneralModel(
+                table=coarse_cost_table,
+                network=cluster.network,
+                ratios=(1.2, -0.2, 0.0, 0.0),
+            )
+
+    def test_zero_ratio_materials_not_in_use(self, cluster, coarse_cost_table):
+        """Zero-ratio materials carry no boundary faces."""
+        two_mats = GeneralModel(
+            table=coarse_cost_table,
+            network=cluster.network,
+            mode="heterogeneous",
+            ratios=(0.5, 0.5, 0.0, 0.0),
+        )
+        four_mats = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="heterogeneous"
+        )
+        assert two_mats.boundary_exchange(6400, 16) < four_mats.boundary_exchange(
+            6400, 16
+        )
+
+    def test_table2_ratios(self):
+        assert TABLE2_RATIOS == (0.391, 0.172, 0.203, 0.234)
+        assert sum(TABLE2_RATIOS) == pytest.approx(1.0)
+
+    def test_homogeneous_uses_worst_material(self, cluster, coarse_cost_table):
+        homo = GeneralModel(table=coarse_cost_table, network=cluster.network, mode="homogeneous")
+        het = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="heterogeneous"
+        )
+        n_cells, p = 204800, 64
+        assert homo.computation(n_cells, p) >= het.computation(n_cells, p)
+
+    def test_boundary_faces_sqrt(self, cluster, coarse_cost_table):
+        g = GeneralModel(table=coarse_cost_table, network=cluster.network)
+        assert g.boundary_faces_per_side(6400, 64) == pytest.approx(10.0)
+
+    def test_heterogeneous_more_boundary_messages(self, cluster, coarse_cost_table):
+        """Per-material sextets make the heterogeneous exchange slower."""
+        homo = GeneralModel(table=coarse_cost_table, network=cluster.network, mode="homogeneous")
+        het = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="heterogeneous"
+        )
+        assert het.boundary_exchange(204800, 256) > homo.boundary_exchange(204800, 256)
+
+    def test_single_rank_no_comm(self, cluster, coarse_cost_table):
+        g = GeneralModel(table=coarse_cost_table, network=cluster.network)
+        pred = g.predict(3200, 1)
+        assert pred.communication == 0.0
+        assert pred.computation > 0
+
+    def test_ghosts_one_more_than_faces(self, cluster, coarse_cost_table):
+        """Ghost counts follow the b+1, half local / half remote rule."""
+        from repro.perfmodel.ghostmodel import ghost_phase_total
+
+        g = GeneralModel(table=coarse_cost_table, network=cluster.network)
+        n_cells, p = 6400, 64
+        b = g.boundary_faces_per_side(n_cells, p)
+        expected = 4 * ghost_phase_total(cluster.network, (b + 1) / 2, (b + 1) / 2)
+        assert g.ghost_updates(n_cells, p) == pytest.approx(expected)
+
+    def test_strong_scaling_monotone_compute(self, cluster, coarse_cost_table):
+        g = GeneralModel(table=coarse_cost_table, network=cluster.network)
+        comps = [g.computation(204800, p) for p in (16, 64, 256)]
+        assert comps[0] > comps[1] > comps[2]
+
+    def test_rejects_bad_inputs(self, cluster, coarse_cost_table):
+        g = GeneralModel(table=coarse_cost_table, network=cluster.network)
+        with pytest.raises(ValueError):
+            g.predict(0, 4)
+        with pytest.raises(ValueError):
+            g.predict(100, 0)
+        with pytest.raises(ValueError):
+            g.computation(4, 8)  # fewer than one cell per rank
+
+
+class TestGeneralVsMeasured:
+    def test_homogeneous_within_25pc_at_scale(self, cluster, coarse_cost_table):
+        """Integration: general-homogeneous tracks the simulator at 64 PEs
+        on the small deck, even with the coarse calibration table."""
+        deck = build_deck("small")
+        faces = build_face_table(deck.mesh)
+        part = multilevel_partition(deck.mesh, 64, faces=faces, seed=1)
+        census = build_workload_census(deck, part, faces)
+        measured = measure_iteration_time(
+            deck, part, cluster=cluster, faces=faces, census=census
+        ).seconds
+        pred = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="homogeneous"
+        ).predict(deck.num_cells, 64)
+        assert abs(pred.error_vs(measured)) < 0.25

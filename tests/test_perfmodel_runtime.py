@@ -1,0 +1,32 @@
+"""Unit tests for the PredictedTime breakdown."""
+
+import pytest
+
+from repro.perfmodel import PredictedTime
+
+
+class TestPredictedTime:
+    def test_composition(self):
+        p = PredictedTime(
+            computation=0.040,
+            boundary_exchange=0.002,
+            ghost_updates=0.001,
+            collectives=0.007,
+        )
+        assert p.communication == pytest.approx(0.010)
+        assert p.total == pytest.approx(0.050)
+
+    def test_error_sign_convention(self):
+        """Positive error = model under-predicts (paper's Tables 5–6)."""
+        p = PredictedTime(0.040, 0.0, 0.0, 0.0)
+        assert p.error_vs(0.050) == pytest.approx(0.2)
+        assert p.error_vs(0.032) == pytest.approx(-0.25)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ValueError):
+            PredictedTime(-0.001, 0, 0, 0)
+
+    def test_rejects_nonpositive_measured(self):
+        p = PredictedTime(0.01, 0, 0, 0)
+        with pytest.raises(ValueError):
+            p.error_vs(0.0)

@@ -1,0 +1,144 @@
+"""Tests for the heterogeneity-transition model (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import build_deck
+from repro.mesh.deck import NUM_MATERIALS, TABLE2_HETEROGENEOUS
+from repro.perfmodel import GeneralModel, LayeredProfile, TransitionModel
+
+
+@pytest.fixture(scope="module")
+def medium_profile():
+    return LayeredProfile.from_deck(build_deck("medium"))
+
+
+class TestLayeredProfile:
+    def test_from_deck_boundaries(self, medium_profile):
+        b = medium_profile.boundaries
+        assert b[0] == 0 and b[-1] == 640
+        assert np.all(np.diff(b) > 0)
+
+    def test_boundaries_match_table2(self, medium_profile):
+        widths = np.diff(medium_profile.boundaries) / medium_profile.nx
+        for got, want in zip(widths, TABLE2_HETEROGENEOUS):
+            assert got == pytest.approx(want, abs=0.01)
+
+    def test_full_domain_overlap_is_global_ratio(self, medium_profile):
+        fracs = medium_profile.overlap_fractions(0.0, medium_profile.nx)
+        widths = np.diff(medium_profile.boundaries) / medium_profile.nx
+        assert np.allclose(fracs, widths)
+
+    def test_interior_subgrid_is_pure(self, medium_profile):
+        """A small subgrid strictly inside a layer has one material."""
+        b = medium_profile.boundaries
+        x = (b[0] + b[1]) / 2 - 5
+        fracs = medium_profile.overlap_fractions(x, 10)
+        assert fracs[0] == pytest.approx(1.0)
+        assert fracs[1:].sum() == pytest.approx(0.0)
+
+    def test_straddling_subgrid_mixes(self, medium_profile):
+        b = medium_profile.boundaries
+        fracs = medium_profile.overlap_fractions(b[1] - 5, 10)
+        assert fracs[0] == pytest.approx(0.5)
+        assert fracs[1] == pytest.approx(0.5)
+
+    def test_fractions_sum_to_one_inside(self, medium_profile):
+        for x in (0.0, 100.0, 300.3, 600.0):
+            fracs = medium_profile.overlap_fractions(x, 40)
+            assert fracs.sum() == pytest.approx(1.0)
+
+    def test_candidate_offsets_cover_breakpoints(self, medium_profile):
+        side = 50.0
+        cands = medium_profile.candidate_offsets(side)
+        assert 0.0 in cands
+        assert medium_profile.nx - side in cands
+        assert np.all((cands >= 0) & (cands <= medium_profile.nx - side))
+
+    def test_rejects_unstructured(self):
+        from repro.mesh import QuadMesh
+        from repro.mesh.deck import InputDeck
+
+        mesh = QuadMesh(
+            node_x=[0, 1, 1, 0], node_y=[0, 0, 1, 1], cell_nodes=[[0, 1, 2, 3]]
+        )
+        deck = InputDeck(
+            name="u", mesh=mesh, cell_material=np.array([0]), detonator_xy=(0, 0)
+        )
+        with pytest.raises(ValueError, match="structured"):
+            LayeredProfile.from_deck(deck)
+
+
+class TestTransitionModel:
+    @pytest.fixture(scope="class")
+    def models(self, cluster, coarse_cost_table):
+        deck = build_deck("medium")
+        trans = TransitionModel.for_deck(deck, coarse_cost_table, cluster.network)
+        homo = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="homogeneous"
+        )
+        het = GeneralModel(
+            table=coarse_cost_table, network=cluster.network, mode="heterogeneous"
+        )
+        return deck, trans, homo, het
+
+    def test_converges_to_homogeneous_at_scale(self, models):
+        """Small subgrids sit inside the worst layer: computation equals
+        the homogeneous variant's."""
+        deck, trans, homo, _ = models
+        p = 2048  # 100 cells/PE: subgrid side 10 << narrowest layer
+        assert trans.computation(deck.num_cells, p) == pytest.approx(
+            homo.computation(deck.num_cells, p), rel=1e-9
+        )
+
+    def test_between_variants_at_small_p(self, models):
+        """With few ranks, subgrids straddle layers: computation lies between
+        the heterogeneous mix and the homogeneous worst case."""
+        deck, trans, homo, het = models
+        p = 2
+        t = trans.computation(deck.num_cells, p)
+        assert het.computation(deck.num_cells, p) <= t * (1 + 1e-9)
+        assert t <= homo.computation(deck.num_cells, p) * (1 + 1e-9)
+
+    def test_boundary_materials_shrink_with_p(self, models):
+        """Per-neighbour exchange cost drops as boundaries become
+        single-material (the heterogeneous failure mode, fixed)."""
+        deck, trans, _, het = models
+        be_small_p = trans.boundary_exchange(deck.num_cells, 4)
+        het_small_p = het.boundary_exchange(deck.num_cells, 4)
+        # At small P the worst subgrid still spans several layers.
+        assert be_small_p <= het_small_p * 1.01
+        # At large P only one material touches the boundary: strictly
+        # cheaper than the heterogeneous four-sextet exchange.
+        assert trans.boundary_exchange(deck.num_cells, 1024) < het.boundary_exchange(
+            deck.num_cells, 1024
+        )
+
+    def test_predict_composition(self, models):
+        deck, trans, _, _ = models
+        pred = trans.predict(deck.num_cells, 64)
+        assert pred.total == pytest.approx(
+            pred.computation
+            + pred.boundary_exchange
+            + pred.ghost_updates
+            + pred.collectives
+        )
+
+    def test_single_rank_no_comm(self, models):
+        deck, trans, _, _ = models
+        pred = trans.predict(deck.num_cells, 1)
+        assert pred.communication == 0.0
+
+    def test_rejects_bad_inputs(self, models):
+        _, trans, _, _ = models
+        with pytest.raises(ValueError):
+            trans.predict(0, 4)
+        with pytest.raises(ValueError):
+            trans.predict(100, 0)
+
+    def test_worst_subgrid_prefers_expensive_layers(self, models):
+        """At large P the worst subgrid sits in a pure layer of the most
+        expensive material (per summed per-cell cost)."""
+        deck, trans, _, _ = models
+        _, fracs = trans.worst_subgrid(deck.num_cells, 4096)
+        assert np.isclose(fracs.max(), 1.0)

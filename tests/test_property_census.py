@@ -1,0 +1,118 @@
+"""Property-based tests for the boundary census under random partitions.
+
+The census feeds both the simulator's message sizes and the mesh-specific
+model, so its invariants must hold for *any* partition, not just the ones
+our partitioners emit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hydro.workload import build_workload_census
+from repro.mesh import boundary_census, build_deck, build_face_table
+from repro.partition import Partition
+
+
+@st.composite
+def random_partitioned_deck(draw):
+    nx = draw(st.integers(4, 12))
+    ny = draw(st.integers(4, 12))
+    k = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    deck = build_deck((nx, ny))
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, k, deck.num_cells)
+    # Every rank must own at least one cell (build_rank_states contract).
+    labels[:k] = np.arange(k)
+    return deck, Partition(num_ranks=k, cell_rank=labels.astype(np.int64))
+
+
+class TestCensusInvariants:
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=25, deadline=None)
+    def test_pair_faces_consistent_across_sides(self, case):
+        """Both sides of every pair boundary count the same total faces."""
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        census = boundary_census(
+            deck.mesh, faces, deck.cell_material, part.cell_rank, part.num_ranks
+        )
+        for pb in census.pairs.values():
+            assert pb.faces_by_material[0].sum() == pb.num_faces
+            assert pb.faces_by_material[1].sum() == pb.num_faces
+
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=25, deadline=None)
+    def test_cut_faces_partition_exactly(self, case):
+        """Every interior face with differing ranks appears in exactly one
+        pair, and the pair totals sum to the global cut."""
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        census = boundary_census(
+            deck.mesh, faces, deck.cell_material, part.cell_rank, part.num_ranks
+        )
+        interior = faces.interior_mask()
+        r0 = part.cell_rank[faces.face_cells[interior, 0]]
+        r1 = part.cell_rank[faces.face_cells[interior, 1]]
+        global_cut = int(np.count_nonzero(r0 != r1))
+        assert sum(pb.num_faces for pb in census.pairs.values()) == global_cut
+        seen = np.concatenate(
+            [pb.face_ids for pb in census.pairs.values()]
+        ) if census.pairs else np.array([], dtype=np.int64)
+        assert np.unique(seen).size == seen.size
+
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=25, deadline=None)
+    def test_ghost_ownership_sums(self, case):
+        """owned_by_a + owned_by_b + owned_by_other == ghost node count."""
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        census = boundary_census(
+            deck.mesh, faces, deck.cell_material, part.cell_rank, part.num_ranks
+        )
+        for pb in census.pairs.values():
+            assert (
+                pb.owned_by_a + pb.owned_by_b + pb.owned_by_other
+                == pb.num_ghost_nodes
+            )
+            # Ghost nodes are at most faces + 1 per connected run; globally
+            # bounded by 2 * faces (each face brings two nodes).
+            assert pb.num_ghost_nodes <= 2 * pb.num_faces
+
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=20, deadline=None)
+    def test_workload_census_symmetry(self, case):
+        """Boundary/ghost links agree pairwise for arbitrary partitions."""
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        census = build_workload_census(deck, part, faces)
+        for rank in range(census.num_ranks):
+            for gl in census.ghost_links[rank]:
+                back = next(
+                    l for l in census.ghost_links[gl.nbr_rank] if l.nbr_rank == rank
+                )
+                assert back.num_shared == gl.num_shared
+                assert back.owned_by_me == gl.owned_by_nbr
+            for bl in census.boundary_links[rank]:
+                back = next(
+                    l
+                    for l in census.boundary_links[bl.nbr_rank]
+                    if l.nbr_rank == rank
+                )
+                assert back.mine.total_faces == bl.mine.total_faces
+
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_runs_on_any_partition(self, case):
+        """The timing simulation completes (no deadlock) for arbitrary,
+        geometrically scattered partitions."""
+        from repro.hydro import measure_iteration_time
+        from repro.machine import es45_like_cluster
+
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        m = measure_iteration_time(
+            deck, part, cluster=es45_like_cluster(), iterations=2, faces=faces
+        )
+        assert m.seconds > 0

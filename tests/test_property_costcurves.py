@@ -1,0 +1,58 @@
+"""Property-based tests for the piecewise-linear cost curves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import CostCurve
+
+
+@st.composite
+def curves(draw):
+    n = draw(st.integers(2, 10))
+    # Strictly ascending positive sample sizes.
+    raw = draw(
+        st.lists(st.floats(1.0, 1e6), min_size=n, max_size=n, unique=True)
+    )
+    cells = np.sort(np.array(raw))
+    per_cell = np.array(
+        draw(st.lists(st.floats(0.0, 1e-3), min_size=n, max_size=n))
+    )
+    return CostCurve(cells=cells, per_cell=per_cell)
+
+
+class TestCostCurveProperties:
+    @given(curve=curves(), n=st.floats(0.5, 2e6))
+    @settings(max_examples=80)
+    def test_interpolation_within_sample_range(self, curve, n):
+        """Interpolated values never leave the [min, max] sample envelope."""
+        value = curve(n)
+        assert curve.per_cell.min() - 1e-18 <= value <= curve.per_cell.max() + 1e-18
+
+    @given(curve=curves())
+    @settings(max_examples=40)
+    def test_exact_at_every_sample(self, curve):
+        for x, y in zip(curve.cells, curve.per_cell):
+            assert np.isclose(curve(x), y, rtol=1e-12, atol=1e-300)
+
+    @given(curve=curves(), n=st.floats(1.0, 1e6))
+    @settings(max_examples=60)
+    def test_subgrid_time_scales(self, curve, n):
+        assert np.isclose(curve.subgrid_time(n), curve(n) * n)
+
+    @given(curve=curves())
+    @settings(max_examples=40)
+    def test_clamped_outside(self, curve):
+        assert np.isclose(curve(curve.cells[0] * 0.1), curve.per_cell[0])
+        assert np.isclose(curve(curve.cells[-1] * 10), curve.per_cell[-1])
+
+    @given(curve=curves(), a=st.floats(1.0, 1e6), b=st.floats(1.0, 1e6))
+    @settings(max_examples=60)
+    def test_monotone_curves_stay_monotone(self, a, b, curve):
+        """If samples are non-increasing (the physical shape), so is the
+        interpolant."""
+        dec = CostCurve(
+            cells=curve.cells, per_cell=np.sort(curve.per_cell)[::-1].copy()
+        )
+        lo, hi = min(a, b), max(a, b)
+        assert dec(lo) >= dec(hi) - 1e-18

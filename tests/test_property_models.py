@@ -1,0 +1,78 @@
+"""Property-based tests for the analytic model's structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import QSNET_LIKE
+from repro.perfmodel import (
+    CostTable,
+    boundary_exchange_time,
+    collectives_time,
+    computation_time,
+    ghost_update_time,
+    phase_computation_time,
+)
+
+
+def flat_table(num_phases=3, num_materials=4, cost=1e-6):
+    cells = np.array([1.0, 1e6])
+    per = np.full((num_phases, num_materials, 2), cost)
+    return CostTable.from_arrays(cells, per)
+
+
+cells_matrices = st.lists(
+    st.lists(st.floats(0, 1e4), min_size=4, max_size=4), min_size=1, max_size=6
+).map(np.array)
+
+
+class TestComputationProperties:
+    @given(cells=cells_matrices)
+    @settings(max_examples=60)
+    def test_nonnegative(self, cells):
+        assert computation_time(flat_table(), cells) >= 0
+
+    @given(cells=cells_matrices)
+    @settings(max_examples=60)
+    def test_max_over_ranks_dominates_each_rank(self, cells):
+        table = flat_table()
+        t = phase_computation_time(table, 0, cells)
+        for row in cells:
+            if row.sum() > 0:
+                alone = phase_computation_time(table, 0, row[None, :])
+                assert t >= alone - 1e-18
+
+    @given(cells=cells_matrices, scale=st.floats(1.0, 10.0))
+    @settings(max_examples=60)
+    def test_monotone_in_workload(self, cells, scale):
+        """Adding cells can never make the (flat-cost) model faster."""
+        table = flat_table()
+        assert computation_time(table, cells * scale) >= computation_time(
+            table, cells
+        ) - 1e-18
+
+
+class TestCommunicationProperties:
+    @given(
+        faces=st.lists(st.floats(0, 1000), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_boundary_exchange_nonnegative_and_monotone(self, faces):
+        faces_arr = np.array(faces)
+        t = boundary_exchange_time(QSNET_LIKE, faces_arr)
+        assert t >= 0
+        t2 = boundary_exchange_time(QSNET_LIKE, faces_arr + 1.0)
+        assert t2 >= t
+
+    @given(nl=st.integers(0, 10000), nr=st.integers(0, 10000))
+    @settings(max_examples=60)
+    def test_ghost_update_symmetric(self, nl, nr):
+        assert np.isclose(
+            ghost_update_time(QSNET_LIKE, nl, nr, 8),
+            ghost_update_time(QSNET_LIKE, nr, nl, 8),
+        )
+
+    @given(p=st.integers(1, 4096))
+    @settings(max_examples=60)
+    def test_collectives_monotone_in_ranks(self, p):
+        assert collectives_time(QSNET_LIKE, p) <= collectives_time(QSNET_LIKE, 2 * p)

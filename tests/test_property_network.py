@@ -1,0 +1,52 @@
+"""Property-based tests for the network model (Equation 4 invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.network import make_network
+
+networks = st.builds(
+    make_network,
+    small_latency=st.floats(1e-7, 1e-4),
+    large_latency=st.floats(1e-7, 1e-4),
+    eager_threshold=st.floats(64, 65536),
+    bandwidth_bytes_per_s=st.floats(1e6, 1e10),
+)
+
+
+class TestTmsgProperties:
+    @given(net=networks, size=st.floats(0, 1e8))
+    @settings(max_examples=60)
+    def test_nonnegative(self, net, size):
+        assert net.tmsg(size) >= 0
+
+    @given(net=networks, size=st.floats(0, 1e8))
+    @settings(max_examples=60)
+    def test_decomposition(self, net, size):
+        assert np.isclose(
+            net.tmsg(size), net.startup_time(size) + net.bandwidth_time(size)
+        )
+
+    @given(net=networks, a=st.floats(0, 1e7), b=st.floats(0, 1e7))
+    @settings(max_examples=60)
+    def test_monotone_within_segment(self, net, a, b):
+        """Within one protocol segment Tmsg is monotone in size."""
+        lo, hi = min(a, b), max(a, b)
+        if net.segment_of(lo) == net.segment_of(hi):
+            assert net.tmsg(lo) <= net.tmsg(hi) + 1e-15
+
+    @given(net=networks, sizes=st.lists(st.floats(0, 1e6), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_vector_matches_scalar(self, net, sizes):
+        vec = net.tmsg(np.array(sizes))
+        for s, t in zip(sizes, vec):
+            assert np.isclose(net.tmsg(s), t)
+
+    @given(net=networks, size=st.floats(1, 1e8))
+    @settings(max_examples=60)
+    def test_bandwidth_term_linear(self, net, size):
+        seg_a = net.segment_of(size)
+        seg_b = net.segment_of(2 * size)
+        if seg_a == seg_b:
+            assert np.isclose(net.bandwidth_time(2 * size), 2 * net.bandwidth_time(size))

@@ -1,0 +1,75 @@
+"""Property-based tests for partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import build_face_table, structured_quad_mesh
+from repro.partition import (
+    block_partition,
+    multilevel_partition,
+    rcb_partition,
+)
+from repro.partition.graph import dual_graph_of_mesh, contract
+from repro.partition.matching import heavy_edge_matching
+from repro.util import seeded_rng
+
+mesh_dims = st.tuples(st.integers(2, 12), st.integers(2, 12))
+
+
+class TestPartitionInvariants:
+    @given(dims=mesh_dims, k=st.integers(1, 6), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_multilevel_covers_all_cells(self, dims, k, seed):
+        nx, ny = dims
+        if k > nx * ny:
+            return
+        mesh = structured_quad_mesh(nx, ny)
+        part = multilevel_partition(mesh, k, seed=seed)
+        assert part.cell_rank.shape == (nx * ny,)
+        assert np.all(part.counts() > 0)
+        assert part.counts().sum() == nx * ny
+
+    @given(dims=mesh_dims, k=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_rcb_balance(self, dims, k):
+        nx, ny = dims
+        if k > nx * ny:
+            return
+        mesh = structured_quad_mesh(nx, ny)
+        counts = rcb_partition(mesh, k).counts()
+        assert counts.max() - counts.min() <= max(2, counts.mean() * 0.25)
+
+    @given(n=st.integers(1, 500), k=st.integers(1, 32))
+    @settings(max_examples=40)
+    def test_block_partition_sizes(self, n, k):
+        if k > n:
+            return
+        counts = block_partition(n, k).counts()
+        assert counts.sum() == n
+        assert counts.max() - counts.min() <= 1
+
+
+class TestMatchingContractInvariants:
+    @given(dims=mesh_dims, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_contract_preserves_total_weight(self, dims, seed):
+        nx, ny = dims
+        mesh = structured_quad_mesh(nx, ny)
+        g = dual_graph_of_mesh(mesh, build_face_table(mesh))
+        match = heavy_edge_matching(g, seeded_rng(seed))
+        coarse, mapping = contract(g, match)
+        assert coarse.total_vweight == g.total_vweight
+        assert mapping.shape == (g.num_vertices,)
+        assert coarse.num_vertices <= g.num_vertices
+
+    @given(dims=mesh_dims, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_matching_is_valid(self, dims, seed):
+        nx, ny = dims
+        mesh = structured_quad_mesh(nx, ny)
+        g = dual_graph_of_mesh(mesh, build_face_table(mesh))
+        match = heavy_edge_matching(g, seeded_rng(seed))
+        assert np.array_equal(match[match], np.arange(g.num_vertices))
+        for v in np.flatnonzero(match != np.arange(g.num_vertices)):
+            assert match[v] in g.neighbors(int(v))

@@ -1,0 +1,63 @@
+"""Unit tests for binary-tree collective timing."""
+
+import numpy as np
+import pytest
+
+from repro.machine import QSNET_LIKE
+from repro.simmpi import allreduce_time, bcast_time, gather_time, tree_depth
+from repro.simmpi.collectives import combine
+
+
+class TestTreeDepth:
+    @pytest.mark.parametrize(
+        "p,depth",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (512, 9), (1024, 10)],
+    )
+    def test_values(self, p, depth):
+        assert tree_depth(p) == depth
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            tree_depth(0)
+
+
+class TestCollectiveTimes:
+    def test_bcast_is_depth_times_tmsg(self):
+        assert bcast_time(QSNET_LIKE, 8, 4) == pytest.approx(
+            3 * QSNET_LIKE.tmsg(4)
+        )
+
+    def test_allreduce_is_twice_bcast(self):
+        assert allreduce_time(QSNET_LIKE, 16, 8) == pytest.approx(
+            2 * bcast_time(QSNET_LIKE, 16, 8)
+        )
+
+    def test_gather_equals_bcast_shape(self):
+        assert gather_time(QSNET_LIKE, 32, 32) == pytest.approx(
+            5 * QSNET_LIKE.tmsg(32)
+        )
+
+    def test_single_rank_free(self):
+        assert bcast_time(QSNET_LIKE, 1, 8) == 0.0
+        assert allreduce_time(QSNET_LIKE, 1, 8) == 0.0
+
+
+class TestCombine:
+    def test_sum(self):
+        assert combine("sum", [1, 2, 3]) == 6
+
+    def test_min_max(self):
+        assert combine("min", [3.0, 1.0, 2.0]) == 1.0
+        assert combine("max", [3.0, 1.0, 2.0]) == 3.0
+
+    def test_arrays_elementwise(self):
+        out = combine("max", [np.array([1, 5]), np.array([4, 2])])
+        assert out.tolist() == [4, 5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine("sum", [])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            combine("prod", [1, 2])

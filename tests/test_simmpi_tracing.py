@@ -1,0 +1,59 @@
+"""Unit tests for the phase tracer."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import PhaseTrace
+
+
+class TestPhaseTrace:
+    def test_accumulation(self):
+        tr = PhaseTrace(2, 3)
+        tr.add_compute(0, 1, 0.5)
+        tr.add_compute(0, 1, 0.25)
+        tr.add_comm(1, 2, 0.1)
+        assert tr.compute[0, 1] == 0.75
+        assert tr.comm[1, 2] == pytest.approx(0.1)
+
+    def test_phase_maxima(self):
+        tr = PhaseTrace(2, 2)
+        tr.add_compute(0, 0, 1.0)
+        tr.add_compute(1, 0, 2.0)
+        assert tr.phase_compute_max().tolist() == [2.0, 0.0]
+
+    def test_iteration_time(self):
+        tr = PhaseTrace(2, 1)
+        tr.mark_iteration(0, 0, 0.0)
+        tr.mark_iteration(1, 0, 0.1)
+        tr.mark_iteration(0, 1, 1.0)
+        tr.mark_iteration(1, 1, 1.2)
+        assert tr.iteration_time(0, 1) == pytest.approx(1.1)
+
+    def test_mean_iteration_time(self):
+        tr = PhaseTrace(1, 1)
+        for i, t in enumerate([0.0, 1.0, 3.0]):
+            tr.mark_iteration(0, i, t)
+        assert tr.mean_iteration_time(0, 2) == pytest.approx(1.5)
+
+    def test_missing_marks_raise(self):
+        tr = PhaseTrace(1, 1)
+        with pytest.raises(KeyError):
+            tr.iteration_time(0, 1)
+
+    def test_incomplete_marks_raise(self):
+        tr = PhaseTrace(2, 1)
+        tr.mark_iteration(0, 0, 0.0)
+        tr.mark_iteration(0, 1, 1.0)
+        tr.mark_iteration(1, 1, 1.0)
+        with pytest.raises(ValueError):
+            tr.iteration_time(0, 1)
+
+    def test_bad_window_rejected(self):
+        tr = PhaseTrace(1, 1)
+        tr.mark_iteration(0, 0, 0.0)
+        with pytest.raises(ValueError):
+            tr.mean_iteration_time(0, 0)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTrace(0, 1)

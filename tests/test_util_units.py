@@ -1,0 +1,51 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util import MICROSECOND, MILLISECOND, SECOND, bytes_to_mib, format_bytes, format_time
+from repro.util.units import KIB, MIB, NANOSECOND
+
+
+class TestConstants:
+    def test_ordering(self):
+        assert NANOSECOND < MICROSECOND < MILLISECOND < SECOND
+
+    def test_values(self):
+        assert MILLISECOND == 1e-3
+        assert MICROSECOND == 1e-6
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(12) == "12 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MIB) == "3.00 MiB"
+
+    def test_boundary(self):
+        assert format_bytes(KIB - 1) == "1023 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert format_time(0.0615) == "61.500 ms"
+
+    def test_microseconds(self):
+        assert format_time(32e-6) == "32.000 us"
+
+    def test_nanoseconds(self):
+        assert format_time(5e-9) == "5.0 ns"
+
+
+def test_bytes_to_mib():
+    assert bytes_to_mib(MIB) == 1.0

@@ -1,0 +1,53 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util import check_in_range, check_nonnegative, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_passes_and_returns(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(math.nan, "x")
+
+
+class TestCheckNonnegative:
+    def test_zero_ok(self):
+        assert check_nonnegative(0.0, "y") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="y must be >= 0"):
+            check_nonnegative(-1e-9, "y")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_bounds_inclusive(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(3, 1, 5, "z") == 3
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_in_range(math.nan, 0, 1, "z")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(6, 1, 5, "z")
