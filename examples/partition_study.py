@@ -8,14 +8,17 @@ exactly that: it partitions one deck with the multilevel Metis-analogue,
 recursive coordinate bisection, and two block baselines, then compares both
 partition quality and the resulting simulated iteration time.
 
-Run:  python examples/partition_study.py [--deck small] [--ranks 16]
+The per-method measurements are a measurement-only sweep grid (no model
+predictions, so no calibration) on :mod:`repro.analysis.runner`: methods
+run concurrently with ``--jobs`` and finished methods replay from the
+result store on re-runs.
+
+Run:  python examples/partition_study.py [--deck small] [--ranks 16] [--jobs 4]
 """
 
 import argparse
 
-from repro.analysis import TextTable
-from repro.hydro import build_workload_census, measure_iteration_time
-from repro.machine import es45_like_cluster
+from repro.analysis import SweepSpec, TextTable, run_sweep, sweep_store
 from repro.mesh import build_deck, build_face_table
 from repro.partition import (
     cached_partition,
@@ -30,14 +33,38 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
     parser.add_argument("--ranks", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute instead of resuming"
+    )
     args = parser.parse_args()
 
-    size = args.deck
-    if "x" in size:
-        nx, ny = size.split("x")
-        size = (int(nx), int(ny))
-    deck = build_deck(size)
-    cluster = es45_like_cluster()
+    spec = SweepSpec(
+        decks=(args.deck,),
+        rank_counts=(args.ranks,),
+        partition_methods=METHODS,
+        models=(),  # measurement only — no calibration needed
+        seeds=(1,),
+    )
+
+    def progress(done, total, task, point, cached):
+        source = "store" if cached else "simulated"
+        print(f"  [{done}/{total}] {task.partition_method}: {source}", flush=True)
+
+    outcomes = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=None if args.no_cache else sweep_store(),
+        progress=progress,
+    )
+
+    # Partition quality is computed in-process: the sweep workers populated
+    # the partition cache, so these lookups are disk reads, not re-partitions.
+    deck = build_deck(
+        args.deck
+        if "x" not in args.deck
+        else tuple(int(v) for v in args.deck.split("x"))
+    )
     faces = build_face_table(deck.mesh)
     graph = dual_graph_of_mesh(deck.mesh, faces)
 
@@ -54,15 +81,10 @@ def main() -> None:
         ],
     )
     rows = []
-    for method in METHODS:
-        print(f"partitioning with {method} ...")
+    for outcome in outcomes:
+        method = outcome.task.partition_method
         part = cached_partition(deck, args.ranks, method=method, seed=1, faces=faces)
-        q = partition_quality(graph, part)
-        census = build_workload_census(deck, part, faces)
-        measured = measure_iteration_time(
-            deck, part, cluster=cluster, faces=faces, census=census
-        ).seconds
-        rows.append((method, q, measured))
+        rows.append((method, partition_quality(graph, part), outcome.point.measured))
 
     best = min(t for _, _, t in rows)
     for method, q, t in rows:

@@ -6,12 +6,18 @@ the simulated machine and predicting it with both general-model variants.
 This is the paper's core use case: projecting strong-scaling behaviour for
 machine procurement.
 
-Run:  python examples/scaling_study.py [--deck medium] [--max-ranks 256]
+The sweep runs on the orchestration engine of
+:mod:`repro.analysis.runner`: pass ``--jobs N`` to evaluate points on N
+worker processes, and re-run the same command to resume — finished points
+replay from the on-disk result store instead of being simulated again
+(``--no-cache`` disables the store).
+
+Run:  python examples/scaling_study.py [--deck medium] [--max-ranks 256] [--jobs 4]
 """
 
 import argparse
 
-from repro.analysis import TextTable, scaling_sweep
+from repro.analysis import TextTable, scaling_sweep, sweep_store
 from repro.machine import es45_like_cluster
 from repro.mesh import build_deck
 from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
@@ -21,6 +27,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
     parser.add_argument("--max-ranks", type=int, default=128)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute instead of resuming"
+    )
     args = parser.parse_args()
 
     size = args.deck
@@ -33,8 +43,21 @@ def main() -> None:
     print("calibrating cost curves ...")
     table = calibrate_contrived_grid(cluster, sides=default_sample_sides(256))
 
+    def progress(done, total, task, point, cached):
+        source = "store" if cached else "simulated"
+        print(f"  [{done}/{total}] P = {task.num_ranks}: {source}", flush=True)
+
     print(f"sweeping P = 1 .. {args.max_ranks} on the {deck.name} deck ...")
-    points = scaling_sweep(deck, cluster, table, max_ranks=args.max_ranks, seed=1)
+    points = scaling_sweep(
+        deck,
+        cluster,
+        table,
+        max_ranks=args.max_ranks,
+        seed=1,
+        jobs=args.jobs,
+        store=None if args.no_cache else sweep_store(),
+        progress=progress,
+    )
 
     report = TextTable(
         f"strong scaling, {deck.name} deck ({deck.num_cells} cells)",

@@ -3,18 +3,51 @@
 The benchmark harness uses these to regenerate every table and figure of the
 paper in plain-text form (the repository has no plotting dependency; figures
 are emitted as aligned data series ready for any plotting tool).
+
+Sweep execution is layered: :mod:`repro.analysis.runner` orchestrates grids
+of validation points (serial or process-parallel), and
+:mod:`repro.analysis.store` persists finished points so sweeps resume
+instead of recomputing.
 """
 
 from repro.analysis.errors import signed_relative_error, mean_absolute_percentage_error
 from repro.analysis.report import TextTable, format_series
-from repro.analysis.sweep import ValidationPoint, validation_sweep, scaling_sweep
+from repro.analysis.runner import (
+    ClusterSpec,
+    calibrated_table,
+    SweepOutcome,
+    SweepSpec,
+    SweepStatus,
+    SweepTask,
+    ValidationPoint,
+    evaluate_point,
+    powers_of_two,
+    run_points,
+    run_sweep,
+    sweep_status,
+)
+from repro.analysis.store import ResultStore, sweep_store
+from repro.analysis.sweep import validation_sweep, scaling_sweep
 
 __all__ = [
     "signed_relative_error",
     "mean_absolute_percentage_error",
     "TextTable",
     "format_series",
+    "ClusterSpec",
+    "calibrated_table",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepStatus",
+    "SweepTask",
     "ValidationPoint",
+    "evaluate_point",
+    "powers_of_two",
+    "run_points",
+    "run_sweep",
+    "sweep_status",
+    "ResultStore",
+    "sweep_store",
     "validation_sweep",
     "scaling_sweep",
 ]

@@ -1,0 +1,508 @@
+"""Parallel, resumable sweep orchestration.
+
+The paper's headline artifacts (Tables 5–6, Figure 5) are *sweeps*: dozens
+of (deck, rank count, cluster, partition method) points, each needing a
+multilevel partition and one fully simulated iteration.  This module turns
+those from a serial for-loop into an orchestrated workload:
+
+* :class:`SweepTask` — one fully specified validation point;
+* :func:`evaluate_point` — measure + predict one point (the former body of
+  ``validation_sweep``'s loop, bit-for-bit);
+* :func:`run_points` — execute tasks serially (``jobs=1``, the default —
+  results identical to the historical loop) or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, consulting an optional
+  :class:`~repro.analysis.store.ResultStore` so finished points are never
+  recomputed;
+* :class:`SweepSpec` / :func:`run_sweep` — declarative cartesian grids
+  (decks × rank counts × clusters × partition methods × seeds) for the CLI
+  and scripted studies, plus :func:`sweep_status` for resumability
+  reporting.
+
+Every point is deterministic given its parameters (partitioners, the
+simulator's jitter, and the models are all seeded), so parallel execution
+and cache replay both reproduce the serial results exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hydro.driver import measure_iteration_time
+from repro.hydro.workload import build_workload_census
+from repro.machine.cluster import ClusterConfig, es45_like_cluster
+from repro.mesh.connectivity import FaceTable, build_face_table
+from repro.mesh.deck import DECK_SIZES, InputDeck, build_deck
+from repro.partition.cache import cached_partition
+from repro.perfmodel.calibrate import calibrate_contrived_grid, default_sample_sides
+from repro.perfmodel.costcurves import CostCurve, CostTable
+from repro.perfmodel.general import GeneralModel
+from repro.perfmodel.mesh_specific import MeshSpecificModel
+from repro.analysis.store import ResultStore
+from repro.util.artifacts import stable_hash
+
+#: Model labels understood by :func:`evaluate_point`.
+KNOWN_MODELS = ("mesh-specific", "homogeneous", "heterogeneous")
+DEFAULT_MODELS = KNOWN_MODELS
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (deck, rank count) validation row."""
+
+    deck_name: str
+    num_ranks: int
+    measured: float
+    #: model label → predicted seconds.
+    predicted: dict
+
+    def error(self, model: str) -> float:
+        """Signed relative error of ``model`` (paper's convention)."""
+        return (self.measured - self.predicted[model]) / self.measured
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form for the result store."""
+        return {
+            "deck_name": self.deck_name,
+            "num_ranks": self.num_ranks,
+            "measured": self.measured,
+            "predicted": dict(self.predicted),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ValidationPoint":
+        """Rebuild a point from :meth:`to_payload` output (exact: JSON
+        round-trips IEEE doubles via ``repr``)."""
+        return cls(
+            deck_name=payload["deck_name"],
+            num_ranks=int(payload["num_ranks"]),
+            measured=payload["measured"],
+            predicted=dict(payload["predicted"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One fully specified sweep point: everything a worker needs.
+
+    Tasks carry the *objects* (deck, cluster, cost table), not references,
+    so a worker process computes from inputs identical to the parent's and
+    the result cannot drift from the serial path.
+    """
+
+    deck: InputDeck
+    num_ranks: int
+    cluster: ClusterConfig
+    #: May be ``None`` when ``models`` is empty (measurement-only points,
+    #: e.g. partition studies).
+    table: CostTable | None
+    models: tuple = DEFAULT_MODELS
+    partition_method: str = "multilevel"
+    seed: int = 1
+
+    def store_key(self) -> str:
+        """Content hash of every input that determines this point's result."""
+        return ResultStore.key_for(
+            {
+                "kind": "validation-point",
+                "version": 1,
+                "deck": self.deck,
+                "num_ranks": self.num_ranks,
+                "cluster": self.cluster,
+                "table": self.table,
+                "models": tuple(self.models),
+                "partition_method": self.partition_method,
+                "seed": self.seed,
+            }
+        )
+
+
+def evaluate_point(
+    deck: InputDeck,
+    num_ranks: int,
+    cluster: ClusterConfig,
+    table: CostTable,
+    models=DEFAULT_MODELS,
+    seed: int = 1,
+    partition_method: str = "multilevel",
+    faces: FaceTable | None = None,
+) -> ValidationPoint:
+    """Measure ``deck`` at ``num_ranks`` on the simulated machine and
+    predict it with each requested model (``models=()`` measures only)."""
+    if models and table is None:
+        raise ValueError("a cost table is required when models are requested")
+    if faces is None:
+        faces = build_face_table(deck.mesh)
+    partition = cached_partition(
+        deck, num_ranks, method=partition_method, seed=seed, faces=faces
+    )
+    census = build_workload_census(deck, partition, faces)
+    measured = measure_iteration_time(
+        deck, partition, cluster=cluster, faces=faces, census=census
+    ).seconds
+
+    predicted = {}
+    for model in models:
+        if model == "mesh-specific":
+            pred = MeshSpecificModel(table=table, network=cluster.network).predict(
+                census
+            )
+        elif model in ("homogeneous", "heterogeneous"):
+            pred = GeneralModel(
+                table=table, network=cluster.network, mode=model
+            ).predict(deck.num_cells, num_ranks)
+        else:
+            raise ValueError(f"unknown model {model!r}")
+        predicted[model] = pred.total
+    return ValidationPoint(
+        deck_name=deck.name,
+        num_ranks=num_ranks,
+        measured=measured,
+        predicted=predicted,
+    )
+
+
+#: Per-process face-table memo: face tables depend only on the mesh
+#: topology, and one worker typically evaluates many points of one deck.
+_FACES_MEMO: dict = {}
+
+
+def _faces_for(deck: InputDeck) -> FaceTable:
+    mesh = deck.mesh
+    if mesh.nx > 0 and mesh.ny > 0:
+        # Structured meshes are fully determined by their logical extents.
+        key = ("structured", mesh.nx, mesh.ny)
+    else:
+        # Genuinely unstructured meshes (nx = ny = 0) must be keyed by their
+        # actual topology or two same-sized meshes would share faces.
+        key = ("unstructured", stable_hash(mesh.cell_nodes))
+    faces = _FACES_MEMO.get(key)
+    if faces is None:
+        faces = _FACES_MEMO[key] = build_face_table(mesh)
+    return faces
+
+
+def _run_task(task: SweepTask) -> ValidationPoint:
+    """Worker entry point: evaluate one task (module-level for pickling)."""
+    return evaluate_point(
+        task.deck,
+        task.num_ranks,
+        task.cluster,
+        task.table,
+        models=task.models,
+        seed=task.seed,
+        partition_method=task.partition_method,
+        faces=_faces_for(task.deck),
+    )
+
+
+def run_points(
+    tasks,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> list:
+    """Evaluate ``tasks`` and return their :class:`ValidationPoint`\\ s in
+    task order.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` (default) evaluates in-process, in order — the historical
+        serial path.  ``> 1`` fans pending tasks out to a process pool;
+        results are reassembled in task order and are identical to the
+        serial path because every point is deterministic in its inputs.
+    store:
+        When given, each task's :meth:`SweepTask.store_key` is looked up
+        first and finished points are replayed from disk; fresh results are
+        persisted as they complete, so an interrupted sweep resumes where
+        it stopped.
+    progress:
+        Optional callback ``progress(done, total, task, point, cached)``
+        invoked once per task as it completes (cache hits first).
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    results: list = [None] * len(tasks)
+    done = 0
+
+    def notify(task, point, cached):
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, len(tasks), task, point, cached)
+
+    pending = []
+    keys = {}
+    for i, task in enumerate(tasks):
+        if store is not None:
+            keys[i] = task.store_key()
+            payload = store.get(keys[i])
+            if payload is not None:
+                results[i] = ValidationPoint.from_payload(payload)
+                notify(task, results[i], True)
+                continue
+        pending.append(i)
+
+    def record(i, point):
+        results[i] = point
+        if store is not None:
+            store.put(keys[i], point.to_payload())
+        notify(tasks[i], point, False)
+
+    if jobs == 1 or len(pending) <= 1:
+        for i in pending:
+            record(i, _run_task(tasks[i]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(_run_task, tasks[i]): i for i in pending}
+            remaining = set(futures)
+            first_error = None
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    try:
+                        point = future.result()
+                    except Exception as exc:
+                        # Drain the rest of the pool before re-raising so
+                        # every finished point is recorded (and stored) —
+                        # a failing task must not cost its siblings' work.
+                        if first_error is None:
+                            first_error = exc
+                        continue
+                    record(futures[future], point)
+            if first_error is not None:
+                raise first_error
+    return results
+
+
+def calibrated_table(cluster: ClusterConfig, sides, store: ResultStore | None = None) -> CostTable:
+    """Contrived-grid calibration, memoised to disk like partitions are.
+
+    Calibration is a deterministic function of (cluster, sides) and is the
+    dominant setup cost of a declarative sweep, so it is content-addressed
+    in its own ``calibrations`` store namespace.  This is what lets
+    ``repro sweep status`` compute exact point keys (which hash the table's
+    content) without re-running the calibration every time.
+    """
+    if store is None:
+        store = ResultStore(namespace="calibrations")
+    key = ResultStore.key_for(
+        {"kind": "calibration", "version": 1, "cluster": cluster, "sides": tuple(sides)}
+    )
+    payload = store.get(key)
+    if payload is not None:
+        return CostTable(
+            curves=tuple(
+                tuple(
+                    CostCurve(
+                        cells=np.array(curve["cells"], dtype=np.float64),
+                        per_cell=np.array(curve["per_cell"], dtype=np.float64),
+                    )
+                    for curve in row
+                )
+                for row in payload["curves"]
+            )
+        )
+    table = calibrate_contrived_grid(cluster, sides=sides)
+    store.put(
+        key,
+        {
+            "curves": [
+                [
+                    {"cells": curve.cells.tolist(), "per_cell": curve.per_cell.tolist()}
+                    for curve in row
+                ]
+                for row in table.curves
+            ]
+        },
+    )
+    return table
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative cluster axis of a sweep grid (CLI-expressible subset)."""
+
+    speed: float = 1.0
+    smp: bool = False
+
+    def build(self) -> ClusterConfig:
+        """Materialise the simulated machine."""
+        cluster = es45_like_cluster(speed=self.speed)
+        return cluster.with_smp() if self.smp else cluster
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag for tables and progress lines."""
+        tag = f"x{self.speed:g}"
+        return f"es45{tag}+smp" if self.smp else f"es45{tag}"
+
+
+def _as_deck_size(deck) -> str | tuple:
+    """Normalise a deck axis entry to ``build_deck``'s size argument."""
+    if isinstance(deck, str):
+        if deck in DECK_SIZES:
+            return deck
+        if "x" in deck:
+            nx, ny = deck.split("x")
+            return (int(nx), int(ny))
+        raise ValueError(f"unknown deck {deck!r}; options: {sorted(DECK_SIZES)} or NXxNY")
+    nx, ny = deck
+    return (int(nx), int(ny))
+
+
+def powers_of_two(max_ranks: int) -> tuple:
+    """``(1, 2, 4, …, max_ranks)`` — Figure 5's processor-count axis."""
+    counts = []
+    p = 1
+    while p <= max_ranks:
+        counts.append(p)
+        p *= 2
+    return tuple(counts)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep grid: the cartesian product of its axes.
+
+    Points are enumerated deck-major (deck → cluster → partition method →
+    seed → rank count), matching the paper's table layout.
+    """
+
+    decks: tuple = ("small",)
+    rank_counts: tuple = (1, 2, 4, 8, 16, 32, 64)
+    clusters: tuple = (ClusterSpec(),)
+    partition_methods: tuple = ("multilevel",)
+    models: tuple = DEFAULT_MODELS
+    seeds: tuple = (1,)
+    #: Calibration range for the contrived-grid cost table.
+    max_side: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("decks", "rank_counts", "clusters", "partition_methods", "models", "seeds"):
+            value = getattr(self, name)
+            if isinstance(value, (str, int)):
+                value = (value,)
+            object.__setattr__(self, name, tuple(value))
+            # An empty ``models`` axis is a measurement-only sweep; every
+            # other axis must contribute at least one grid value.
+            if name != "models" and not getattr(self, name):
+                raise ValueError(f"sweep axis {name!r} must be non-empty")
+
+    @classmethod
+    def figure5(
+        cls, decks=("medium",), max_ranks: int = 1024, max_side: int = 512
+    ) -> "SweepSpec":
+        """The Figure-5 strong-scaling grid (general models only)."""
+        return cls(
+            decks=tuple(decks),
+            rank_counts=powers_of_two(max_ranks),
+            models=("homogeneous", "heterogeneous"),
+            max_side=max_side,
+        )
+
+    @property
+    def num_points(self) -> int:
+        """Grid cardinality."""
+        return (
+            len(self.decks)
+            * len(self.rank_counts)
+            * len(self.clusters)
+            * len(self.partition_methods)
+            * len(self.seeds)
+        )
+
+    def tasks(self) -> list:
+        """Materialise the grid into :class:`SweepTask`\\ s.
+
+        Heavy shared inputs (decks, clusters, calibrated cost tables) are
+        built once per distinct axis value, in the parent process, so every
+        task of a group shares identical objects.
+        """
+        decks = [build_deck(_as_deck_size(d)) for d in self.decks]
+        built = []
+        for cluster_spec in self.clusters:
+            cluster = cluster_spec.build()
+            table = (
+                calibrated_table(cluster, default_sample_sides(self.max_side))
+                if self.models
+                else None
+            )
+            built.append((cluster, table))
+        out = []
+        for deck, (cluster, table), method, seed, ranks in itertools.product(
+            decks, built, self.partition_methods, self.seeds, self.rank_counts
+        ):
+            out.append(
+                SweepTask(
+                    deck=deck,
+                    num_ranks=ranks,
+                    cluster=cluster,
+                    table=table,
+                    models=self.models,
+                    partition_method=method,
+                    seed=seed,
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One executed grid point: its task, result, and provenance."""
+
+    task: SweepTask
+    point: ValidationPoint
+    cached: bool
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Resumability report for a grid against a store."""
+
+    total: int
+    completed: int
+    #: Store keys of the still-missing points, in grid order.
+    pending_keys: tuple = field(default_factory=tuple)
+
+    @property
+    def pending(self) -> int:
+        """Number of points that still need simulation."""
+        return self.total - self.completed
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> list:
+    """Execute a declarative grid; returns :class:`SweepOutcome`\\ s in grid
+    order."""
+    tasks = spec.tasks()
+    cached_flags = {}
+
+    def wrapped(done, total, task, point, cached):
+        cached_flags[id(task)] = cached
+        if progress is not None:
+            progress(done, total, task, point, cached)
+
+    points = run_points(tasks, jobs=jobs, store=store, progress=wrapped)
+    return [
+        SweepOutcome(task=t, point=p, cached=cached_flags.get(id(t), False))
+        for t, p in zip(tasks, points)
+    ]
+
+
+def sweep_status(spec: SweepSpec, store: ResultStore) -> SweepStatus:
+    """How much of ``spec`` is already in ``store``."""
+    tasks = spec.tasks()
+    pending = tuple(k for k in (t.store_key() for t in tasks) if k not in store)
+    return SweepStatus(
+        total=len(tasks), completed=len(tasks) - len(pending), pending_keys=pending
+    )

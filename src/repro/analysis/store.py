@@ -1,0 +1,111 @@
+"""Content-addressed on-disk store for sweep artifacts.
+
+Generalises the memoisation pattern of :mod:`repro.partition.cache` from
+partitions to arbitrary JSON-serialisable sweep results: every artifact is
+keyed by a :func:`repro.util.stable_hash` of the *full* parameter set that
+produced it (deck content, cluster model, cost table, partition method,
+seed, …), so a key hit guarantees the cached value is the one the
+computation would reproduce.  Stores from concurrent worker processes are
+safe — writes go through a temporary file and an atomic ``os.replace``.
+
+The store is what makes sweeps resumable: re-running a partially completed
+sweep looks every point up here first and only simulates the misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.util.artifacts import cache_root, stable_hash
+
+__all__ = ["ResultStore", "sweep_store", "stable_hash"]
+
+
+class ResultStore:
+    """A directory of ``<key>.json`` files keyed by content hash.
+
+    Parameters
+    ----------
+    namespace:
+        Subdirectory under the cache root; different artifact kinds
+        (validation points, calibration tables, …) use different namespaces
+        so ``clear`` has a bounded blast radius.
+    root:
+        Override the cache root (defaults to ``.cache/`` at the repository
+        root or ``$REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, namespace: str = "sweeps", root: Path | None = None) -> None:
+        if not namespace or "/" in namespace or namespace in (".", ".."):
+            raise ValueError(f"invalid store namespace {namespace!r}")
+        self.namespace = namespace
+        self.directory = (Path(root) if root is not None else cache_root()) / namespace
+
+    @staticmethod
+    def key_for(params) -> str:
+        """The store key of a parameter set (see :func:`stable_hash`)."""
+        return stable_hash(params)
+
+    def path_for(self, key: str) -> Path:
+        """Path of the artifact file for ``key``."""
+        return self.directory / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> list:
+        """All stored keys (unordered artifacts, sorted for determinism)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def get(self, key: str, default=None):
+        """The stored value for ``key``, or ``default`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return default
+
+    def put(self, key: str, value) -> Path:
+        """Store ``value`` (JSON-serialisable) under ``key`` atomically.
+
+        Atomic replacement means concurrent writers of the same key leave
+        one complete artifact, never a torn file; last writer wins, and all
+        writers of one key hold the same content by construction.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(value, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return self.path_for(key)
+
+    def clear(self) -> int:
+        """Delete every artifact in this namespace; returns the count."""
+        removed = 0
+        for key in self.keys():
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+
+def sweep_store(root: Path | None = None) -> ResultStore:
+    """The default store for validation-sweep points."""
+    return ResultStore(namespace="sweeps", root=root)

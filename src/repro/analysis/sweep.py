@@ -2,39 +2,31 @@
 models, tabulate errors.
 
 These drive Table 5, Table 6, and Figure 5 of the reproduction, and the
-scaling example.  Partitions are memoised to disk (see
-:mod:`repro.partition.cache`) because the multilevel partitioner dominates
-sweep cost at large rank counts.
+scaling example.  Both sweeps are thin wrappers over the orchestration layer
+of :mod:`repro.analysis.runner`: with the defaults (``jobs=1``, no store)
+they evaluate serially, exactly as the historical loop did; pass ``jobs``
+to fan points out across worker processes and ``store`` (see
+:mod:`repro.analysis.store`) to persist and resume finished points.
+Partitions are additionally memoised to disk (:mod:`repro.partition.cache`)
+because the multilevel partitioner dominates sweep cost at large rank
+counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.hydro.driver import measure_iteration_time
-from repro.hydro.workload import build_workload_census
+from repro.analysis.runner import (
+    SweepTask,
+    ValidationPoint,
+    evaluate_point,
+    powers_of_two,
+    run_points,
+)
+from repro.analysis.store import ResultStore
 from repro.machine.cluster import ClusterConfig
-from repro.mesh.connectivity import build_face_table
 from repro.mesh.deck import InputDeck
-from repro.partition.cache import cached_partition
 from repro.perfmodel.costcurves import CostTable
-from repro.perfmodel.general import GeneralModel
-from repro.perfmodel.mesh_specific import MeshSpecificModel
 
-
-@dataclass(frozen=True)
-class ValidationPoint:
-    """One (deck, rank count) validation row."""
-
-    deck_name: str
-    num_ranks: int
-    measured: float
-    #: model label → predicted seconds.
-    predicted: dict
-
-    def error(self, model: str) -> float:
-        """Signed relative error of ``model`` (paper's convention)."""
-        return (self.measured - self.predicted[model]) / self.measured
+__all__ = ["ValidationPoint", "evaluate_point", "validation_sweep", "scaling_sweep"]
 
 
 def validation_sweep(
@@ -45,44 +37,29 @@ def validation_sweep(
     models=("mesh-specific", "homogeneous", "heterogeneous"),
     seed: int = 1,
     partition_method: str = "multilevel",
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
 ) -> list:
     """Measure and predict ``deck`` at each rank count.
 
     Returns a list of :class:`ValidationPoint` in ``rank_counts`` order.
+    ``jobs``, ``store``, and ``progress`` are forwarded to
+    :func:`repro.analysis.runner.run_points`.
     """
-    faces = build_face_table(deck.mesh)
-    points = []
-    for num_ranks in rank_counts:
-        partition = cached_partition(
-            deck, num_ranks, method=partition_method, seed=seed, faces=faces
+    tasks = [
+        SweepTask(
+            deck=deck,
+            num_ranks=num_ranks,
+            cluster=cluster,
+            table=table,
+            models=tuple(models),
+            partition_method=partition_method,
+            seed=seed,
         )
-        census = build_workload_census(deck, partition, faces)
-        measured = measure_iteration_time(
-            deck, partition, cluster=cluster, faces=faces, census=census
-        ).seconds
-
-        predicted = {}
-        for model in models:
-            if model == "mesh-specific":
-                pred = MeshSpecificModel(table=table, network=cluster.network).predict(
-                    census
-                )
-            elif model in ("homogeneous", "heterogeneous"):
-                pred = GeneralModel(
-                    table=table, network=cluster.network, mode=model
-                ).predict(deck.num_cells, num_ranks)
-            else:
-                raise ValueError(f"unknown model {model!r}")
-            predicted[model] = pred.total
-        points.append(
-            ValidationPoint(
-                deck_name=deck.name,
-                num_ranks=num_ranks,
-                measured=measured,
-                predicted=predicted,
-            )
-        )
-    return points
+        for num_ranks in rank_counts
+    ]
+    return run_points(tasks, jobs=jobs, store=store, progress=progress)
 
 
 def scaling_sweep(
@@ -91,22 +68,23 @@ def scaling_sweep(
     table: CostTable,
     max_ranks: int = 1024,
     seed: int = 1,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
 ) -> list:
     """Figure 5's sweep: powers of two from 1 to ``max_ranks``.
 
     The single-rank point has no communication; the general models handle it
     natively and "measured" comes from the same simulator.
     """
-    counts = []
-    p = 1
-    while p <= max_ranks:
-        counts.append(p)
-        p *= 2
     return validation_sweep(
         deck,
-        counts,
+        powers_of_two(max_ranks),
         cluster,
         table,
         models=("homogeneous", "heterogeneous"),
         seed=seed,
+        jobs=jobs,
+        store=store,
+        progress=progress,
     )

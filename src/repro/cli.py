@@ -10,7 +10,19 @@ Commands
     Measure one configuration on the simulated machine and compare all
     model variants.
 ``sweep``
-    Figure-5-style strong-scaling sweep with all general-model variants.
+    Figure-5-style strong-scaling sweep with all general-model variants
+    (legacy single-deck table), plus the orchestrated grid subcommands:
+
+    ``sweep run``
+        Evaluate a declarative grid (decks × rank counts × partition
+        methods × seeds), optionally in parallel (``--jobs N``) and
+        resumably — finished points are persisted to the on-disk result
+        store and replayed on re-runs instead of being recomputed.
+    ``sweep status``
+        Report how much of a grid is already in the store.
+    ``sweep clear``
+        Drop stored sweep results (``--partitions`` also drops cached
+        partitions).
 """
 
 from __future__ import annotations
@@ -18,12 +30,21 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import TextTable
+from repro.analysis import (
+    ClusterSpec,
+    SweepSpec,
+    TextTable,
+    powers_of_two,
+    run_sweep,
+    sweep_status,
+    sweep_store,
+)
 from repro.hydro import build_workload_census, measure_iteration_time
 from repro.machine import es45_like_cluster
 from repro.machine.costdb import PHASE_SYNC_POINTS, table4_census
 from repro.mesh import DECK_SIZES, MATERIAL_NAMES, build_deck, build_face_table, material_fractions
 from repro.partition import cached_partition
+from repro.partition.cache import cache_dir as partition_cache_dir
 from repro.perfmodel import (
     GeneralModel,
     MeshSpecificModel,
@@ -156,6 +177,108 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _csv_strings(text: str) -> tuple:
+    return tuple(s.strip() for s in text.split(",") if s.strip())
+
+
+def _csv_ints(text: str) -> tuple:
+    return tuple(int(s) for s in _csv_strings(text))
+
+
+def _deck_label(deck) -> str:
+    """Grid label: named decks by name, custom decks by their dimensions."""
+    if deck.name in DECK_SIZES:
+        return deck.name
+    return f"{deck.mesh.nx}x{deck.mesh.ny}"
+
+
+def _spec_from_args(args) -> SweepSpec:
+    """Build the declarative grid shared by ``sweep run`` and ``sweep status``."""
+    ranks = _csv_ints(args.ranks) if args.ranks else powers_of_two(args.max_ranks)
+    return SweepSpec(
+        decks=_csv_strings(args.decks),
+        rank_counts=ranks,
+        clusters=(ClusterSpec(speed=args.speed, smp=args.smp),),
+        partition_methods=_csv_strings(args.methods),
+        models=_csv_strings(args.models),
+        seeds=_csv_ints(args.seeds),
+        max_side=args.max_side,
+    )
+
+
+def cmd_sweep_run(args) -> int:
+    """Evaluate a sweep grid — parallel with ``--jobs``, resumable via the
+    result store."""
+    spec = _spec_from_args(args)
+    store = None if args.no_cache else sweep_store()
+
+    def progress(done, total, task, point, cached):
+        source = "store" if cached else f"{point.measured * 1e3:.2f} ms"
+        print(
+            f"[{done}/{total}] {_deck_label(task.deck)} p={task.num_ranks}"
+            f" {task.partition_method} seed={task.seed}: {source}",
+            flush=True,
+        )
+
+    outcomes = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=store,
+        progress=None if args.quiet else progress,
+    )
+
+    groups: dict = {}
+    for outcome in outcomes:
+        task = outcome.task
+        key = (_deck_label(task.deck), task.cluster.name, task.partition_method, task.seed)
+        groups.setdefault(key, []).append(outcome.point)
+    for (deck_label, cluster_name, method, seed), points in groups.items():
+        out = TextTable(
+            f"{deck_label} deck on {cluster_name} ({method}, seed {seed})",
+            ["PEs", "measured (ms)"]
+            + [f"{m} (ms)" for m in spec.models]
+            + [f"{m} err" for m in spec.models],
+        )
+        for point in points:
+            out.add_row(
+                point.num_ranks,
+                point.measured * 1e3,
+                *[point.predicted[m] * 1e3 for m in spec.models],
+                *[f"{point.error(m) * 100:+.1f}%" for m in spec.models],
+            )
+        print(out.render())
+        print()
+    computed = sum(1 for o in outcomes if not o.cached)
+    cached = len(outcomes) - computed
+    print(f"{len(outcomes)} points: {computed} simulated, {cached} from store")
+    return 0
+
+
+def cmd_sweep_status(args) -> int:
+    """Report grid completion against the result store."""
+    spec = _spec_from_args(args)
+    status = sweep_status(spec, sweep_store())
+    out = TextTable("sweep status", ["points", "count"])
+    out.add_row("total", status.total)
+    out.add_row("completed", status.completed)
+    out.add_row("pending", status.pending)
+    print(out.render())
+    return 0
+
+
+def cmd_sweep_clear(args) -> int:
+    """Drop stored sweep artifacts (and optionally cached partitions)."""
+    removed = sweep_store().clear()
+    print(f"removed {removed} stored sweep points")
+    if args.partitions:
+        count = 0
+        for path in sorted(partition_cache_dir().glob("*.npz")):
+            path.unlink()
+            count += 1
+        print(f"removed {count} cached partitions")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -184,10 +307,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--ranks", type=int, default=16)
     p_val.set_defaults(func=cmd_validate)
 
-    p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="strong-scaling sweep (legacy table) or grid subcommands run|status|clear",
+        description=(
+            "Without a subcommand: the legacy single-deck strong-scaling "
+            "table.  Subcommands orchestrate declarative grids: `run` "
+            "evaluates (in parallel with --jobs, resumably via the on-disk "
+            "result store), `status` reports completion, `clear` drops "
+            "stored results."
+        ),
+    )
     common(p_sweep)
     p_sweep.add_argument("--max-ranks", type=int, default=64)
     p_sweep.set_defaults(func=cmd_sweep)
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command")
+
+    def grid(p):
+        p.add_argument(
+            "--decks", default="small", help="comma list: small|medium|large or NXxNY"
+        )
+        p.add_argument(
+            "--ranks", default="", help="comma list of PE counts (overrides --max-ranks)"
+        )
+        p.add_argument(
+            "--max-ranks", type=int, default=64, help="powers of two up to this"
+        )
+        p.add_argument(
+            "--methods", default="multilevel",
+            help="comma list: multilevel|rcb|block|structured-block",
+        )
+        p.add_argument(
+            "--models", default="homogeneous,heterogeneous",
+            help="comma list: mesh-specific|homogeneous|heterogeneous",
+        )
+        p.add_argument("--seeds", default="1", help="comma list of partition seeds")
+        p.add_argument("--speed", type=float, default=1.0, help="CPU speed multiplier")
+        p.add_argument("--smp", action="store_true", help="enable 4-way SMP hierarchy")
+        p.add_argument("--max-side", type=int, default=256, help="calibration range")
+
+    p_run = sweep_sub.add_parser(
+        "run", help="evaluate a sweep grid (parallel + resumable)"
+    )
+    grid(p_run)
+    p_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true", help="skip the result store entirely"
+    )
+    p_run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p_run.set_defaults(func=cmd_sweep_run)
+
+    p_status = sweep_sub.add_parser(
+        "status", help="report how much of a grid is already stored"
+    )
+    grid(p_status)
+    p_status.set_defaults(func=cmd_sweep_status)
+
+    p_clear = sweep_sub.add_parser("clear", help="drop stored sweep results")
+    p_clear.add_argument(
+        "--partitions", action="store_true", help="also drop cached partitions"
+    )
+    p_clear.set_defaults(func=cmd_sweep_clear)
 
     return parser
 

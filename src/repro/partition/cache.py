@@ -5,11 +5,17 @@ seconds; every validation table and figure reuses the same partitions, so we
 memoise them as ``.npz`` files keyed by deck geometry, rank count, method,
 and seed.  The cache is content-addressed by parameters only — all
 partitioners are deterministic given their seed.
+
+The cache lives under the shared :func:`repro.util.cache_root` (next to the
+sweep-result store of :mod:`repro.analysis.store`) and its writes are
+atomic, so parallel sweep workers that race on the same partition leave one
+complete file rather than a torn one.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -20,16 +26,12 @@ from repro.partition.base import Partition
 from repro.partition.multilevel import multilevel_partition
 from repro.partition.rcb import rcb_partition
 from repro.partition.block import block_partition, structured_block_partition
-
-#: Default cache directory at the repository root (src/repro/partition/
-#: cache.py → up three levels past src/); override via REPRO_CACHE_DIR.
-DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "partitions"
+from repro.util.artifacts import cache_root
 
 
 def cache_dir() -> Path:
-    """Resolve the partition cache directory."""
-    override = os.environ.get("REPRO_CACHE_DIR")
-    return Path(override) / "partitions" if override else DEFAULT_CACHE_DIR
+    """Resolve the partition cache directory (honours REPRO_CACHE_DIR)."""
+    return cache_root() / "partitions"
 
 
 def _cache_key(deck: InputDeck, num_ranks: int, method: str, seed: int) -> str:
@@ -77,5 +79,13 @@ def cached_partition(
         raise ValueError(f"unknown partition method {method!r}")
 
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, cell_rank=part.cell_rank, method=part.method)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, cell_rank=part.cell_rank, method=part.method)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
     return part

@@ -51,6 +51,14 @@ class CostCurve:
         if np.any(n_arr <= 0):
             raise ValueError("cells per processor must be positive")
         out = np.interp(np.log(n_arr), np.log(self.cells), self.per_cell)
+        # Strictly ascending samples can still collapse onto a duplicated
+        # knot in log space (the ULP of log(n) exceeds the log-spacing of
+        # close large abscissae), where np.interp answers every query with
+        # the *first* colliding sample.  Resolve exact sample hits in the
+        # original domain so the curve stays exact at every sample and is
+        # right-continuous at duplicated knots.
+        idx = np.minimum(np.searchsorted(self.cells, n_arr), self.cells.size - 1)
+        out = np.where(self.cells[idx] == n_arr, self.per_cell[idx], out)
         return float(out) if np.isscalar(n) or n_arr.ndim == 0 else out
 
     def subgrid_time(self, n) -> np.ndarray | float:

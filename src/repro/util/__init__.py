@@ -4,6 +4,7 @@ This subpackage deliberately has no dependencies on the rest of
 :mod:`repro`; every other subpackage may depend on it.
 """
 
+from repro.util.artifacts import cache_root, stable_hash
 from repro.util.rng import seeded_rng, spawn_rng
 from repro.util.units import (
     MICROSECOND,
@@ -27,6 +28,8 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "cache_root",
+    "stable_hash",
     "seeded_rng",
     "spawn_rng",
     "MICROSECOND",

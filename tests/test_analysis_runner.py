@@ -1,0 +1,248 @@
+"""Tests for the parallel, resumable sweep engine."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ClusterSpec,
+    SweepSpec,
+    SweepTask,
+    ValidationPoint,
+    calibrated_table,
+    run_points,
+    run_sweep,
+    sweep_status,
+    sweep_store,
+    validation_sweep,
+)
+from repro.analysis.runner import _faces_for
+from repro.mesh import build_deck, build_face_table
+from repro.util import stable_hash
+
+
+@pytest.fixture(autouse=True)
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture()
+def tiny_spec():
+    """A three-point grid small enough to simulate in well under a second."""
+    return SweepSpec(
+        decks=("16x8",),
+        rank_counts=(1, 2, 4),
+        models=("homogeneous", "heterogeneous"),
+        max_side=16,
+    )
+
+
+class TestSweepSpec:
+    def test_grid_cardinality_and_order(self, tiny_spec):
+        tasks = tiny_spec.tasks()
+        assert len(tasks) == tiny_spec.num_points == 3
+        assert [t.num_ranks for t in tasks] == [1, 2, 4]
+
+    def test_cartesian_product(self):
+        spec = SweepSpec(
+            decks=("16x8", "32x16"),
+            rank_counts=(2, 4),
+            partition_methods=("rcb", "block"),
+            models=(),
+            seeds=(1, 2),
+            max_side=4,
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == spec.num_points == 2 * 2 * 2 * 2
+        combos = {
+            (t.deck.mesh.nx, t.num_ranks, t.partition_method, t.seed) for t in tasks
+        }
+        assert len(combos) == 16
+
+    def test_measurement_only_grid_skips_calibration(self):
+        spec = SweepSpec(decks=("16x8",), rank_counts=(2,), models=())
+        (task,) = spec.tasks()
+        assert task.table is None
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(decks=())
+
+    def test_rejects_unknown_deck(self):
+        with pytest.raises(ValueError, match="unknown deck"):
+            SweepSpec(decks=("enormous",)).tasks()
+
+    def test_figure5_grid(self):
+        spec = SweepSpec.figure5(max_ranks=8)
+        assert spec.rank_counts == (1, 2, 4, 8)
+        assert spec.models == ("homogeneous", "heterogeneous")
+
+    def test_cluster_spec_labels(self):
+        assert ClusterSpec().label == "es45x1"
+        assert ClusterSpec(speed=2.0, smp=True).label == "es45x2+smp"
+
+
+class TestFacesMemo:
+    def test_unstructured_meshes_keyed_by_topology(self):
+        """Two distinct unstructured meshes (nx = ny = 0) with the same cell
+        count must not share a face table."""
+        deck_a = build_deck((16, 8))
+        deck_b = build_deck((8, 16))
+        unstructured_a = dataclasses.replace(
+            deck_a, mesh=dataclasses.replace(deck_a.mesh, nx=0, ny=0)
+        )
+        unstructured_b = dataclasses.replace(
+            deck_b, mesh=dataclasses.replace(deck_b.mesh, nx=0, ny=0)
+        )
+        faces_a = _faces_for(unstructured_a)
+        faces_b = _faces_for(unstructured_b)
+        assert np.array_equal(
+            faces_a.face_nodes, build_face_table(unstructured_a.mesh).face_nodes
+        )
+        assert np.array_equal(
+            faces_b.face_nodes, build_face_table(unstructured_b.mesh).face_nodes
+        )
+        assert not np.array_equal(faces_a.face_nodes, faces_b.face_nodes)
+
+
+class TestParallelEqualsSerial:
+    def test_point_for_point_identical(self, tiny_spec, tmp_cache):
+        serial = run_sweep(tiny_spec, jobs=1)
+        parallel = run_sweep(tiny_spec, jobs=2)
+        assert [o.point for o in serial] == [o.point for o in parallel]
+        assert not any(o.cached for o in serial + parallel)
+
+    def test_validation_sweep_jobs_identical(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((32, 16))
+        serial = validation_sweep(
+            deck, [2, 4], cluster, coarse_cost_table, models=("homogeneous",)
+        )
+        parallel = validation_sweep(
+            deck, [2, 4], cluster, coarse_cost_table, models=("homogeneous",), jobs=2
+        )
+        assert serial == parallel
+
+    def test_unknown_model_raises_in_parallel_too(self, cluster, coarse_cost_table, tmp_cache):
+        deck = build_deck((16, 8))
+        with pytest.raises(ValueError, match="unknown model"):
+            validation_sweep(
+                deck, [2, 4], cluster, coarse_cost_table, models=("psychic",), jobs=2
+            )
+
+    def test_rejects_bad_jobs(self, tiny_spec):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(tiny_spec, jobs=0)
+
+
+class TestResume:
+    def test_resuming_skips_cached_points(self, tiny_spec, tmp_cache):
+        store = sweep_store()
+        # First, complete a *subset* of the grid (the first rank count only).
+        half = SweepSpec(
+            decks=tiny_spec.decks,
+            rank_counts=tiny_spec.rank_counts[:1],
+            models=tiny_spec.models,
+            max_side=tiny_spec.max_side,
+        )
+        first = run_sweep(half, store=store)
+        assert [o.cached for o in first] == [False]
+
+        # Resuming the full grid replays the finished point and only
+        # simulates the remainder.
+        events = []
+        full = run_sweep(
+            tiny_spec,
+            store=store,
+            progress=lambda done, total, task, point, cached: events.append(
+                (task.num_ranks, cached)
+            ),
+        )
+        assert [o.cached for o in full] == [True, False, False]
+        assert sorted(events) == [(1, True), (2, False), (4, False)]
+        assert full[0].point == first[0].point
+
+        # A second full run is pure replay, and identical.
+        again = run_sweep(tiny_spec, store=store)
+        assert all(o.cached for o in again)
+        assert [o.point for o in again] == [o.point for o in full]
+
+    def test_replayed_points_equal_computed_exactly(self, tiny_spec, tmp_cache):
+        """JSON round-trips IEEE doubles exactly, so cache replay is not a
+        near-equality — it is equality."""
+        store = sweep_store()
+        fresh = run_sweep(tiny_spec, store=store)
+        replayed = run_sweep(tiny_spec, store=store)
+        for a, b in zip(fresh, replayed):
+            assert a.point == b.point
+            assert isinstance(b.point, ValidationPoint)
+
+    def test_parallel_run_populates_store_for_serial(self, tiny_spec, tmp_cache):
+        """Workers and the serial path share one store keyed by content."""
+        store = sweep_store()
+        parallel = run_sweep(tiny_spec, jobs=2, store=store)
+        serial = run_sweep(tiny_spec, jobs=1, store=store)
+        assert all(o.cached for o in serial)
+        assert [o.point for o in serial] == [o.point for o in parallel]
+
+    def test_status_tracks_completion(self, tiny_spec, tmp_cache):
+        store = sweep_store()
+        before = sweep_status(tiny_spec, store)
+        assert (before.total, before.completed, before.pending) == (3, 0, 3)
+        assert len(before.pending_keys) == 3
+        run_sweep(tiny_spec, store=store)
+        after = sweep_status(tiny_spec, store)
+        assert (after.total, after.completed, after.pending) == (3, 3, 0)
+        assert after.pending_keys == ()
+
+    def test_failing_sibling_does_not_lose_finished_points(
+        self, cluster, coarse_cost_table, tmp_cache
+    ):
+        """A task that raises in the pool must not discard siblings'
+        completed results — they land in the store and replay on retry."""
+        deck = build_deck((16, 8))
+
+        def task(ranks, models):
+            return SweepTask(
+                deck=deck, num_ranks=ranks, cluster=cluster,
+                table=coarse_cost_table, models=models,
+            )
+
+        store = sweep_store()
+        good = [task(1, ("homogeneous",)), task(2, ("homogeneous",))]
+        bad = task(4, ("psychic",))
+        with pytest.raises(ValueError, match="unknown model"):
+            run_points(good + [bad], jobs=2, store=store)
+        # Both good points were preserved; retrying them is pure replay.
+        retry = run_points(good, jobs=2, store=store)
+        events = []
+        run_points(
+            good,
+            store=store,
+            progress=lambda done, total, t, p, cached: events.append(cached),
+        )
+        assert events == [True, True]
+        assert [p.num_ranks for p in retry] == [1, 2]
+
+    def test_calibration_is_memoised_and_exact(self, cluster, tmp_cache):
+        fresh = calibrated_table(cluster, [1, 2, 4, 8])
+        assert len(sweep_store(root=None).keys()) == 0  # separate namespace
+        replayed = calibrated_table(cluster, [1, 2, 4, 8])
+        # Content-identical down to the hash, so sweep point keys agree.
+        assert stable_hash(fresh) == stable_hash(replayed)
+        assert calibrated_table(cluster, [1, 2]).curves[0][0].cells.size == 2
+
+    def test_store_key_sensitive_to_grid_parameters(self, tiny_spec, tmp_cache):
+        """A finished grid does not satisfy a *different* grid."""
+        store = sweep_store()
+        run_sweep(tiny_spec, store=store)
+        other = SweepSpec(
+            decks=tiny_spec.decks,
+            rank_counts=tiny_spec.rank_counts,
+            models=tiny_spec.models,
+            max_side=tiny_spec.max_side,
+            seeds=(2,),
+        )
+        status = sweep_status(other, store)
+        assert status.completed == 0

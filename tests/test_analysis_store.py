@@ -1,0 +1,107 @@
+"""Unit tests for the content-addressed sweep result store."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.analysis.store import ResultStore, sweep_store
+from repro.mesh import build_deck
+from repro.util import stable_hash
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestStableHash:
+    def test_content_equality(self):
+        a = {"deck": build_deck((16, 8)), "ranks": 4}
+        b = {"ranks": 4, "deck": build_deck((16, 8))}
+        assert stable_hash(a) == stable_hash(b)
+
+    def test_distinguishes_parameters(self):
+        deck = build_deck((16, 8))
+        base = stable_hash({"deck": deck, "ranks": 4, "seed": 1})
+        assert base != stable_hash({"deck": deck, "ranks": 8, "seed": 1})
+        assert base != stable_hash({"deck": deck, "ranks": 4, "seed": 2})
+        assert base != stable_hash({"deck": build_deck((16, 16)), "ranks": 4, "seed": 1})
+
+    def test_type_tags_prevent_collisions(self):
+        assert stable_hash("12") != stable_hash(12)
+        assert stable_hash((1, 2)) != stable_hash("12")
+        assert stable_hash(np.array([1.0])) != stable_hash(1.0)
+        assert stable_hash([1, [2, 3]]) != stable_hash([[1, 2], 3])
+
+    def test_array_content_and_shape(self):
+        flat = np.arange(6, dtype=np.float64)
+        assert stable_hash(flat) == stable_hash(flat.copy())
+        assert stable_hash(flat) != stable_hash(flat.reshape(2, 3))
+        assert stable_hash(flat) != stable_hash(flat.astype(np.int64))
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError, match="stable_hash"):
+            stable_hash(object())
+
+
+class TestResultStore:
+    def test_roundtrip_and_contains(self, tmp_cache):
+        store = sweep_store()
+        key = ResultStore.key_for({"x": 1})
+        assert key not in store
+        assert store.get(key) is None
+        store.put(key, {"measured": 0.125, "predicted": {"homogeneous": 0.1}})
+        assert key in store
+        assert store.get(key) == {"measured": 0.125, "predicted": {"homogeneous": 0.1}}
+        assert store.keys() == [key]
+
+    def test_float_roundtrip_is_exact(self, tmp_cache):
+        store = sweep_store()
+        value = {"measured": 0.1 + 0.2, "tiny": 5e-324, "big": 1.7976931348623157e308}
+        store.put("k", value)
+        assert store.get("k") == value
+
+    def test_clear_is_scoped_to_namespace(self, tmp_cache):
+        sweeps = ResultStore(namespace="sweeps")
+        other = ResultStore(namespace="other")
+        sweeps.put("a", 1)
+        sweeps.put("b", 2)
+        other.put("c", 3)
+        assert sweeps.clear() == 2
+        assert len(sweeps) == 0
+        assert other.get("c") == 3
+
+    def test_invalid_namespace_rejected(self):
+        with pytest.raises(ValueError, match="namespace"):
+            ResultStore(namespace="../escape")
+
+    def test_env_override_respected(self, tmp_cache):
+        assert str(sweep_store().directory).startswith(str(tmp_cache))
+
+
+def _hash_reference_payload(_):
+    """Executed in a worker process: hash a payload built from scratch."""
+    from repro.analysis.runner import SweepTask
+    from repro.machine import es45_like_cluster
+    from repro.mesh import build_deck
+    from repro.perfmodel import calibrate_contrived_grid
+
+    deck = build_deck((16, 8))
+    cluster = es45_like_cluster()
+    table = calibrate_contrived_grid(cluster, sides=[1, 2, 4])
+    task = SweepTask(
+        deck=deck, num_ranks=4, cluster=cluster, table=table, models=("homogeneous",)
+    )
+    return task.store_key()
+
+
+class TestCrossProcessStability:
+    def test_store_keys_stable_across_processes(self):
+        """The resumability contract: a worker process rebuilding the same
+        parameters derives the same key the parent computed."""
+        local = _hash_reference_payload(None)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_hash_reference_payload, range(2)))
+        assert remote == [local, local]

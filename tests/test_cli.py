@@ -88,3 +88,60 @@ class TestCommands:
         assert "strong scaling" in out
         # P = 1, 2, 4 rows present.
         assert out.count("\n") >= 7
+
+
+class TestSweepSubcommands:
+    RUN_ARGS = [
+        "sweep",
+        "run",
+        "--decks",
+        "16x8",
+        "--ranks",
+        "1,2",
+        "--max-side",
+        "16",
+    ]
+    STATUS_ARGS = [
+        "sweep",
+        "status",
+        "--decks",
+        "16x8",
+        "--ranks",
+        "1,2",
+        "--max-side",
+        "16",
+    ]
+
+    def test_run_then_resume(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated, 0 from store" in out
+        assert "16x8 deck" in out
+
+        # Second invocation replays everything from the store.
+        assert main(self.RUN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 from store" in out
+
+    def test_run_parallel(self, capsys):
+        assert main(self.RUN_ARGS + ["--jobs", "2", "--quiet"]) == 0
+        assert "2 simulated" in capsys.readouterr().out
+
+    def test_run_no_cache_never_stores(self, capsys):
+        assert main(self.RUN_ARGS + ["--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(self.STATUS_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "completed      0" in out
+
+    def test_status_and_clear(self, capsys):
+        assert main(self.STATUS_ARGS) == 0
+        assert "pending      2" in capsys.readouterr().out
+        assert main(self.RUN_ARGS + ["--quiet"]) == 0
+        capsys.readouterr()
+        assert main(self.STATUS_ARGS) == 0
+        assert "completed      2" in capsys.readouterr().out
+        assert main(["sweep", "clear", "--partitions"]) == 0
+        assert "removed 2 stored sweep points" in capsys.readouterr().out
+        assert main(self.STATUS_ARGS) == 0
+        assert "completed      0" in capsys.readouterr().out
