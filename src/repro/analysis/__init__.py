@@ -27,7 +27,7 @@ from repro.analysis.runner import (
     sweep_status,
 )
 from repro.analysis.store import ResultStore, sweep_store
-from repro.analysis.sweep import validation_sweep, scaling_sweep
+from repro.analysis.sweep import DynamicSpec, validation_sweep, scaling_sweep
 
 __all__ = [
     "signed_relative_error",
@@ -48,6 +48,7 @@ __all__ = [
     "sweep_status",
     "ResultStore",
     "sweep_store",
+    "DynamicSpec",
     "validation_sweep",
     "scaling_sweep",
 ]

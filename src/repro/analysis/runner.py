@@ -102,22 +102,28 @@ class SweepTask:
     models: tuple = DEFAULT_MODELS
     partition_method: str = "multilevel"
     seed: int = 1
+    #: Optional :class:`~repro.analysis.sweep.DynamicSpec` — a time-evolving
+    #: workload with a repartitioning policy; ``None`` is the static path.
+    dynamic: object = None
 
     def store_key(self) -> str:
         """Content hash of every input that determines this point's result."""
-        return ResultStore.key_for(
-            {
-                "kind": "validation-point",
-                "version": 1,
-                "deck": self.deck,
-                "num_ranks": self.num_ranks,
-                "cluster": self.cluster,
-                "table": self.table,
-                "models": tuple(self.models),
-                "partition_method": self.partition_method,
-                "seed": self.seed,
-            }
-        )
+        params = {
+            "kind": "validation-point",
+            "version": 1,
+            "deck": self.deck,
+            "num_ranks": self.num_ranks,
+            "cluster": self.cluster,
+            "table": self.table,
+            "models": tuple(self.models),
+            "partition_method": self.partition_method,
+            "seed": self.seed,
+        }
+        if self.dynamic is not None:
+            # Only dynamic points hash the spec, so every static key (and
+            # the results already stored under it) is unchanged.
+            params["dynamic"] = self.dynamic
+        return ResultStore.key_for(params)
 
 
 def evaluate_point(
@@ -129,9 +135,17 @@ def evaluate_point(
     seed: int = 1,
     partition_method: str = "multilevel",
     faces: FaceTable | None = None,
+    dynamic=None,
 ) -> ValidationPoint:
     """Measure ``deck`` at ``num_ranks`` on the simulated machine and
-    predict it with each requested model (``models=()`` measures only)."""
+    predict it with each requested model (``models=()`` measures only).
+
+    ``dynamic`` is an optional :class:`~repro.analysis.sweep.DynamicSpec`:
+    the measurement then runs the time-evolving workload (burn-front cost
+    shifts plus the spec's repartitioning policy) over the spec's iteration
+    window, while model predictions stay static — their error under an
+    evolving workload is exactly what such sweeps study.
+    """
     if models and table is None:
         raise ValueError("a cost table is required when models are requested")
     if faces is None:
@@ -140,9 +154,21 @@ def evaluate_point(
         deck, num_ranks, method=partition_method, seed=seed, faces=faces
     )
     census = build_workload_census(deck, partition, faces)
-    measured = measure_iteration_time(
-        deck, partition, cluster=cluster, faces=faces, census=census
-    ).seconds
+    if dynamic is None:
+        measured = measure_iteration_time(
+            deck, partition, cluster=cluster, faces=faces, census=census
+        ).seconds
+    else:
+        measured = measure_iteration_time(
+            deck,
+            partition,
+            cluster=cluster,
+            iterations=dynamic.iterations,
+            warmup=dynamic.warmup,
+            faces=faces,
+            census=census,
+            dynamic=dynamic.build(),
+        ).seconds
 
     predicted = {}
     for model in models:
@@ -196,6 +222,7 @@ def _run_task(task: SweepTask) -> ValidationPoint:
         seed=task.seed,
         partition_method=task.partition_method,
         faces=_faces_for(task.deck),
+        dynamic=task.dynamic,
     )
 
 
@@ -380,13 +407,25 @@ class SweepSpec:
     partition_methods: tuple = ("multilevel",)
     models: tuple = DEFAULT_MODELS
     seeds: tuple = (1,)
+    #: Workload axis: ``None`` is the static run; a
+    #: :class:`~repro.analysis.sweep.DynamicSpec` runs the time-evolving
+    #: workload under its repartitioning policy.
+    dynamics: tuple = (None,)
     #: Calibration range for the contrived-grid cost table.
     max_side: int = 256
 
     def __post_init__(self) -> None:
-        for name in ("decks", "rank_counts", "clusters", "partition_methods", "models", "seeds"):
+        for name in (
+            "decks",
+            "rank_counts",
+            "clusters",
+            "partition_methods",
+            "models",
+            "seeds",
+            "dynamics",
+        ):
             value = getattr(self, name)
-            if isinstance(value, (str, int)):
+            if isinstance(value, (str, int)) or value is None:
                 value = (value,)
             object.__setattr__(self, name, tuple(value))
             # An empty ``models`` axis is a measurement-only sweep; every
@@ -415,6 +454,7 @@ class SweepSpec:
             * len(self.clusters)
             * len(self.partition_methods)
             * len(self.seeds)
+            * len(self.dynamics)
         )
 
     def tasks(self) -> list:
@@ -435,8 +475,13 @@ class SweepSpec:
             )
             built.append((cluster, table))
         out = []
-        for deck, (cluster, table), method, seed, ranks in itertools.product(
-            decks, built, self.partition_methods, self.seeds, self.rank_counts
+        for deck, (cluster, table), method, seed, dynamic, ranks in itertools.product(
+            decks,
+            built,
+            self.partition_methods,
+            self.seeds,
+            self.dynamics,
+            self.rank_counts,
         ):
             out.append(
                 SweepTask(
@@ -447,6 +492,7 @@ class SweepSpec:
                     models=self.models,
                     partition_method=method,
                     seed=seed,
+                    dynamic=dynamic,
                 )
             )
         return out

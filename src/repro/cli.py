@@ -32,6 +32,7 @@ import sys
 
 from repro.analysis import (
     ClusterSpec,
+    DynamicSpec,
     SweepSpec,
     TextTable,
     powers_of_two,
@@ -192,6 +193,29 @@ def _deck_label(deck) -> str:
     return f"{deck.mesh.nx}x{deck.mesh.ny}"
 
 
+def _dynamics_from_args(args) -> tuple:
+    """Workload-axis entries: ``static`` → None, anything else a policy spec
+    (``never``/``every:N``/``imbalance:X``) shared across the other knobs."""
+    out = []
+    for token in _csv_strings(args.dynamic):
+        if token == "static":
+            out.append(None)
+        else:
+            out.append(
+                DynamicSpec(
+                    policy=token,
+                    burn_multiplier=args.burn_mult,
+                    iterations=args.dyn_iterations,
+                )
+            )
+    return tuple(out)
+
+
+def _dynamic_label(task) -> str:
+    """Workload tag of a task for progress lines and table titles."""
+    return "static" if task.dynamic is None else task.dynamic.label
+
+
 def _spec_from_args(args) -> SweepSpec:
     """Build the declarative grid shared by ``sweep run`` and ``sweep status``."""
     ranks = _csv_ints(args.ranks) if args.ranks else powers_of_two(args.max_ranks)
@@ -202,6 +226,7 @@ def _spec_from_args(args) -> SweepSpec:
         partition_methods=_csv_strings(args.methods),
         models=_csv_strings(args.models),
         seeds=_csv_ints(args.seeds),
+        dynamics=_dynamics_from_args(args),
         max_side=args.max_side,
     )
 
@@ -216,7 +241,8 @@ def cmd_sweep_run(args) -> int:
         source = "store" if cached else f"{point.measured * 1e3:.2f} ms"
         print(
             f"[{done}/{total}] {_deck_label(task.deck)} p={task.num_ranks}"
-            f" {task.partition_method} seed={task.seed}: {source}",
+            f" {task.partition_method} seed={task.seed}"
+            f" {_dynamic_label(task)}: {source}",
             flush=True,
         )
 
@@ -230,11 +256,17 @@ def cmd_sweep_run(args) -> int:
     groups: dict = {}
     for outcome in outcomes:
         task = outcome.task
-        key = (_deck_label(task.deck), task.cluster.name, task.partition_method, task.seed)
+        key = (
+            _deck_label(task.deck),
+            task.cluster.name,
+            task.partition_method,
+            task.seed,
+            _dynamic_label(task),
+        )
         groups.setdefault(key, []).append(outcome.point)
-    for (deck_label, cluster_name, method, seed), points in groups.items():
+    for (deck_label, cluster_name, method, seed, dyn_label), points in groups.items():
         out = TextTable(
-            f"{deck_label} deck on {cluster_name} ({method}, seed {seed})",
+            f"{deck_label} deck on {cluster_name} ({method}, seed {seed}, {dyn_label})",
             ["PEs", "measured (ms)"]
             + [f"{m} (ms)" for m in spec.models]
             + [f"{m} err" for m in spec.models],
@@ -345,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--speed", type=float, default=1.0, help="CPU speed multiplier")
         p.add_argument("--smp", action="store_true", help="enable 4-way SMP hierarchy")
         p.add_argument("--max-side", type=int, default=256, help="calibration range")
+        p.add_argument(
+            "--dynamic", default="static",
+            help=(
+                "comma list of workloads: static (no time evolution) or a "
+                "repartition policy never|every:N|imbalance:X"
+            ),
+        )
+        p.add_argument(
+            "--burn-mult", type=float, default=4.0,
+            help="cost multiplier for actively-burning cells (dynamic runs)",
+        )
+        p.add_argument(
+            "--dyn-iterations", type=int, default=12,
+            help="iterations per dynamic run (static runs keep the default 3)",
+        )
 
     p_run = sweep_sub.add_parser(
         "run", help="evaluate a sweep grid (parallel + resumable)"

@@ -23,7 +23,14 @@ from repro.hydro.materials import (
 )
 from repro.hydro.burn import ProgrammedBurn
 from repro.hydro.state import RankState, build_rank_states, NeighborLink
-from repro.hydro.workload import WorkloadCensus, build_workload_census
+from repro.hydro.workload import DynamicCensus, WorkloadCensus, build_workload_census
+from repro.hydro.dynamic import (
+    REPARTITION_PHASE,
+    DynamicConfig,
+    DynamicController,
+    DynamicRunInfo,
+    IterationRecord,
+)
 from repro.hydro.driver import (
     KrakRun,
     MeasuredIteration,
@@ -39,8 +46,14 @@ __all__ = [
     "RankState",
     "build_rank_states",
     "NeighborLink",
+    "DynamicCensus",
     "WorkloadCensus",
     "build_workload_census",
+    "REPARTITION_PHASE",
+    "DynamicConfig",
+    "DynamicController",
+    "DynamicRunInfo",
+    "IterationRecord",
     "KrakRun",
     "MeasuredIteration",
     "run_krak",

@@ -13,12 +13,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.hydro.dynamic import DynamicConfig, DynamicController, DynamicRunInfo
 from repro.hydro.phases import KrakProgram
 from repro.hydro.state import RankState, build_rank_states
 from repro.hydro.workload import WorkloadCensus, build_workload_census
 from repro.machine.cluster import ClusterConfig, es45_like_cluster
 from repro.machine.costdb import NUM_PHASES
-from repro.mesh.connectivity import FaceTable
+from repro.mesh.connectivity import FaceTable, build_face_table
 from repro.mesh.deck import InputDeck
 from repro.partition.base import Partition
 from repro.simmpi.engine import Engine, SimResult
@@ -39,6 +40,8 @@ class KrakRun:
     diagnostics: dict
     #: Functional rank states after the run (None in census mode).
     states: list[RankState] | None
+    #: Imbalance trajectory + repartition tally (None for static runs).
+    dynamic: DynamicRunInfo | None = None
 
     def mean_iteration_time(self, warmup: int = 1) -> float:
         """Steady-state per-iteration time, skipping ``warmup`` iterations."""
@@ -66,6 +69,7 @@ def run_krak(
     functional: bool = False,
     faces: FaceTable | None = None,
     census: WorkloadCensus | None = None,
+    dynamic: DynamicConfig | None = None,
 ) -> KrakRun:
     """Run MiniKrak on the simulated cluster.
 
@@ -82,12 +86,35 @@ def run_krak(
         otherwise charge census-based costs (timing mode, any scale).
     faces, census:
         Optional precomputed structures to avoid rebuilding in sweeps.
+    dynamic:
+        Optional :class:`~repro.hydro.dynamic.DynamicConfig`.  When given
+        (census mode only), iteration ``k`` is charged against
+        ``census_at(t_k)`` — the burn front shifts per-cell cost over time —
+        and the configured policy may repartition mid-run, paying the
+        modelled allgather + cell-migration cost.  ``dynamic=None`` is the
+        static path, bit-for-bit identical to previous behaviour.
     """
     if cluster is None:
         cluster = es45_like_cluster()
+    if dynamic is not None:
+        if functional:
+            raise ValueError("dynamic workloads run in census (timing) mode only")
+        if faces is None:
+            faces = build_face_table(deck.mesh)  # shared with the controller
     if census is None:
         census = build_workload_census(deck, partition, faces)
     states = build_rank_states(deck, partition) if functional else None
+
+    controller = None
+    num_phases = NUM_PHASES
+    fixed_dt = {}
+    if dynamic is not None:
+        controller = DynamicController(
+            deck, partition, dynamic, faces=faces, base_census=census
+        )
+        # Repartition time gets its own trace phase past the 15 Krak phases.
+        num_phases = NUM_PHASES + 1
+        fixed_dt = {"fixed_dt": dynamic.dt}
 
     programs = [
         KrakProgram(
@@ -96,10 +123,12 @@ def run_krak(
             node_model=cluster.node,
             state=None if states is None else states[r],
             iterations=iterations,
+            dynamic=controller,
+            **fixed_dt,
         )
         for r in range(partition.num_ranks)
     ]
-    engine = Engine(cluster, partition.num_ranks, NUM_PHASES)
+    engine = Engine(cluster, partition.num_ranks, num_phases)
     result = engine.run(lambda r: programs[r]())
 
     return KrakRun(
@@ -111,6 +140,7 @@ def run_krak(
         iterations=iterations,
         diagnostics=dict(programs[0].diagnostics),
         states=states,
+        dynamic=controller.run_info() if controller is not None else None,
     )
 
 
@@ -122,8 +152,14 @@ def measure_iteration_time(
     warmup: int = 1,
     faces: FaceTable | None = None,
     census: WorkloadCensus | None = None,
+    dynamic: DynamicConfig | None = None,
 ) -> MeasuredIteration:
-    """Produce a "measured" per-iteration time (census/timing mode)."""
+    """Produce a "measured" per-iteration time (census/timing mode).
+
+    With ``dynamic``, the phase arrays gain one extra entry — the
+    repartition phase — and the steady-state window includes whatever
+    repartitions the policy fired there.
+    """
     run = run_krak(
         deck,
         partition,
@@ -132,14 +168,17 @@ def measure_iteration_time(
         functional=False,
         faces=faces,
         census=census,
+        dynamic=dynamic,
     )
     trace = run.result.trace
     per_iter = run.mean_iteration_time(warmup)
-    scale = 1.0 / iterations  # phase sums cover all iterations
+    # Phase sums cover the same steady-state window as ``seconds``: warm-up
+    # iterations are excluded, not averaged in.
+    scale = 1.0 / (iterations - warmup)
     return MeasuredIteration(
         deck_name=deck.name,
         num_ranks=partition.num_ranks,
         seconds=per_iter,
-        compute_by_phase=trace.phase_compute_max() * scale,
-        comm_by_phase=trace.phase_comm_max() * scale,
+        compute_by_phase=trace.window_compute_max(warmup, iterations) * scale,
+        comm_by_phase=trace.window_comm_max(warmup, iterations) * scale,
     )

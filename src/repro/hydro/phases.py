@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hydro import kernels
+from repro.hydro.dynamic import REPARTITION_PHASE, DynamicController
 from repro.hydro.materials import KRAK_MATERIAL_MODELS, pressure_and_sound_speed
 from repro.hydro.state import RankState
 from repro.hydro.workload import WorkloadCensus
@@ -70,6 +71,12 @@ class KrakProgram:
         Number of iterations to execute.
     fixed_dt:
         Timestep used in census mode (functional mode computes a CFL dt).
+    dynamic:
+        Optional shared :class:`~repro.hydro.dynamic.DynamicController`.
+        When given (census mode only), each iteration re-reads its census
+        from ``dynamic.step(it)`` — charging iteration ``k`` against
+        ``census_at(t_k)`` — and executes any repartition event the
+        controller's policy fired.
     """
 
     def __init__(
@@ -81,7 +88,10 @@ class KrakProgram:
         iterations: int = 3,
         fixed_dt: float = 2.0e-7,
         models=KRAK_MATERIAL_MODELS,
+        dynamic: DynamicController | None = None,
     ) -> None:
+        if dynamic is not None and state is not None:
+            raise ValueError("dynamic workloads run in census (timing) mode only")
         self.rank = rank
         self.census = census
         self.node_model = node_model
@@ -89,6 +99,7 @@ class KrakProgram:
         self.iterations = iterations
         self.fixed_dt = fixed_dt
         self.models = models
+        self.dynamic = dynamic
         self.boundary_links = census.boundary_links[rank]
         self.ghost_links = census.ghost_links[rank]
         self.work = census.work_vector(rank)
@@ -157,6 +168,39 @@ class KrakProgram:
                 for a, chunk in zip(arrays, p_local):
                     a[idx[from_nbr]] = chunk
 
+    def _dynamic_update(self, it: int):
+        """Apply the controller's step for iteration ``it`` (census mode).
+
+        Executes the repartition event when the policy fired — the census
+        allgather (gather + broadcast) and the cell-migration point-to-point
+        messages, all charged to :data:`REPARTITION_PHASE` — then rebinds
+        this rank's links and work vector to the step's census, so the
+        iteration is charged against ``census_at(t_it)``.
+        """
+        step = self.dynamic.step(it)
+        plan = step.migration
+        if plan is not None:
+            yield SetPhase(REPARTITION_PHASE)
+            yield Gather(float(self.work.sum()), 0, plan.gather_bytes)
+            yield Bcast(0.0 if self.rank == 0 else None, 0, plan.bcast_bytes)
+            sends = plan.matrix[self.rank]
+            for dst in range(self.census.num_ranks):
+                if sends[dst]:
+                    yield Isend(
+                        dst,
+                        _tag(REPARTITION_PHASE, 0),
+                        int(sends[dst]) * plan.bytes_per_cell,
+                    )
+            yield WaitSends()
+            recvs = plan.matrix[:, self.rank]
+            for src in range(self.census.num_ranks):
+                if recvs[src]:
+                    yield Recv(src, _tag(REPARTITION_PHASE, 0))
+        self.census = step.census
+        self.boundary_links = step.census.boundary_links[self.rank]
+        self.ghost_links = step.census.ghost_links[self.rank]
+        self.work = step.census.work_vector(self.rank)
+
     def _boundary_exchange(self, phase: int):
         """Per-material sextets plus the final all-materials step (§4.1)."""
         fb = BOUNDARY_BYTES_PER_FACE
@@ -187,6 +231,8 @@ class KrakProgram:
         st = self.state
         for it in range(self.iterations):
             yield MarkIteration(it)
+            if self.dynamic is not None:
+                yield from self._dynamic_update(it)
 
             # ---- Phase 1: timestep control (2 bcasts, 2 allreduces) -------
             yield SetPhase(0)

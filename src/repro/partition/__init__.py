@@ -21,8 +21,24 @@ from repro.partition.metrics import (
     partition_quality,
 )
 from repro.partition.cache import cached_partition
+from repro.partition.dynamic import (
+    EveryNPolicy,
+    ImbalanceThresholdPolicy,
+    NeverPolicy,
+    RepartitionPolicy,
+    migration_matrix,
+    parse_policy,
+    weighted_repartition,
+)
 
 __all__ = [
+    "RepartitionPolicy",
+    "NeverPolicy",
+    "EveryNPolicy",
+    "ImbalanceThresholdPolicy",
+    "parse_policy",
+    "weighted_repartition",
+    "migration_matrix",
     "Partition",
     "CSRGraph",
     "dual_graph_of_mesh",

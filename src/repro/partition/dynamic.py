@@ -1,0 +1,176 @@
+"""Dynamic repartitioning: policies, weighted repartitioning, migration.
+
+A static partition balances *cell counts*, but Krak's per-cell cost evolves
+as the burn front moves (Section 2.1), so mid-run the cost-weighted load can
+become arbitrarily imbalanced.  This module supplies the partition-level
+pieces of the dynamic-workload subsystem:
+
+* :class:`RepartitionPolicy` and its three concrete policies — ``never``
+  (the control), ``every_n`` (fixed cadence), and ``imbalance_threshold``
+  (repartition when the weighted load imbalance exceeds a bound);
+* :func:`weighted_repartition` — recompute a partition from per-cell work
+  weights via the existing multilevel substrate (whose bisections balance
+  vertex weights, not just counts);
+* :func:`migration_matrix` — the cell flows between an old and a new
+  partition, which size the point-to-point migration messages the simulator
+  charges for a repartition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.mesh.connectivity import FaceTable, build_face_table
+from repro.mesh.grid import QuadMesh
+from repro.partition.base import Partition
+from repro.partition.graph import CSRGraph, dual_graph_of_mesh
+from repro.partition.metrics import imbalance
+from repro.partition.multilevel import multilevel_partition_graph
+from repro.util import as_int_array
+
+
+@dataclass(frozen=True)
+class RepartitionPolicy:
+    """Decides, at each iteration boundary, whether to repartition.
+
+    Policies are pure functions of the iteration index and the current
+    effective work per rank, so every rank of the simulation reaches the
+    same decision from the same (globally consistent) census.
+
+    ``name`` is a class attribute, not a dataclass field, so the knob of
+    each concrete policy is its first positional argument
+    (``EveryNPolicy(2)``, ``ImbalanceThresholdPolicy(1.15)``).
+    """
+
+    name: ClassVar[str] = "policy"
+
+    def should_repartition(self, iteration: int, work_by_rank: np.ndarray) -> bool:
+        """True when the partition should be recomputed before ``iteration``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NeverPolicy(RepartitionPolicy):
+    """The control: keep the initial partition for the whole run."""
+
+    name: ClassVar[str] = "never"
+
+    def should_repartition(self, iteration: int, work_by_rank: np.ndarray) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class EveryNPolicy(RepartitionPolicy):
+    """Repartition on a fixed cadence of ``period`` iterations."""
+
+    name: ClassVar[str] = "every_n"
+    period: int = 4
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+
+    def should_repartition(self, iteration: int, work_by_rank: np.ndarray) -> bool:
+        return iteration > 0 and iteration % self.period == 0
+
+
+@dataclass(frozen=True)
+class ImbalanceThresholdPolicy(RepartitionPolicy):
+    """Repartition when weighted load imbalance exceeds ``threshold``.
+
+    Imbalance is ``max(work) / mean(work)`` (1.0 = perfect), the same
+    statistic :func:`repro.partition.metrics.imbalance` reports.
+    """
+
+    name: ClassVar[str] = "imbalance_threshold"
+    threshold: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise ValueError(f"threshold must exceed 1.0, got {self.threshold}")
+
+    def should_repartition(self, iteration: int, work_by_rank: np.ndarray) -> bool:
+        return imbalance(np.asarray(work_by_rank, dtype=np.float64)) > self.threshold
+
+
+def parse_policy(spec: str) -> RepartitionPolicy:
+    """Parse a CLI policy spec: ``never``, ``every:N``, or ``imbalance:X``."""
+    text = spec.strip().lower()
+    if text == "never":
+        return NeverPolicy()
+    if ":" in text:
+        kind, _, arg = text.partition(":")
+        if kind == "every":
+            return EveryNPolicy(period=int(arg))
+        if kind == "imbalance":
+            return ImbalanceThresholdPolicy(threshold=float(arg))
+    raise ValueError(
+        f"unknown repartition policy {spec!r}; use never, every:N, or imbalance:X"
+    )
+
+
+def weighted_repartition(
+    mesh: QuadMesh,
+    cell_weights: np.ndarray,
+    num_ranks: int,
+    faces: FaceTable | None = None,
+    seed: int = 0,
+    imbalance_tol: float = 0.03,
+) -> Partition:
+    """Partition ``mesh`` balancing ``cell_weights`` instead of cell counts.
+
+    Runs the multilevel pipeline on the dual graph with per-cell work as the
+    vertex weights — the bisection, refinement, and balance machinery all
+    operate on vertex weight, so the result balances *cost*, exactly what a
+    repartition in response to an evolving workload needs.
+    """
+    cell_weights = as_int_array(cell_weights, "cell_weights")
+    if cell_weights.shape != (mesh.num_cells,):
+        raise ValueError("cell_weights must have one entry per cell")
+    if np.any(cell_weights < 1):
+        raise ValueError("cell_weights must be positive")
+    if faces is None:
+        faces = build_face_table(mesh)
+    graph = dual_graph_of_mesh(mesh, faces)
+    graph = CSRGraph(
+        indptr=graph.indptr,
+        indices=graph.indices,
+        eweights=graph.eweights,
+        vweights=cell_weights,
+    )
+    labels = multilevel_partition_graph(
+        graph, num_ranks, seed=seed, imbalance_tol=imbalance_tol
+    )
+    return Partition(
+        num_ranks=num_ranks, cell_rank=labels, method="multilevel-weighted"
+    )
+
+
+def migration_matrix(old: Partition, new: Partition) -> np.ndarray:
+    """Cells moving between ranks: entry ``[a, b]`` counts cells that rank
+    ``a`` owned under ``old`` and must ship to rank ``b`` under ``new``
+    (the diagonal — cells that stay put — is zero)."""
+    if old.num_cells != new.num_cells:
+        raise ValueError("partitions cover different cell sets")
+    if old.num_ranks != new.num_ranks:
+        raise ValueError("partitions have different rank counts")
+    r = old.num_ranks
+    flows = np.bincount(
+        old.cell_rank * np.int64(r) + new.cell_rank, minlength=r * r
+    ).reshape(r, r)
+    np.fill_diagonal(flows, 0)
+    return flows
+
+
+__all__ = [
+    "RepartitionPolicy",
+    "NeverPolicy",
+    "EveryNPolicy",
+    "ImbalanceThresholdPolicy",
+    "parse_policy",
+    "weighted_repartition",
+    "migration_matrix",
+]

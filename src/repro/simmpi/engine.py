@@ -110,6 +110,19 @@ class Engine:
 
     # ------------------------------------------------------- request handling
 
+    def _park_recv(self, rank: int, key: tuple) -> None:
+        """Park ``rank`` as the waiter on ``key``.
+
+        Tags are unique per (phase, slot) and keys include the destination
+        rank, so a key can only ever have one waiter; a second one (or a
+        different rank re-parking on another's key) is a program bug and
+        must fail loudly instead of silently overwriting the first.
+        """
+        existing = self._recv_waiters.get(key)
+        if existing is not None and existing != rank:
+            raise RuntimeError(f"two receivers parked on {key}")
+        self._recv_waiters[key] = rank
+
     def _satisfy_recv(self, rank: int, st: _RankState, key: tuple) -> bool:
         """Try to complete a receive on ``key``; True on success."""
         box = self._mailboxes.get(key)
@@ -130,14 +143,12 @@ class Engine:
         runnable: deque,
     ) -> None:
         """Run ``rank`` until it blocks or finishes."""
-        net = self.cluster.network
-
         # If the rank was parked on a receive, the wake-up implies a message
         # is (normally) available; spurious wake-ups simply re-park.
         if st.waiting_recv is not None:
             key = st.waiting_recv
             if not self._satisfy_recv(rank, st, key):
-                self._recv_waiters[key] = rank
+                self._park_recv(rank, key)
                 return
             st.waiting_recv = None
 
@@ -191,9 +202,7 @@ class Engine:
                 key = (req.src, rank, req.tag)
                 if not self._satisfy_recv(rank, st, key):
                     st.waiting_recv = key
-                    if key in self._recv_waiters:
-                        raise RuntimeError(f"two receivers parked on {key}")
-                    self._recv_waiters[key] = rank
+                    self._park_recv(rank, key)
                     return
 
             elif isinstance(req, (api.Allreduce, api.Bcast, api.Gather, api.Barrier)):
@@ -255,7 +264,7 @@ class Engine:
             gathered = [q.value for q in reqs]
             results = [gathered if r == root else None for r in range(self.num_ranks)]
         elif kind is api.Barrier:
-            duration = t_allreduce(4.0)
+            duration = t_allreduce(4)
             results = [None] * self.num_ranks
         else:  # pragma: no cover - guarded by _advance
             raise TypeError(kind)

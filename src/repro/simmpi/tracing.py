@@ -22,6 +22,10 @@ class PhaseTrace:
         overheads, receive blocking, collective time).
     iteration_starts:
         ``iteration_starts[i][rank]`` = rank's clock at its ``MarkIteration(i)``.
+
+    Each mark additionally snapshots the rank's cumulative per-phase arrays,
+    so any iteration window ``[first, last)`` can be summarised exactly —
+    this is what keeps warm-up iterations out of measured phase breakdowns.
     """
 
     def __init__(self, num_ranks: int, num_phases: int) -> None:
@@ -32,6 +36,10 @@ class PhaseTrace:
         self.compute = np.zeros((num_ranks, num_phases))
         self.comm = np.zeros((num_ranks, num_phases))
         self.iteration_starts: dict[int, np.ndarray] = {}
+        #: index → (num_ranks, num_phases) cumulative arrays at each rank's
+        #: ``MarkIteration(index)`` (rows are NaN until that rank marks).
+        self._compute_at_mark: dict[int, np.ndarray] = {}
+        self._comm_at_mark: dict[int, np.ndarray] = {}
 
     def add_compute(self, rank: int, phase: int, seconds: float) -> None:
         """Charge computation time."""
@@ -47,6 +55,13 @@ class PhaseTrace:
             index, np.full(self.num_ranks, np.nan)
         )
         marks[rank] = clock
+        shape = (self.num_ranks, self.num_phases)
+        self._compute_at_mark.setdefault(index, np.full(shape, np.nan))[
+            rank
+        ] = self.compute[rank]
+        self._comm_at_mark.setdefault(index, np.full(shape, np.nan))[
+            rank
+        ] = self.comm[rank]
 
     # ---- summaries ---------------------------------------------------------
 
@@ -57,6 +72,28 @@ class PhaseTrace:
     def phase_comm_max(self) -> np.ndarray:
         """Max-over-ranks communication seconds per phase."""
         return self.comm.max(axis=0)
+
+    def _window(self, snapshots: dict, first: int, last: int) -> np.ndarray:
+        """Per-(rank, phase) seconds accumulated in iterations ``[first, last)``."""
+        if first not in snapshots or last not in snapshots:
+            raise KeyError("requested iterations were not marked")
+        lo, hi = snapshots[first], snapshots[last]
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise ValueError("iteration marks incomplete (some ranks missing)")
+        return hi - lo
+
+    def window_compute_max(self, first: int, last: int) -> np.ndarray:
+        """Max-over-ranks compute seconds per phase over ``[first, last)``.
+
+        The window form of :meth:`phase_compute_max`: only time charged
+        between the two iteration marks counts, so warm-up iterations can be
+        excluded from measured breakdowns.
+        """
+        return self._window(self._compute_at_mark, first, last).max(axis=0)
+
+    def window_comm_max(self, first: int, last: int) -> np.ndarray:
+        """Max-over-ranks communication seconds per phase over ``[first, last)``."""
+        return self._window(self._comm_at_mark, first, last).max(axis=0)
 
     def iteration_time(self, first: int, last: int) -> float:
         """Virtual time from the start of iteration ``first`` to ``last``.

@@ -246,3 +246,85 @@ class TestResume:
         )
         status = sweep_status(other, store)
         assert status.completed == 0
+
+
+class TestDynamicAxis:
+    def test_dynamics_axis_expands_grid(self):
+        from repro.analysis import DynamicSpec
+
+        spec = SweepSpec(
+            decks=("16x8",),
+            rank_counts=(2, 4),
+            models=(),
+            dynamics=(None, DynamicSpec(policy="never", iterations=4)),
+            max_side=4,
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == spec.num_points == 4
+        assert {t.dynamic for t in tasks} == {
+            None,
+            DynamicSpec(policy="never", iterations=4),
+        }
+
+    def test_static_store_keys_unchanged_by_dynamic_field(self, tiny_spec):
+        """Adding the dynamic field must not invalidate existing stored
+        static sweep points: a None-dynamic task hashes exactly as before."""
+        task = tiny_spec.tasks()[0]
+        params = {
+            "kind": "validation-point",
+            "version": 1,
+            "deck": task.deck,
+            "num_ranks": task.num_ranks,
+            "cluster": task.cluster,
+            "table": task.table,
+            "models": tuple(task.models),
+            "partition_method": task.partition_method,
+            "seed": task.seed,
+        }
+        from repro.analysis import ResultStore
+
+        assert task.store_key() == ResultStore.key_for(params)
+
+    def test_dynamic_key_differs_from_static(self, tiny_spec):
+        from repro.analysis import DynamicSpec
+
+        task = tiny_spec.tasks()[0]
+        dyn_task = dataclasses.replace(
+            task, dynamic=DynamicSpec(policy="never", iterations=4)
+        )
+        assert dyn_task.store_key() != task.store_key()
+        other = dataclasses.replace(
+            task, dynamic=DynamicSpec(policy="every:2", iterations=4)
+        )
+        assert other.store_key() != dyn_task.store_key()
+
+    def test_dynamic_points_run_and_resume(self, tmp_cache):
+        from repro.analysis import DynamicSpec
+
+        spec = SweepSpec(
+            decks=("16x8",),
+            rank_counts=(2,),
+            models=(),
+            dynamics=(
+                None,
+                DynamicSpec(policy="imbalance:1.1", iterations=4),
+            ),
+            max_side=4,
+        )
+        store = sweep_store()
+        first = run_sweep(spec, store=store)
+        assert [o.cached for o in first] == [False, False]
+        again = run_sweep(spec, store=store)
+        assert [o.cached for o in again] == [True, True]
+        assert [o.point.measured for o in again] == [
+            o.point.measured for o in first
+        ]
+
+    def test_dynamic_spec_validation(self):
+        from repro.analysis import DynamicSpec
+
+        with pytest.raises(ValueError):
+            DynamicSpec(policy="sometimes")
+        with pytest.raises(ValueError):
+            DynamicSpec(warmup=5, iterations=5)
+        assert DynamicSpec(policy="imbalance:1.2").label == "dyn[imbalance:1.2,x4]"

@@ -145,3 +145,42 @@ class TestSweepSubcommands:
         assert "removed 2 stored sweep points" in capsys.readouterr().out
         assert main(self.STATUS_ARGS) == 0
         assert "completed      0" in capsys.readouterr().out
+
+
+class TestDynamicSweepCLI:
+    DYN_ARGS = [
+        "sweep",
+        "run",
+        "--decks",
+        "16x8",
+        "--ranks",
+        "2",
+        "--max-side",
+        "16",
+        "--models",
+        "homogeneous",
+        "--dynamic",
+        "static,imbalance:1.15",
+        "--dyn-iterations",
+        "4",
+    ]
+
+    def test_dynamic_axis_runs_and_labels(self, capsys):
+        assert main(self.DYN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated, 0 from store" in out
+        assert "static" in out
+        assert "dyn[imbalance:1.15,x4]" in out
+
+    def test_dynamic_axis_resumes(self, capsys):
+        assert main(self.DYN_ARGS) == 0
+        capsys.readouterr()
+        assert main(self.DYN_ARGS) == 0
+        assert "0 simulated, 2 from store" in capsys.readouterr().out
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            main(
+                self.DYN_ARGS[:-4]
+                + ["--dynamic", "sometimes", "--dyn-iterations", "4"]
+            )

@@ -116,3 +116,59 @@ class TestCensusInvariants:
             deck, part, cluster=es45_like_cluster(), iterations=2, faces=faces
         )
         assert m.seconds > 0
+
+
+class TestDynamicCensusInvariants:
+    @given(case=random_partitioned_deck())
+    @settings(max_examples=15, deadline=None)
+    def test_census_at_zero_equals_static(self, case):
+        """Before detonation nothing burns: census_at(0) must be the static
+        census, for any deck and partition."""
+        from repro.hydro import DynamicCensus
+
+        deck, part = case
+        faces = build_face_table(deck.mesh)
+        dyn = DynamicCensus.build(deck, part, faces=faces)
+        census = dyn.census_at(0.0)
+        np.testing.assert_array_equal(
+            census.material_counts, dyn.base.material_counts
+        )
+        assert census.boundary_links is dyn.base.boundary_links
+        assert census.ghost_links is dyn.base.ghost_links
+
+    @given(
+        case=random_partitioned_deck(),
+        times=st.lists(st.floats(0.0, 5.0e-4), min_size=2, max_size=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ignited_cell_counts_are_monotone(self, case, times):
+        """The burn front only advances: the set of cells whose burn has
+        started grows monotonically with time."""
+        from repro.hydro import DynamicCensus
+
+        deck, part = case
+        dyn = DynamicCensus.build(deck, part, faces=build_face_table(deck.mesh))
+        counts = [
+            int((dyn.burn.burn_fraction(t) > 0.0).sum()) for t in sorted(times)
+        ]
+        assert counts == sorted(counts)
+
+    @given(
+        case=random_partitioned_deck(),
+        t=st.floats(0.0, 5.0e-4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_effective_work_bounds(self, case, t):
+        """Effective work per rank is bounded below by the static cell count
+        and above by the fully-multiplied count."""
+        from repro.hydro import DynamicCensus
+
+        deck, part = case
+        mult = 4.0
+        dyn = DynamicCensus.build(
+            deck, part, burn_multiplier=mult, faces=build_face_table(deck.mesh)
+        )
+        static = dyn.base.material_counts.sum(axis=1).astype(float)
+        work = dyn.work_by_rank(t)
+        assert np.all(work >= static - 1e-9)
+        assert np.all(work <= mult * static + 1e-9)

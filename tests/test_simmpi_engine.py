@@ -234,6 +234,14 @@ class TestCollectives:
         res = run(cl, 4, prog)
         assert np.allclose(res.final_clocks, res.final_clocks[0])
 
+    def test_barrier_costs_like_four_byte_allreduce(self, cl):
+        def prog(rank):
+            yield SetPhase(0)
+            yield Barrier()
+
+        res = run(cl, 8, prog)
+        assert res.makespan == pytest.approx(allreduce_time(cl.network, 8, 4))
+
     def test_single_rank_collective_is_free(self, cl):
         def prog(rank):
             yield SetPhase(0)
@@ -242,6 +250,64 @@ class TestCollectives:
 
         res = run(cl, 1, prog)
         assert res.makespan == 0.0
+
+
+class TestRecvParking:
+    def test_duplicate_foreign_waiter_raises(self, cl):
+        """Both parking paths go through _park_recv, which rejects a second
+        rank claiming an occupied key instead of silently overwriting it."""
+        engine = Engine(cl, 2, 1)
+        key = (0, 1, 7)
+        engine._park_recv(1, key)
+        with pytest.raises(RuntimeError, match="two receivers parked"):
+            engine._park_recv(0, key)
+
+    def test_self_repark_is_idempotent(self, cl):
+        """A spurious wake-up re-parks the same rank on its own key."""
+        engine = Engine(cl, 2, 1)
+        key = (0, 1, 7)
+        engine._park_recv(1, key)
+        engine._park_recv(1, key)
+        assert engine._recv_waiters[key] == 1
+
+    def test_spurious_wakeup_reparks_through_guard(self, cl, monkeypatch):
+        """Force a spurious wake-up (the waiter runs but its receive cannot
+        complete) and check the rank re-parks through the guard and the run
+        still finishes once a later send arrives."""
+        engine = Engine(cl, 3, 1)
+        original = Engine._satisfy_recv
+        fail_once = {"armed": True}
+
+        def flaky(self, rank, st, key):
+            if rank == 1 and fail_once["armed"] and key == (0, 1, 1):
+                if key in self._mailboxes and self._mailboxes[key]:
+                    fail_once["armed"] = False
+                    return False  # pretend the mailbox was empty
+            return original(self, rank, st, key)
+
+        monkeypatch.setattr(Engine, "_satisfy_recv", flaky)
+        got = []
+
+        def prog(rank):
+            yield SetPhase(0)
+            if rank == 0:
+                yield Recv(1, 9)
+                yield Isend(1, 1, 8, payload="data")
+                yield Isend(2, 5, 8)
+                yield Recv(2, 6)
+                yield Isend(1, 1, 8, payload="data2")
+            elif rank == 1:
+                yield Isend(0, 9, 8)
+                _, a = yield Recv(0, 1)
+                _, b = yield Recv(0, 1)
+                got.extend([a, b])
+            else:
+                yield Recv(0, 5)
+                yield Isend(0, 6, 8)
+
+        engine.run(lambda r: prog(r))
+        assert not fail_once["armed"]
+        assert got == ["data", "data2"]
 
 
 class TestDeterminism:
