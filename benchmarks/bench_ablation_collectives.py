@@ -74,17 +74,10 @@ def test_collectives_share_grows_with_p(cluster, fine_cost_table):
 
 
 @pytest.mark.benchmark(group="ablation-collectives")
-def test_bench_simulated_allreduce_1024(benchmark, cluster):
+def test_bench_simulated_allreduce_1024(benchmark, registry_bench):
     """DES cost of one 1024-rank allreduce (engine scalability check)."""
-    from repro.simmpi import Allreduce, Compute, Engine, SetPhase
-
-    def run_once():
-        def prog(rank):
-            yield SetPhase(0)
-            yield Compute(0.0)
-            yield Allreduce(1.0, "sum", 8)
-
-        return Engine(cluster, 1024, 1).run(prog).makespan
-
-    makespan = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    bench, ctx, makespan = registry_bench(
+        benchmark, "ablation.simulated_allreduce", rounds=3
+    )
+    assert ctx["ranks"] == 1024
     assert makespan > 0

@@ -8,7 +8,6 @@ densifies — and that no density rescues a model evaluated far outside its
 calibrated range.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import TextTable
@@ -65,14 +64,8 @@ def test_knee_error_systematically_overpredicts(knee_rows):
 
 
 @pytest.mark.benchmark(group="ablation-knee")
-@pytest.mark.parametrize("label,sides", DENSITIES, ids=[d[0] for d in DENSITIES])
-def test_bench_calibration_density(benchmark, cluster, label, sides):
-    """Calibration cost grows with sample count — the accuracy trade-off."""
-    table = benchmark.pedantic(
-        calibrate_contrived_grid,
-        args=(cluster,),
-        kwargs={"sides": sides},
-        rounds=2,
-        iterations=1,
-    )
+def test_bench_calibration_density(benchmark, registry_bench):
+    """Calibration cost at the registry's representative sample density
+    (the knee-error-vs-density *accuracy* sweep lives in ``knee_rows``)."""
+    table = registry_bench(benchmark, "ablation.calibration_density", rounds=2)[2]
     assert table.num_phases == 15

@@ -93,10 +93,6 @@ def test_overlap_savings_exist(cluster, small_deck, fine_cost_table):
 
 
 @pytest.mark.benchmark(group="ablation-overlap")
-def test_bench_p2p_model_evaluation(benchmark, cluster, small_deck, fine_cost_table):
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, 64, seed=1, faces=faces)
-    census = build_workload_census(small_deck, part, faces)
-    model = MeshSpecificModel(table=fine_cost_table, network=cluster.network)
-    be, gn = benchmark(model.point_to_point, census)
+def test_bench_p2p_model_evaluation(benchmark, registry_bench):
+    be, gn = registry_bench(benchmark, "ablation.p2p_model_evaluation")[2]
     assert be > 0 and gn > 0

@@ -92,14 +92,6 @@ def test_multilevel_irregular_vs_rcb_regular(ablation_rows):
 
 
 @pytest.mark.benchmark(group="ablation-partitioners")
-@pytest.mark.parametrize("method", ["multilevel", "rcb", "block"])
-def test_bench_partitioners(benchmark, small_deck, method):
-    faces = build_face_table(small_deck.mesh)
-    part = benchmark.pedantic(
-        cached_partition,
-        args=(small_deck, 16),
-        kwargs={"method": method, "seed": 1, "faces": faces, "use_cache": False},
-        rounds=2,
-        iterations=1,
-    )
-    assert part.num_ranks == 16
+def test_bench_partitioners(benchmark, registry_bench):
+    parts = registry_bench(benchmark, "ablation.partitioners", rounds=2)[2]
+    assert all(part.num_ranks == 16 for part in parts)

@@ -125,24 +125,7 @@ def test_cadence_policy_sits_between(dynamic_runs):
 
 
 @pytest.mark.benchmark(group="dynamic-imbalance")
-def test_bench_dynamic_run(benchmark, cluster, small_deck):
+def test_bench_dynamic_run(benchmark, registry_bench):
     """Cost of one fully dynamic simulated run (threshold policy)."""
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, NUM_RANKS, seed=1, faces=faces)
-    config = DynamicConfig(
-        policy=ImbalanceThresholdPolicy(threshold=1.15),
-        burn_multiplier=BURN_MULTIPLIER,
-    )
-
-    def one_run():
-        return run_krak(
-            small_deck,
-            part,
-            cluster=cluster,
-            iterations=8,
-            faces=faces,
-            dynamic=config,
-        )
-
-    run = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    run = registry_bench(benchmark, "dynamic.imbalance_run", rounds=1)[2]
     assert run.dynamic.num_repartitions >= 1

@@ -93,17 +93,7 @@ def test_on_node_fraction_shrinks_with_p(smp_rows):
 
 
 @pytest.mark.benchmark(group="ext-smp")
-def test_bench_smp_simulation(benchmark, small_deck):
+def test_bench_smp_simulation(benchmark, registry_bench):
     """Simulator overhead of per-pair network selection."""
-    smp = es45_like_cluster().with_smp()
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, 16, seed=1, faces=faces)
-    census = build_workload_census(small_deck, part, faces)
-
-    def run_once():
-        return measure_iteration_time(
-            small_deck, part, cluster=smp, faces=faces, census=census
-        ).seconds
-
-    t = benchmark(run_once)
+    t = registry_bench(benchmark, "ext.smp_simulation")[2]
     assert t > 0

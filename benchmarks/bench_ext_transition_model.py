@@ -89,7 +89,6 @@ def test_transition_matches_het_at_p1_and_homo_at_scale(transition_rows):
 
 
 @pytest.mark.benchmark(group="ext-transition")
-def test_bench_transition_predict(benchmark, cluster, medium_deck, fine_cost_table):
-    model = TransitionModel.for_deck(medium_deck, fine_cost_table, cluster.network)
-    pred = benchmark(model.predict, medium_deck.num_cells, 512)
+def test_bench_transition_predict(benchmark, registry_bench):
+    pred = registry_bench(benchmark, "ext.transition_predict")[2]
     assert pred.total > 0

@@ -5,17 +5,11 @@ material-layer boundaries marked) plus partition-quality statistics, and
 benchmarks the multilevel partitioner itself.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import TextTable
 from repro.mesh import MATERIAL_NAMES, build_face_table
-from repro.partition import (
-    cached_partition,
-    dual_graph_of_mesh,
-    multilevel_partition,
-    partition_quality,
-)
+from repro.partition import cached_partition, dual_graph_of_mesh, partition_quality
 
 _GLYPHS = "0123456789abcdef"
 
@@ -62,26 +56,14 @@ def test_figure1_report(small_deck, report_writer):
 
 
 @pytest.mark.benchmark(group="figure1")
-def test_bench_multilevel_partitioner(benchmark, small_deck):
+def test_bench_multilevel_partitioner(benchmark, registry_bench):
     """Partitioner speed on the small deck at 16 ranks."""
-    faces = build_face_table(small_deck.mesh)
-    part = benchmark(multilevel_partition, small_deck.mesh, 16, faces, 1)
+    part = registry_bench(benchmark, "figure1.multilevel_partition")[2]
     assert part.num_ranks == 16
 
 
 @pytest.mark.benchmark(group="figure1")
-def test_bench_boundary_census(benchmark, small_deck):
+def test_bench_boundary_census(benchmark, registry_bench):
     """Boundary-census construction cost (used by every validation run)."""
-    from repro.mesh import boundary_census
-
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, 16, seed=1, faces=faces)
-    census = benchmark(
-        boundary_census,
-        small_deck.mesh,
-        faces,
-        small_deck.cell_material,
-        part.cell_rank,
-        16,
-    )
+    census = registry_bench(benchmark, "figure1.boundary_census")[2]
     assert len(census.pairs) > 0

@@ -79,15 +79,10 @@ def test_phase14_material_dependence(figure2_run):
 
 
 @pytest.mark.benchmark(group="figure2")
-def test_bench_census_timing_run(benchmark, figure2_run, cluster):
+def test_bench_census_timing_run(benchmark, registry_bench):
     """Execution-driven simulation speed at 256 ranks."""
-    deck, part, census, _ = figure2_run
-    faces = build_face_table(deck.mesh)
-
-    def run_once():
-        return run_krak(
-            deck, part, cluster=cluster, iterations=1, faces=faces, census=census
-        ).result.makespan
-
-    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    bench, ctx, result = registry_bench(
+        benchmark, "figure2.census_timing_run", rounds=3
+    )
+    assert ctx["part"].num_ranks == 256
     assert result > 0

@@ -10,7 +10,6 @@ import pytest
 
 from repro.analysis import format_series
 from repro.mesh import MATERIAL_NAMES, NUM_MATERIALS
-from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
 
 #: 0-based indices of the phases plotted in Figure 3.
 FIGURE3_PHASES = (0, 1, 6)
@@ -63,13 +62,7 @@ def test_phase2_knee_near_1000_cells(fine_cost_table):
 
 
 @pytest.mark.benchmark(group="figure3")
-def test_bench_contrived_calibration(benchmark, cluster):
-    """Cost of one coarse contrived-grid calibration (all materials)."""
-    table = benchmark.pedantic(
-        calibrate_contrived_grid,
-        args=(cluster,),
-        kwargs={"sides": [1, 8, 64]},
-        rounds=3,
-        iterations=1,
-    )
+def test_bench_contrived_calibration(benchmark, registry_bench):
+    """Cost of one contrived-grid calibration (all materials)."""
+    table = registry_bench(benchmark, "figure3.contrived_calibration", rounds=3)[2]
     assert table.num_materials == NUM_MATERIALS

@@ -132,23 +132,8 @@ def test_heterogeneous_exact_serially(figure5_sweeps):
 
 
 @pytest.mark.benchmark(group="figure5")
-def test_bench_scaling_sweep_models_only(benchmark, cluster, fine_cost_table):
+def test_bench_scaling_sweep_models_only(benchmark, registry_bench):
     """Model-side sweep cost (what the paper calls 'rapid model evaluation'):
     both general variants across 11 processor counts."""
-    from repro.perfmodel import GeneralModel
-
-    homo = GeneralModel(table=fine_cost_table, network=cluster.network, mode="homogeneous")
-    het = GeneralModel(
-        table=fine_cost_table, network=cluster.network, mode="heterogeneous"
-    )
-
-    def sweep():
-        out = []
-        p = 1
-        while p <= MAX_RANKS:
-            out.append((homo.predict(819200, p).total, het.predict(819200, p).total))
-            p *= 2
-        return out
-
-    result = benchmark(sweep)
+    result = registry_bench(benchmark, "figure5.scaling_models_only")[2]
     assert len(result) == 11

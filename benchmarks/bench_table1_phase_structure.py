@@ -8,7 +8,7 @@ iteration throughput on the small deck.
 import pytest
 
 from repro.analysis import TextTable
-from repro.hydro import build_workload_census, run_krak
+from repro.hydro import build_workload_census
 from repro.hydro.phases import KrakProgram
 from repro.machine import (
     COMM_BOUNDARY_EXCHANGE,
@@ -86,16 +86,7 @@ def test_request_stream_matches_table1(small_deck):
 
 
 @pytest.mark.benchmark(group="table1")
-def test_bench_iteration_simulation(benchmark, small_deck, cluster):
-    """Simulator throughput: one full 15-phase iteration on 16 ranks."""
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, 16, seed=1, faces=faces)
-    census = build_workload_census(small_deck, part, faces)
-
-    def run_once():
-        return run_krak(
-            small_deck, part, cluster=cluster, iterations=1, faces=faces, census=census
-        ).result.makespan
-
-    makespan = benchmark(run_once)
+def test_bench_iteration_simulation(benchmark, registry_bench):
+    """Simulator throughput: full 15-phase iterations on 16 ranks."""
+    makespan = registry_bench(benchmark, "table1.iteration_simulation")[2]
     assert makespan > 0

@@ -49,7 +49,7 @@ def test_larger_decks_converge_to_table2():
 
 
 @pytest.mark.benchmark(group="table2")
-def test_bench_deck_construction(benchmark):
+def test_bench_deck_construction(benchmark, registry_bench):
     """Medium-deck construction speed (mesh + materials)."""
-    deck = benchmark(build_deck, "medium")
+    deck = registry_bench(benchmark, "table2.deck_construction")[2]
     assert deck.num_cells == 204800

@@ -9,8 +9,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import TextTable
-from repro.machine import QSNET_LIKE
-from repro.perfmodel import boundary_exchange_time, boundary_message_sizes
+from repro.perfmodel import boundary_message_sizes
 
 #: Figure 4's boundary after combining the two aluminums, with the Table 3
 #: multi-material ghost-node attributions (1 HE, 3 Al, 2 foam).
@@ -59,7 +58,8 @@ def test_total_bytes():
 
 
 @pytest.mark.benchmark(group="table3")
-def test_bench_boundary_exchange_model(benchmark):
+def test_bench_boundary_exchange_model(benchmark, registry_bench):
     """Equation (5) evaluation speed (called per neighbour per rank)."""
-    t = benchmark(boundary_exchange_time, QSNET_LIKE, FACES, MULTI)
+    bench, _, t = registry_bench(benchmark, "table3.boundary_exchange_model")
+    assert bench.source.endswith("bench_table3_boundary_exchange.py")
     assert t > 0

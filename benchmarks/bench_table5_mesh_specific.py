@@ -108,13 +108,7 @@ def test_medium_strong_scaling_shape(table5_rows):
 
 
 @pytest.mark.benchmark(group="table5")
-def test_bench_mesh_specific_predict(
-    benchmark, cluster, small_deck, linear_system_table
-):
+def test_bench_mesh_specific_predict(benchmark, registry_bench):
     """Model evaluation speed with exact partition information."""
-    faces = build_face_table(small_deck.mesh)
-    part = cached_partition(small_deck, 128, seed=1, faces=faces)
-    census = build_workload_census(small_deck, part, faces)
-    model = MeshSpecificModel(table=linear_system_table, network=cluster.network)
-    pred = benchmark(model.predict, census)
+    pred = registry_bench(benchmark, "table5.mesh_specific_predict")[2]
     assert pred.total > 0

@@ -95,11 +95,8 @@ def test_measured_magnitudes_in_paper_range(table6_rows):
 
 
 @pytest.mark.benchmark(group="table6")
-def test_bench_general_model_predict(benchmark, cluster, fine_cost_table):
+def test_bench_general_model_predict(benchmark, registry_bench):
     """The general model exists for rapid large-scale evaluation — it must
     be microseconds-fast per prediction."""
-    model = GeneralModel(
-        table=fine_cost_table, network=cluster.network, mode="homogeneous"
-    )
-    pred = benchmark(model.predict, 819200, 512)
+    pred = registry_bench(benchmark, "table6.general_model_predict")[2]
     assert pred.total > 0

@@ -1,0 +1,179 @@
+"""Regression gating between two benchmark reports.
+
+``compare_reports(old, new)`` walks the union of benchmark names and
+classifies each as:
+
+* ``pass`` — wall time within the bench's threshold, invariants equal;
+* ``warn`` — faster than the baseline by more than the threshold (the
+  committed baseline is stale and should be refreshed), or the bench is
+  present in only one report;
+* ``fail`` — slower than the baseline beyond the threshold, or the
+  simulated-time invariants drifted (a *semantic* change, however fast).
+
+Wall-time ratios use the per-bench robust stat (``median`` by default);
+invariant comparison is exact, because simulated time is deterministic.
+
+Wall-clock times are only comparable within a matching environment (the
+fingerprint each report records).  When the two reports come from
+different machines/interpreters, a threshold exceedance says more about
+the hardware than the code, so it is downgraded to ``warn`` — while
+invariant drift stays a hard ``fail`` everywhere, being hardware
+independent.  Pass ``assume_same_env=True`` to keep wall-time failures
+hard regardless (e.g. when you know the machines are equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PASS, WARN, FAIL = "pass", "warn", "fail"
+
+#: Fingerprint keys that must agree for wall-clock times to be comparable.
+ENV_KEYS = ("platform", "machine", "cpu_count", "python", "implementation", "numpy")
+
+
+def environments_match(old: dict, new: dict) -> bool:
+    """Whether two reports' timings are hardware-comparable."""
+    old_env = old.get("environment", {})
+    new_env = new.get("environment", {})
+    return all(old_env.get(k) == new_env.get(k) for k in ENV_KEYS)
+
+
+#: Cross-environment relative tolerance for float invariants.  Within one
+#: environment simulated time is bitwise-reproducible and compared exactly;
+#: across environments transcendental kernels (``np.log`` SIMD dispatch,
+#: libm builds) may legitimately differ in the last ulp, which is ~1e-16 —
+#: ten million times smaller than this bound — while any real semantic
+#: drift moves results by far more.
+CROSS_ENV_RTOL = 1e-9
+
+
+def _invariants_match(old, new, exact: bool) -> bool:
+    """Compare invariant mappings; ulp-tolerant on floats when not exact."""
+    if exact:
+        return old == new
+    if isinstance(old, dict) and isinstance(new, dict):
+        return old.keys() == new.keys() and all(
+            _invariants_match(old[k], new[k], exact) for k in old
+        )
+    if isinstance(old, float) or isinstance(new, float):
+        try:
+            o, n = float(old), float(new)
+        except (TypeError, ValueError):
+            return old == new
+        scale = max(abs(o), abs(n))
+        return abs(o - n) <= CROSS_ENV_RTOL * scale
+    return old == new
+
+
+@dataclass(frozen=True)
+class CompareEntry:
+    """One benchmark's verdict."""
+
+    name: str
+    status: str
+    detail: str
+    ratio: float | None = None
+    old_s: float | None = None
+    new_s: float | None = None
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """All verdicts plus the aggregate outcome."""
+
+    entries: tuple
+    #: Whether wall times were compared at full strictness (same
+    #: environment, or the caller asserted equivalence).
+    same_env: bool = True
+
+    @property
+    def failures(self) -> list:
+        return [e for e in self.entries if e.status == FAIL]
+
+    @property
+    def warnings(self) -> list:
+        return [e for e in self.entries if e.status == WARN]
+
+    @property
+    def num_compared(self) -> int:
+        """Entries whose wall times were actually ratio-compared."""
+        return sum(1 for e in self.entries if e.ratio is not None)
+
+    @property
+    def ok(self) -> bool:
+        """No failures AND a non-vacuous comparison.
+
+        A candidate report that shares no benchmarks with the baseline
+        (e.g. a partial ``--names`` run) must not pass the gate just
+        because nothing could be measured.
+        """
+        return not self.failures and self.num_compared > 0
+
+
+def compare_reports(
+    old: dict,
+    new: dict,
+    threshold: float | None = None,
+    stat: str = "median",
+    assume_same_env: bool = False,
+) -> CompareResult:
+    """Diff two validated reports; ``threshold`` overrides per-bench values."""
+    old_benches = old["benchmarks"]
+    new_benches = new["benchmarks"]
+    same_env = assume_same_env or environments_match(old, new)
+    entries = []
+    for name in sorted(set(old_benches) | set(new_benches)):
+        if name not in new_benches:
+            entries.append(CompareEntry(name, WARN, "missing from new report"))
+            continue
+        if name not in old_benches:
+            entries.append(CompareEntry(name, WARN, "not in baseline report"))
+            continue
+        o, n = old_benches[name], new_benches[name]
+        if o["size"] != n["size"]:
+            entries.append(
+                CompareEntry(name, WARN, f"size changed {o['size']} -> {n['size']}")
+            )
+            continue
+        if not _invariants_match(o["invariants"], n["invariants"], exact=same_env):
+            entries.append(
+                CompareEntry(
+                    name, FAIL,
+                    f"invariant drift: {o['invariants']} -> {n['invariants']}",
+                )
+            )
+            continue
+        old_s = float(o["stats"][stat])
+        new_s = float(n["stats"][stat])
+        # The stricter of the two per-bench thresholds, so a change cannot
+        # loosen its own gate by shipping a bigger threshold alongside the
+        # slowdown it excuses.
+        limit = (
+            float(threshold)
+            if threshold is not None
+            else min(float(o["threshold"]), float(n["threshold"]))
+        )
+        if old_s <= 0.0:
+            entries.append(CompareEntry(name, WARN, "baseline stat is zero",
+                                        old_s=old_s, new_s=new_s))
+            continue
+        ratio = new_s / old_s
+        if ratio > 1.0 + limit:
+            if same_env:
+                status = FAIL
+                detail = f"{ratio:.2f}x slower than baseline (>{1 + limit:.2f}x)"
+            else:
+                status = WARN
+                detail = (
+                    f"{ratio:.2f}x slower, but environments differ — "
+                    "re-baseline on this hardware to gate wall time"
+                )
+        elif ratio < 1.0 / (1.0 + limit):
+            status, detail = WARN, f"{ratio:.2f}x of baseline — refresh the baseline"
+        else:
+            status, detail = PASS, f"{ratio:.2f}x of baseline"
+        entries.append(
+            CompareEntry(name, status, detail, ratio=ratio, old_s=old_s, new_s=new_s)
+        )
+    return CompareResult(entries=tuple(entries), same_env=same_env)

@@ -1,0 +1,129 @@
+"""Machine-readable benchmark reports (``BENCH_<suite>.json``).
+
+A report is one JSON document: a schema tag, the suite name, an environment
+fingerprint (so trajectory points are comparable only with matching
+context), and one entry per benchmark with raw wall times, robust stats,
+and the simulated-time invariants.  ``validate_report`` is the schema
+gate used on both emission and load, so a drifting producer fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+#: Required per-benchmark keys and the type each must carry.
+_BENCH_KEYS = {
+    "group": str,
+    "size": str,
+    "warmup": int,
+    "repeats": int,
+    "threshold": float,
+    "wall_s": list,
+    "stats": dict,
+    "invariants": dict,
+}
+
+_STAT_KEYS = ("best", "median", "mean", "max", "stdev")
+
+
+def _git_commit() -> str | None:
+    """Best-effort current commit id (None outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def environment_fingerprint() -> dict:
+    """The context a timing is only comparable within."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "git_commit": _git_commit(),
+    }
+
+
+def build_report(suite: str, timings: list, extra: dict | None = None) -> dict:
+    """Assemble the JSON document for a suite run.
+
+    ``extra`` lands under the ``"extra"`` key — e.g. the trajectory notes
+    recording before/after numbers of an optimisation.
+    """
+    doc = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": environment_fingerprint(),
+        "benchmarks": {t.bench.name: t.to_dict() for t in timings},
+    }
+    if extra:
+        doc["extra"] = dict(extra)
+    return doc
+
+
+def validate_report(doc) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed suite report."""
+    if not isinstance(doc, dict):
+        raise ValueError("report must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported schema {doc.get('schema')!r}; want {SCHEMA!r}")
+    for key in ("suite", "created_utc", "environment", "benchmarks"):
+        if key not in doc:
+            raise ValueError(f"report missing {key!r}")
+    if not isinstance(doc["benchmarks"], dict):
+        raise ValueError("benchmarks must be an object")
+    for name, entry in doc["benchmarks"].items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"benchmark {name!r} entry must be an object")
+        for key, typ in _BENCH_KEYS.items():
+            if key not in entry:
+                raise ValueError(f"benchmark {name!r} missing {key!r}")
+            value = entry[key]
+            if typ is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, typ)
+            if not ok:
+                raise ValueError(
+                    f"benchmark {name!r} field {key!r} must be {typ.__name__}"
+                )
+        if len(entry["wall_s"]) != entry["repeats"]:
+            raise ValueError(f"benchmark {name!r}: wall_s length != repeats")
+        for stat in _STAT_KEYS:
+            if stat not in entry["stats"]:
+                raise ValueError(f"benchmark {name!r} stats missing {stat!r}")
+
+
+def write_report(doc: dict, path) -> Path:
+    """Validate and write ``doc`` to ``path`` (pretty-printed, atomic)."""
+    validate_report(doc)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_report(path) -> dict:
+    """Load and validate a report file."""
+    doc = json.loads(Path(path).read_text())
+    validate_report(doc)
+    return doc

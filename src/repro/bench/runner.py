@@ -1,0 +1,110 @@
+"""Benchmark execution: warm-up, repeats, and robust wall-time statistics."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.registry import SIZES, Benchmark, all_benchmarks, get_benchmark
+
+
+def robust_stats(samples: list) -> dict:
+    """Summary statistics for a list of wall times (seconds).
+
+    ``best`` and ``median`` are the regression-detection stats (robust to
+    one-off scheduling noise); mean/max/stdev complete the picture.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    s = sorted(samples)
+    n = len(s)
+    mid = n // 2
+    median = s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+    mean = sum(s) / n
+    var = sum((x - mean) ** 2 for x in s) / n
+    return {
+        "best": s[0],
+        "median": median,
+        "mean": mean,
+        "max": s[-1],
+        "stdev": math.sqrt(var),
+    }
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """One benchmark's measured outcome."""
+
+    bench: Benchmark
+    size: str
+    warmup: int
+    wall_s: list
+    invariants: dict = field(default_factory=dict)
+
+    @property
+    def stats(self) -> dict:
+        return robust_stats(self.wall_s)
+
+    def to_dict(self) -> dict:
+        """The JSON form embedded in a suite report."""
+        return {
+            "group": self.bench.group,
+            "description": self.bench.description,
+            "source": self.bench.source,
+            "size": self.size,
+            "warmup": self.warmup,
+            "repeats": len(self.wall_s),
+            "threshold": self.bench.threshold,
+            "wall_s": list(self.wall_s),
+            "stats": self.stats,
+            "invariants": dict(self.invariants),
+        }
+
+
+def run_benchmark(
+    bench: Benchmark, size: str, repeats: int | None = None, warmup: int | None = None
+) -> BenchTiming:
+    """Time one benchmark: setup (untimed), warm-up, then ``repeats`` runs."""
+    if size not in SIZES:
+        raise ValueError(f"size must be one of {SIZES}, got {size!r}")
+    context = bench.setup(size)
+    n_warm = bench.warmup if warmup is None else warmup
+    n_rep = bench.repeats if repeats is None else repeats
+    if n_rep < 1:
+        raise ValueError("repeats must be >= 1")
+    result = None
+    for _ in range(n_warm):
+        result = bench.run(context)
+    wall = []
+    for _ in range(n_rep):
+        t0 = time.perf_counter()
+        result = bench.run(context)
+        wall.append(time.perf_counter() - t0)
+    invariants = (
+        dict(bench.invariants(context, result)) if bench.invariants else {}
+    )
+    return BenchTiming(bench=bench, size=size, warmup=n_warm, wall_s=wall,
+                       invariants=invariants)
+
+
+def run_suite(
+    size: str,
+    names: list | None = None,
+    repeats: int | None = None,
+    progress: Callable[[int, int, BenchTiming], None] | None = None,
+) -> list:
+    """Run every registered benchmark (or ``names``) at ``size``."""
+    selected = (
+        [get_benchmark(n) for n in names]
+        if names is not None
+        else list(all_benchmarks().values())
+    )
+    timings = []
+    for i, bench in enumerate(selected):
+        timing = run_benchmark(bench, size, repeats=repeats)
+        timings.append(timing)
+        if progress is not None:
+            progress(i + 1, len(selected), timing)
+    return timings

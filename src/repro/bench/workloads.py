@@ -1,0 +1,708 @@
+"""The registered benchmark workloads.
+
+One entry per ``benchmarks/bench_*.py`` timed workload plus the hot-path
+micro-benchmarks (``micro.*``).  Each :class:`~repro.bench.registry.Benchmark`
+builds its inputs in ``setup`` (memoised across benches — decks, face
+tables, partitions, and calibrated cost tables are shared) and exposes the
+timed callable as ``run``; ``invariants`` captures the simulated/predicted
+quantities that must stay bitwise-stable between runs on the same code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import Benchmark, register
+
+# --------------------------------------------------------------- shared setup
+
+_MEMO: dict = {}
+
+
+def _memo(key, build):
+    if key not in _MEMO:
+        _MEMO[key] = build()
+    return _MEMO[key]
+
+
+def _cluster():
+    from repro.machine import es45_like_cluster
+
+    return _memo("cluster", es45_like_cluster)
+
+
+def _smp_cluster():
+    from repro.machine import es45_like_cluster
+
+    return _memo("smp", lambda: es45_like_cluster().with_smp())
+
+
+def _deck(name):
+    from repro.mesh import build_deck
+
+    return _memo(("deck", name), lambda: build_deck(name))
+
+
+def _faces(name):
+    from repro.mesh import build_face_table
+
+    return _memo(("faces", name), lambda: build_face_table(_deck(name).mesh))
+
+
+def _partition(deck_name, num_ranks, method="multilevel", seed=1):
+    from repro.partition import cached_partition
+
+    return _memo(
+        ("part", deck_name, num_ranks, method, seed),
+        lambda: cached_partition(
+            _deck(deck_name), num_ranks, method=method, seed=seed,
+            faces=_faces(deck_name),
+        ),
+    )
+
+
+def _census(deck_name, num_ranks):
+    from repro.hydro import build_workload_census
+
+    return _memo(
+        ("census", deck_name, num_ranks),
+        lambda: build_workload_census(
+            _deck(deck_name), _partition(deck_name, num_ranks), _faces(deck_name)
+        ),
+    )
+
+
+#: Coarse power-of-two calibration (fast, smoke-grade).
+COARSE_SIDES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def _cost_table(kind):
+    from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
+
+    sides = COARSE_SIDES if kind == "coarse" else default_sample_sides(512)
+    return _memo(
+        ("table", kind), lambda: calibrate_contrived_grid(_cluster(), sides=sides)
+    )
+
+
+# ------------------------------------------------------------------- micro.*
+
+#: The Table 3 worked example (Figure 4 boundary).
+TABLE3_FACES = np.array([3.0, 4.0, 3.0])
+TABLE3_MULTI = np.array([1.0, 3.0, 2.0])
+
+
+def _setup_tmsg_boundary(size):
+    rng = np.random.default_rng(2006)
+    count = 400 if size == "smoke" else 2000
+    boundaries = []
+    for _ in range(count):
+        faces = rng.integers(1, 40, size=4).astype(np.float64)
+        multi = rng.integers(0, 8, size=4).astype(np.float64)
+        boundaries.append((faces, multi))
+    return {"network": _cluster().network, "boundaries": boundaries}
+
+
+def _run_tmsg_boundary(ctx):
+    from repro.perfmodel import boundary_exchange_time
+
+    net = ctx["network"]
+    total = 0.0
+    for faces, multi in ctx["boundaries"]:
+        total += boundary_exchange_time(net, faces, multi)
+    return total
+
+
+register(Benchmark(
+    name="micro.tmsg_boundary_eval",
+    group="micro",
+    description="Tmsg-bound hot path: Equation-(5) boundary tally over many boundaries",
+    source="src/repro/perfmodel/boundary.py",
+    setup=_setup_tmsg_boundary,
+    run=_run_tmsg_boundary,
+    invariants=lambda ctx, result: {"total_time_s": float(result)},
+))
+
+
+def _setup_engine_loop(size):
+    ranks, iters = (32, 30) if size == "smoke" else (64, 80)
+    return {"cluster": _cluster(), "ranks": ranks, "iters": iters}
+
+
+def _run_engine_loop(ctx):
+    from repro.simmpi import (
+        Allreduce,
+        Compute,
+        Engine,
+        Isend,
+        Recv,
+        SetPhase,
+        WaitSends,
+    )
+
+    ranks = ctx["ranks"]
+    iters = ctx["iters"]
+
+    def prog(rank):
+        right = (rank + 1) % ranks
+        left = (rank - 1) % ranks
+        for it in range(iters):
+            yield SetPhase(0)
+            yield Compute(1e-6)
+            yield Isend(right, tag=it, nbytes=256.0)
+            yield Recv(left, tag=it)
+            yield WaitSends()
+            yield Allreduce(1.0, "sum", 8)
+
+    return Engine(ctx["cluster"], ranks, 1).run(prog).makespan
+
+
+register(Benchmark(
+    name="micro.engine_event_loop",
+    group="micro",
+    description="simmpi event-loop throughput: ring exchange + allreduce per iteration",
+    source="src/repro/simmpi/engine.py",
+    setup=_setup_engine_loop,
+    run=_run_engine_loop,
+    invariants=lambda ctx, result: {"makespan_s": float(result)},
+    repeats=3,
+))
+
+
+def _setup_mesh_census(size):
+    from repro.perfmodel import MeshSpecificModel
+
+    ranks = 64 if size == "smoke" else 128
+    model = MeshSpecificModel(
+        table=_cost_table("coarse"), network=_cluster().network
+    )
+    return {"model": model, "census": _census("small", ranks)}
+
+
+def _run_mesh_census(ctx):
+    return ctx["model"].point_to_point(ctx["census"])
+
+
+register(Benchmark(
+    name="micro.mesh_census",
+    group="micro",
+    description="mesh-specific per-link message tally (Equations 5-7) over a census",
+    source="src/repro/perfmodel/mesh_specific.py",
+    setup=_setup_mesh_census,
+    run=_run_mesh_census,
+    invariants=lambda ctx, result: {
+        "boundary_exchange_s": float(result[0]),
+        "ghost_updates_s": float(result[1]),
+    },
+))
+
+
+def _setup_multilevel(size):
+    """Pure structured-mesh partitioner micro-bench (no deck construction);
+    the deck-based variant lives under ``figure1.multilevel_partition``."""
+    from repro.mesh import build_face_table, structured_quad_mesh
+
+    nx, ny, ranks = (64, 32, 8) if size == "smoke" else (128, 64, 16)
+    mesh = _memo(("mesh", nx, ny), lambda: structured_quad_mesh(nx, ny))
+    faces = _memo(("mfaces", nx, ny), lambda: build_face_table(mesh))
+    return {"mesh": mesh, "faces": faces, "ranks": ranks}
+
+
+def _run_multilevel(ctx):
+    from repro.partition import multilevel_partition
+
+    return multilevel_partition(ctx["mesh"], ctx["ranks"], faces=ctx["faces"], seed=1)
+
+
+def _multilevel_invariants(ctx, part):
+    counts = np.bincount(part.cell_rank, minlength=part.num_ranks)
+    return {
+        "num_ranks": int(part.num_ranks),
+        "largest_part": int(counts.max()),
+        "smallest_part": int(counts.min()),
+    }
+
+
+register(Benchmark(
+    name="micro.multilevel_partition",
+    group="micro",
+    description="multilevel k-way partitioner (Metis analogue) end to end",
+    source="src/repro/partition/multilevel.py",
+    setup=_setup_multilevel,
+    run=_run_multilevel,
+    invariants=_multilevel_invariants,
+    repeats=3,
+))
+
+
+# ------------------------------------------------------------------- table*.*
+
+def _setup_iteration_sim(size):
+    iters = 1 if size == "smoke" else 3
+    return {
+        "deck": _deck("small"), "part": _partition("small", 16),
+        "faces": _faces("small"), "census": _census("small", 16),
+        "cluster": _cluster(), "iters": iters,
+    }
+
+
+def _run_iteration_sim(ctx):
+    from repro.hydro import run_krak
+
+    return run_krak(
+        ctx["deck"], ctx["part"], cluster=ctx["cluster"],
+        iterations=ctx["iters"], faces=ctx["faces"], census=ctx["census"],
+    ).result.makespan
+
+
+register(Benchmark(
+    name="table1.iteration_simulation",
+    group="table1",
+    description="full 15-phase simulated iteration, small deck on 16 ranks",
+    source="benchmarks/bench_table1_phase_structure.py",
+    setup=_setup_iteration_sim,
+    run=_run_iteration_sim,
+    invariants=lambda ctx, result: {"makespan_s": float(result)},
+    repeats=3,
+))
+
+
+register(Benchmark(
+    name="table2.deck_construction",
+    group="table2",
+    description="input-deck construction (mesh + materials + detonator)",
+    source="benchmarks/bench_table2_material_ratios.py",
+    setup=lambda size: {"name": "small" if size == "smoke" else "medium"},
+    run=lambda ctx: __import__("repro.mesh", fromlist=["build_deck"]).build_deck(
+        ctx["name"]
+    ),
+    invariants=lambda ctx, deck: {"num_cells": int(deck.num_cells)},
+    repeats=3,
+    threshold=0.60,
+))
+
+
+def _setup_table3(size):
+    return {
+        "network": _cluster().network,
+        "evals": 200 if size == "smoke" else 1000,
+    }
+
+
+def _run_table3(ctx):
+    from repro.perfmodel import boundary_exchange_time
+
+    net = ctx["network"]
+    t = 0.0
+    for _ in range(ctx["evals"]):
+        t = boundary_exchange_time(net, TABLE3_FACES, TABLE3_MULTI)
+    return t
+
+
+register(Benchmark(
+    name="table3.boundary_exchange_model",
+    group="table3",
+    description="Equation (5) on the paper's Table 3 worked example",
+    source="benchmarks/bench_table3_boundary_exchange.py",
+    setup=_setup_table3,
+    run=_run_table3,
+    invariants=lambda ctx, result: {"exchange_time_s": float(result)},
+))
+
+
+def _run_table4(ctx):
+    from repro.perfmodel import collectives_time
+
+    net = ctx["network"]
+    return [collectives_time(net, p) for p in ctx["ranks"]]
+
+
+register(Benchmark(
+    name="table4.collectives_model",
+    group="table4",
+    description="Equations (8)-(10) collective times across processor counts",
+    source="benchmarks/bench_table4_collectives.py",
+    setup=lambda size: {
+        "network": _cluster().network,
+        "ranks": (16, 64, 128, 256, 512, 1024) * (1 if size == "smoke" else 20),
+    },
+    run=_run_table4,
+    invariants=lambda ctx, result: {"total_at_1024_s": float(result[5])},
+    threshold=0.6,
+))
+
+
+def _setup_table5(size):
+    from repro.perfmodel import MeshSpecificModel
+
+    ranks = 64 if size == "smoke" else 128
+    model = MeshSpecificModel(table=_cost_table("coarse"), network=_cluster().network)
+    return {"model": model, "census": _census("small", ranks)}
+
+
+register(Benchmark(
+    name="table5.mesh_specific_predict",
+    group="table5",
+    description="mesh-specific model prediction with exact partition information",
+    source="benchmarks/bench_table5_mesh_specific.py",
+    setup=_setup_table5,
+    run=lambda ctx: ctx["model"].predict(ctx["census"]),
+    invariants=lambda ctx, pred: {"total_s": float(pred.total)},
+))
+
+
+def _setup_table6(size):
+    from repro.perfmodel import GeneralModel
+
+    table = _cost_table("coarse" if size == "smoke" else "fine")
+    model = GeneralModel(
+        table=table, network=_cluster().network, mode="homogeneous"
+    )
+    return {"model": model}
+
+
+register(Benchmark(
+    name="table6.general_model_predict",
+    group="table6",
+    description="general (homogeneous) model prediction at 512 PEs",
+    source="benchmarks/bench_table6_general_model.py",
+    setup=_setup_table6,
+    run=lambda ctx: ctx["model"].predict(819200, 512),
+    invariants=lambda ctx, pred: {"total_s": float(pred.total)},
+    threshold=0.6,
+))
+
+
+# ------------------------------------------------------------------ figure*.*
+
+register(Benchmark(
+    name="figure1.multilevel_partition",
+    group="figure1",
+    description="multilevel partition of the small deck at 16 ranks",
+    source="benchmarks/bench_figure1_partition.py",
+    setup=lambda size: {
+        "mesh": _deck("small").mesh, "faces": _faces("small"),
+        "ranks": 8 if size == "smoke" else 16,
+    },
+    run=_run_multilevel,
+    invariants=_multilevel_invariants,
+    repeats=3,
+))
+
+
+def _setup_boundary_census(size):
+    ranks = 8 if size == "smoke" else 16
+    deck = _deck("small")
+    return {
+        "deck": deck, "faces": _faces("small"),
+        "part": _partition("small", ranks), "ranks": ranks,
+    }
+
+
+def _run_boundary_census(ctx):
+    from repro.mesh import boundary_census
+
+    return boundary_census(
+        ctx["deck"].mesh, ctx["faces"], ctx["deck"].cell_material,
+        ctx["part"].cell_rank, ctx["ranks"],
+    )
+
+
+register(Benchmark(
+    name="figure1.boundary_census",
+    group="figure1",
+    description="partition-boundary census construction",
+    source="benchmarks/bench_figure1_partition.py",
+    setup=_setup_boundary_census,
+    run=_run_boundary_census,
+    invariants=lambda ctx, census: {"num_pairs": len(census.pairs)},
+    threshold=0.6,
+))
+
+
+def _setup_figure2(size):
+    ranks = 64 if size == "smoke" else 256
+    return {
+        "deck": _deck("small"), "part": _partition("small", ranks),
+        "faces": _faces("small"), "census": _census("small", ranks),
+        "cluster": _cluster(), "iters": 1,
+    }
+
+
+register(Benchmark(
+    name="figure2.census_timing_run",
+    group="figure2",
+    description="execution-driven simulation at scale (small deck, many ranks)",
+    source="benchmarks/bench_figure2_phase_times.py",
+    setup=_setup_figure2,
+    run=_run_iteration_sim,
+    invariants=lambda ctx, result: {"makespan_s": float(result)},
+    repeats=2,
+))
+
+
+def _setup_figure3(size):
+    sides = [1, 8, 64] if size == "smoke" else COARSE_SIDES
+    return {"cluster": _cluster(), "sides": sides}
+
+
+def _run_figure3(ctx):
+    from repro.perfmodel import calibrate_contrived_grid
+
+    return calibrate_contrived_grid(ctx["cluster"], sides=ctx["sides"])
+
+
+register(Benchmark(
+    name="figure3.contrived_calibration",
+    group="figure3",
+    description="contrived-grid cost-curve calibration",
+    source="benchmarks/bench_figure3_percell_curves.py",
+    setup=_setup_figure3,
+    run=_run_figure3,
+    invariants=lambda ctx, table: {
+        "num_phases": int(table.num_phases),
+        "phase2_mat0_last_per_cell_s": float(table.curves[1][0].per_cell[-1]),
+    },
+    repeats=2,
+))
+
+
+def _setup_figure5(size):
+    from repro.perfmodel import GeneralModel
+
+    table = _cost_table("coarse" if size == "smoke" else "fine")
+    net = _cluster().network
+    return {
+        "homo": GeneralModel(table=table, network=net, mode="homogeneous"),
+        "het": GeneralModel(table=table, network=net, mode="heterogeneous"),
+    }
+
+
+def _run_figure5(ctx):
+    out = []
+    p = 1
+    while p <= 1024:
+        out.append(
+            (ctx["homo"].predict(819200, p).total, ctx["het"].predict(819200, p).total)
+        )
+        p *= 2
+    return out
+
+
+register(Benchmark(
+    name="figure5.scaling_models_only",
+    group="figure5",
+    description="general-model scaling sweep, both variants, P = 1..1024",
+    source="benchmarks/bench_figure5_scaling.py",
+    setup=_setup_figure5,
+    run=_run_figure5,
+    invariants=lambda ctx, result: {
+        "homo_at_1024_s": float(result[-1][0]),
+        "het_at_1024_s": float(result[-1][1]),
+    },
+))
+
+
+# ----------------------------------------------------------------- ablation.*
+
+def _setup_allreduce(size):
+    return {"cluster": _cluster(), "ranks": 256 if size == "smoke" else 1024}
+
+
+def _run_allreduce(ctx):
+    from repro.simmpi import Allreduce, Compute, Engine, SetPhase
+
+    def prog(rank):
+        yield SetPhase(0)
+        yield Compute(0.0)
+        yield Allreduce(1.0, "sum", 8)
+
+    return Engine(ctx["cluster"], ctx["ranks"], 1).run(prog).makespan
+
+
+register(Benchmark(
+    name="ablation.simulated_allreduce",
+    group="ablation",
+    description="DES cost of one large-scale allreduce",
+    source="benchmarks/bench_ablation_collectives.py",
+    setup=_setup_allreduce,
+    run=_run_allreduce,
+    invariants=lambda ctx, result: {"makespan_s": float(result)},
+    repeats=3,
+    threshold=0.60,
+))
+
+
+register(Benchmark(
+    name="ablation.calibration_density",
+    group="ablation",
+    description="contrived-grid calibration cost at a representative sample density",
+    source="benchmarks/bench_ablation_knee.py",
+    setup=lambda size: {
+        "cluster": _cluster(),
+        "sides": [1, 4, 16, 64] if size == "smoke" else [1, 2, 4, 8, 16, 32, 64, 128],
+    },
+    run=_run_figure3,
+    invariants=lambda ctx, table: {"num_phases": int(table.num_phases)},
+    repeats=2,
+))
+
+
+def _setup_p2p_no_surcharge(size):
+    from repro.perfmodel import MeshSpecificModel
+
+    ranks = 64 if size == "smoke" else 128
+    model = MeshSpecificModel(
+        table=_cost_table("coarse"), network=_cluster().network,
+        include_multi_surcharge=False,
+    )
+    return {"model": model, "census": _census("small", ranks)}
+
+
+register(Benchmark(
+    name="ablation.p2p_model_evaluation",
+    group="ablation",
+    description="point-to-point tally, printed-Equation-(5) variant (no surcharge)",
+    source="benchmarks/bench_ablation_overlap.py",
+    setup=_setup_p2p_no_surcharge,
+    run=_run_mesh_census,
+    invariants=lambda ctx, result: {
+        "boundary_exchange_s": float(result[0]),
+        "ghost_updates_s": float(result[1]),
+    },
+))
+
+
+def _setup_partitioners(size):
+    deck = _deck("small")
+    methods = (
+        ("rcb", "block", "structured-block")
+        if size == "smoke"
+        else ("multilevel", "rcb", "block", "structured-block")
+    )
+    return {"deck": deck, "faces": _faces("small"), "methods": methods}
+
+
+def _run_partitioners(ctx):
+    from repro.partition import cached_partition
+
+    return [
+        cached_partition(
+            ctx["deck"], 16, method=m, seed=1, faces=ctx["faces"], use_cache=False
+        )
+        for m in ctx["methods"]
+    ]
+
+
+register(Benchmark(
+    name="ablation.partitioners",
+    group="ablation",
+    description="all partitioning methods on the small deck at 16 ranks",
+    source="benchmarks/bench_ablation_partitioners.py",
+    setup=_setup_partitioners,
+    run=_run_partitioners,
+    invariants=lambda ctx, parts: {"methods": len(parts)},
+    repeats=2,
+    threshold=0.6,
+))
+
+
+# ---------------------------------------------------------------------- ext.*
+
+def _setup_smp(size):
+    ranks = 16
+    return {
+        "deck": _deck("small"), "part": _partition("small", ranks),
+        "faces": _faces("small"), "census": _census("small", ranks),
+        "cluster": _smp_cluster(),
+    }
+
+
+def _run_smp(ctx):
+    from repro.hydro import measure_iteration_time
+
+    return measure_iteration_time(
+        ctx["deck"], ctx["part"], cluster=ctx["cluster"],
+        faces=ctx["faces"], census=ctx["census"],
+    ).seconds
+
+
+register(Benchmark(
+    name="ext.smp_simulation",
+    group="ext",
+    description="simulated iteration with the SMP (hierarchical network) extension",
+    source="benchmarks/bench_ext_smp_hierarchy.py",
+    setup=_setup_smp,
+    run=_run_smp,
+    invariants=lambda ctx, result: {"seconds": float(result)},
+    repeats=2,
+))
+
+
+def _setup_transition(size):
+    from repro.perfmodel import TransitionModel
+
+    deck = _deck("small" if size == "smoke" else "medium")
+    model = TransitionModel.for_deck(
+        deck, _cost_table("coarse"), _cluster().network
+    )
+    return {"model": model, "cells": deck.num_cells}
+
+
+register(Benchmark(
+    name="ext.transition_predict",
+    group="ext",
+    description="transition-model prediction at 512 PEs",
+    source="benchmarks/bench_ext_transition_model.py",
+    setup=_setup_transition,
+    run=lambda ctx: ctx["model"].predict(ctx["cells"], 512),
+    invariants=lambda ctx, pred: {"total_s": float(pred.total)},
+))
+
+
+# ------------------------------------------------------------------ dynamic.*
+
+def _setup_dynamic(size):
+    from repro.hydro import DynamicConfig
+    from repro.partition import ImbalanceThresholdPolicy
+
+    iters = 6 if size == "smoke" else 8
+    return {
+        "deck": _deck("small"), "part": _partition("small", 16),
+        "faces": _faces("small"), "cluster": _cluster(), "iters": iters,
+        "config": DynamicConfig(
+            policy=ImbalanceThresholdPolicy(threshold=1.15), burn_multiplier=8.0
+        ),
+    }
+
+
+def _run_dynamic(ctx):
+    from repro.hydro import run_krak
+
+    return run_krak(
+        ctx["deck"], ctx["part"], cluster=ctx["cluster"], iterations=ctx["iters"],
+        faces=ctx["faces"], dynamic=ctx["config"],
+    )
+
+
+register(Benchmark(
+    name="dynamic.imbalance_run",
+    group="dynamic",
+    description="dynamic-workload run under the imbalance-threshold policy",
+    source="benchmarks/bench_dynamic_imbalance.py",
+    setup=_setup_dynamic,
+    run=_run_dynamic,
+    invariants=lambda ctx, run: {
+        "makespan_s": float(run.result.makespan),
+        "num_repartitions": int(run.dynamic.num_repartitions),
+    },
+    repeats=2,
+))
+
+
+# Public faces of the memoised setup helpers, shared with the pytest
+# fixture layer (benchmarks/conftest.py) so one session never builds the
+# same deck or calibration table twice.
+shared_cluster = _cluster
+shared_cost_table = _cost_table
+shared_deck = _deck

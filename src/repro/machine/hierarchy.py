@@ -123,7 +123,9 @@ def hier_bcast_time(h: HierarchicalNetwork, num_ranks: int, nbytes: float) -> fl
 
     num_nodes = (num_ranks + h.ranks_per_node - 1) // h.ranks_per_node
     local = min(num_ranks, h.ranks_per_node)
-    return tree_depth(num_nodes) * h.inter.tmsg(nbytes) + tree_depth(local) * h.intra.tmsg(nbytes)
+    return tree_depth(num_nodes) * h.inter.tmsg_cached(nbytes) + tree_depth(
+        local
+    ) * h.intra.tmsg_cached(nbytes)
 
 
 def hier_gather_time(h: HierarchicalNetwork, num_ranks: int, nbytes: float) -> float:

@@ -56,6 +56,13 @@ class NetworkModel:
             )
         if np.any(lat < 0) or np.any(pb < 0):
             raise ValueError("latency and per_byte must be non-negative")
+        # Memoisation for the simulator/model hot paths.  Message sizes in a
+        # run come from a small repeated set (per-face/per-node constants ×
+        # census counts), so per-size caching removes nearly every
+        # searchsorted from the event loop.  Values are identical to the
+        # uncached paths; these are plain dicts, not dataclass fields.
+        object.__setattr__(self, "_tmsg_cache", {})
+        object.__setattr__(self, "_send_cache", {})
 
     def segment_of(self, size) -> np.ndarray:
         """Segment index for message size(s) ``size``.
@@ -77,6 +84,47 @@ class NetworkModel:
         seg = self.segment_of(size_arr)
         out = self.latency[seg] + size_arr * self.per_byte[seg]
         return float(out) if np.isscalar(size) or size_arr.ndim == 0 else out
+
+    def tmsg_many(self, sizes: np.ndarray) -> np.ndarray:
+        """Batched Equation (4): one piecewise-linear evaluation per entry.
+
+        The vectorized hot path behind the boundary-exchange, ghost-update,
+        and collective models: each output element is bitwise identical to
+        the scalar :meth:`tmsg` of the same size.
+
+        Contract: ``sizes`` must be a non-negative float64 array.  This
+        method deliberately performs NO validation — that is what makes it
+        the hot path — so results for negative sizes are undefined; use
+        :meth:`tmsg` when the input is not already validated.
+        """
+        seg = self.breakpoints.searchsorted(sizes, side="left")
+        return self.latency[seg] + sizes * self.per_byte[seg]
+
+    def tmsg_cached(self, size) -> float:
+        """Memoised scalar :meth:`tmsg` for the simulator's repeated sizes."""
+        cached = self._tmsg_cache.get(size)
+        if cached is None:
+            cached = self._tmsg_cache[size] = float(self.tmsg(size))
+        return cached
+
+    def send_times(self, size) -> tuple:
+        """``(L(S), S · TB(S))`` with one segment lookup, memoised per size.
+
+        The simulator charges both terms for every ``Isend``; this resolves
+        the segment once and caches the pair, so the event loop pays a dict
+        hit instead of two ``searchsorted`` calls per message.
+        """
+        cached = self._send_cache.get(size)
+        if cached is None:
+            s = float(size)
+            if s < 0:
+                raise ValueError("message size must be non-negative")
+            seg = int(self.breakpoints.searchsorted(s, side="left"))
+            cached = self._send_cache[size] = (
+                float(self.latency[seg]),
+                s * float(self.per_byte[seg]),
+            )
+        return cached
 
     def bandwidth_time(self, size) -> float:
         """Only the ``S · TB(S)`` term — the NIC-serialised component."""

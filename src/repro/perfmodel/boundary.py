@@ -9,6 +9,12 @@ the first two messages of each per-material sextet additionally carry
 Equation (5) as printed ignores the multi-material surcharge, the merging of
 identical materials, and any overlap between neighbours — all three are
 switchable here so the ablation benchmarks can quantify each approximation.
+
+The tally is built and priced with batched numpy operations (one
+piecewise-linear ``Tmsg`` evaluation for all messages of a boundary);
+results are bitwise identical to pricing each message individually, and
+:func:`boundary_tally` exposes the raw ``(counts, sizes)`` arrays so
+census-wide callers can batch across *many* boundaries in one evaluation.
 """
 
 from __future__ import annotations
@@ -23,23 +29,28 @@ from repro.machine.costdb import (
 from repro.machine.network import NetworkModel
 
 
-def boundary_message_sizes(
+def boundary_tally(
     faces_by_material: np.ndarray,
     multi_nodes_by_material: np.ndarray | None = None,
-) -> list:
-    """The Table 3 tally: ``(count, bytes)`` rows for one neighbour boundary.
+) -> tuple:
+    """The Table 3 tally as ``(counts, sizes)`` arrays for one boundary.
+
+    Row order matches the exchange: for each material with boundary faces,
+    the two enlarged messages then the four plain ones; finally the
+    all-faces sextet.  ``counts`` is int64, ``sizes`` float64 (bytes).
 
     Parameters
     ----------
     faces_by_material:
         Boundary faces per material (or per combined exchange group).
+        Float face counts are legal: the general model divides
+        ``sqrt(Cells/PEs)`` faces equally among materials, which is rarely
+        an integer.
     multi_nodes_by_material:
         Ghost nodes touching more than one material, attributed per
         material; ``None`` means the Equation-(5) simplification (no
         surcharge).
     """
-    # Float face counts are legal: the general model divides sqrt(Cells/PEs)
-    # faces equally among materials, which is rarely an integer.
     faces = np.asarray(faces_by_material, dtype=np.float64)
     if np.any(faces < 0):
         raise ValueError("face counts must be non-negative")
@@ -50,18 +61,45 @@ def boundary_message_sizes(
     )
     if multi.shape != faces.shape:
         raise ValueError("multi_nodes_by_material must align with faces_by_material")
+    if np.any(multi < 0):
+        raise ValueError("multi-material ghost-node counts must be non-negative")
 
-    rows = []
-    for f, g in zip(faces.tolist(), multi.tolist()):
-        if f <= 0:
-            continue
-        big = BOUNDARY_BYTES_PER_FACE * f + BOUNDARY_BYTES_PER_MULTI_NODE * g
-        small = BOUNDARY_BYTES_PER_FACE * f
-        rows.append((2, big))
-        rows.append((4, small))
-    total = BOUNDARY_BYTES_PER_FACE * float(faces.sum())
-    rows.append((BOUNDARY_MSGS_PER_STEP, total))
-    return rows
+    positive = faces > 0
+    big = BOUNDARY_BYTES_PER_FACE * faces + BOUNDARY_BYTES_PER_MULTI_NODE * multi
+    small = BOUNDARY_BYTES_PER_FACE * faces
+
+    k = int(np.count_nonzero(positive))
+    counts = np.empty(2 * k + 1, dtype=np.int64)
+    sizes = np.empty(2 * k + 1, dtype=np.float64)
+    counts[0 : 2 * k : 2] = 2
+    counts[1 : 2 * k : 2] = 4
+    sizes[0 : 2 * k : 2] = big[positive]
+    sizes[1 : 2 * k : 2] = small[positive]
+    counts[2 * k] = BOUNDARY_MSGS_PER_STEP
+    sizes[2 * k] = BOUNDARY_BYTES_PER_FACE * float(faces.sum())
+    return counts, sizes
+
+
+def boundary_message_sizes(
+    faces_by_material: np.ndarray,
+    multi_nodes_by_material: np.ndarray | None = None,
+) -> list:
+    """The Table 3 tally: ``(count, bytes)`` rows for one neighbour boundary."""
+    counts, sizes = boundary_tally(faces_by_material, multi_nodes_by_material)
+    return list(zip(counts.tolist(), sizes.tolist()))
+
+
+def priced_tally_time(counts: np.ndarray, times: np.ndarray) -> float:
+    """Serial sum ``Σ count · time`` in row order.
+
+    Accumulates left to right over Python floats — the exact summation
+    order Equation (5) has always used — so batching the ``Tmsg``
+    evaluation cannot perturb the result.
+    """
+    total = 0.0
+    for count, t in zip(counts.tolist(), times.tolist()):
+        total += count * t
+    return total
 
 
 def boundary_exchange_time(
@@ -77,9 +115,5 @@ def boundary_exchange_time(
     instead of raw materials) because the paper's general model deliberately
     does not merge them.
     """
-    total = 0.0
-    for count, nbytes in boundary_message_sizes(
-        faces_by_material, multi_nodes_by_material
-    ):
-        total += count * network.tmsg(nbytes)
-    return total
+    counts, sizes = boundary_tally(faces_by_material, multi_nodes_by_material)
+    return priced_tally_time(counts, network.tmsg_many(sizes))

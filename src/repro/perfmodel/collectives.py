@@ -14,7 +14,7 @@ from repro.simmpi.collectives import tree_depth
 def broadcast_time(network: NetworkModel, num_ranks: int) -> float:
     """Equation (8): ``3·log(P)·Tmsg(4) + 3·log(P)·Tmsg(8)``."""
     depth = tree_depth(num_ranks)
-    return 3 * depth * network.tmsg(4) + 3 * depth * network.tmsg(8)
+    return 3 * depth * network.tmsg_cached(4) + 3 * depth * network.tmsg_cached(8)
 
 
 def allreduce_total_time(network: NetworkModel, num_ranks: int) -> float:
@@ -24,12 +24,12 @@ def allreduce_total_time(network: NetworkModel, num_ranks: int) -> float:
     13) because a reduction is a fan-in plus a fan-out.
     """
     depth = tree_depth(num_ranks)
-    return 18 * depth * network.tmsg(4) + 26 * depth * network.tmsg(8)
+    return 18 * depth * network.tmsg_cached(4) + 26 * depth * network.tmsg_cached(8)
 
 
 def gather_total_time(network: NetworkModel, num_ranks: int) -> float:
     """Equation (10): ``log(P)·Tmsg(32)``."""
-    return tree_depth(num_ranks) * network.tmsg(32)
+    return tree_depth(num_ranks) * network.tmsg_cached(32)
 
 
 def collectives_time(network: NetworkModel, num_ranks: int) -> float:

@@ -15,12 +15,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hydro.workload import WorkloadCensus
-from repro.mesh.deck import NUM_MATERIALS
-from repro.perfmodel.boundary import boundary_exchange_time
+from repro.perfmodel.boundary import boundary_tally, priced_tally_time
 from repro.perfmodel.collectives import collectives_time
 from repro.perfmodel.computation import computation_time
 from repro.perfmodel.costcurves import CostTable
-from repro.perfmodel.ghostmodel import ghost_phase_total
+from repro.perfmodel.ghostmodel import ghost_sizes, priced_ghost_time
 from repro.perfmodel.runtime import PredictedTime
 from repro.machine.network import NetworkModel
 from repro.hydro.workload import NUM_EXCHANGE_GROUPS
@@ -52,30 +51,54 @@ class MeshSpecificModel:
         return computation_time(self.table, cells_matrix)
 
     def point_to_point(self, census: WorkloadCensus) -> tuple[float, float]:
-        """Max-over-ranks boundary-exchange and ghost-update times."""
-        best_be = 0.0
-        best_gn = 0.0
+        """Max-over-ranks boundary-exchange and ghost-update times.
+
+        All links' message tallies are priced in *one* batched ``Tmsg``
+        evaluation, then re-aggregated per link in the historical order —
+        bitwise identical to pricing each link on its own.
+        """
+        faces = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+        multi = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+
+        # Pass 1: tally every link's message sizes (no Tmsg yet).
+        entries = []  # (kind, rank, counts-or-None, num_sizes)
+        chunks = []
         for rank in range(census.num_ranks):
-            be = 0.0
             for bl in census.boundary_links[rank]:
-                faces = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
-                multi = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+                faces[:] = 0
+                multi[:] = 0
                 for (group, f, g) in bl.mine.groups:
                     faces[group] += f
                     multi[group] += g
-                be += boundary_exchange_time(
-                    self.network,
-                    faces,
-                    multi if self.include_multi_surcharge else None,
+                counts, sizes = boundary_tally(
+                    faces, multi if self.include_multi_surcharge else None
                 )
-            gn = 0.0
+                entries.append(("be", rank, counts, sizes.size))
+                chunks.append(sizes)
             for gl in census.ghost_links[rank]:
-                gn += ghost_phase_total(
-                    self.network, gl.owned_by_me, gl.not_owned_by_me
-                )
-            best_be = max(best_be, be)
-            best_gn = max(best_gn, gn)
-        return best_be, best_gn
+                sizes = ghost_sizes(gl.owned_by_me, gl.not_owned_by_me)
+                entries.append(("gn", rank, None, sizes.size))
+                chunks.append(sizes)
+
+        # Pass 2: one piecewise-linear evaluation for the whole census.
+        times = (
+            self.network.tmsg_many(np.concatenate(chunks))
+            if chunks
+            else np.empty(0)
+        )
+
+        # Pass 3: per-link aggregation in the original serial-sum order.
+        be_by_rank = [0.0] * census.num_ranks
+        gn_by_rank = [0.0] * census.num_ranks
+        offset = 0
+        for kind, rank, counts, length in entries:
+            link_times = times[offset : offset + length]
+            offset += length
+            if kind == "be":
+                be_by_rank[rank] += priced_tally_time(counts, link_times)
+            else:
+                gn_by_rank[rank] += priced_ghost_time(link_times)
+        return max(be_by_rank, default=0.0), max(gn_by_rank, default=0.0)
 
     def predict(self, census: WorkloadCensus) -> PredictedTime:
         """Full per-iteration prediction from a workload census."""

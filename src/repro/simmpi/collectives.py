@@ -24,17 +24,17 @@ def tree_depth(num_ranks: int) -> int:
 
 def bcast_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
     """Fan-out over a binary tree: ``log2(P) · Tmsg(S)``."""
-    return tree_depth(num_ranks) * network.tmsg(nbytes)
+    return tree_depth(num_ranks) * network.tmsg_cached(nbytes)
 
 
 def gather_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
     """Fan-in over a binary tree: ``log2(P) · Tmsg(S)`` (Equation 10 form)."""
-    return tree_depth(num_ranks) * network.tmsg(nbytes)
+    return tree_depth(num_ranks) * network.tmsg_cached(nbytes)
 
 
 def allreduce_time(network: NetworkModel, num_ranks: int, nbytes: float) -> float:
     """Fan-in plus fan-out: ``2 · log2(P) · Tmsg(S)`` (Equations 8–9 form)."""
-    return 2.0 * tree_depth(num_ranks) * network.tmsg(nbytes)
+    return 2.0 * tree_depth(num_ranks) * network.tmsg_cached(nbytes)
 
 
 def combine(op: str, values: list):

@@ -3,6 +3,12 @@
 The tracer splits each rank's virtual time into *compute* and
 *communication* buckets per iteration phase, with MPI time excluded from
 compute — matching the paper's Figure 2 caption ("Time (s) — No MPI").
+
+Accumulation is the engine's hottest bookkeeping (one call per simulated
+event), so the buckets live in plain Python lists — a list float-add is an
+order of magnitude cheaper than a NumPy scalar ``+=`` — and the public
+``compute``/``comm`` arrays are materialised on demand.  The arithmetic is
+identical either way: one IEEE double addition per charge.
 """
 
 from __future__ import annotations
@@ -33,21 +39,31 @@ class PhaseTrace:
             raise ValueError("num_ranks and num_phases must be positive")
         self.num_ranks = num_ranks
         self.num_phases = num_phases
-        self.compute = np.zeros((num_ranks, num_phases))
-        self.comm = np.zeros((num_ranks, num_phases))
+        self._compute_rows = [[0.0] * num_phases for _ in range(num_ranks)]
+        self._comm_rows = [[0.0] * num_phases for _ in range(num_ranks)]
         self.iteration_starts: dict[int, np.ndarray] = {}
         #: index → (num_ranks, num_phases) cumulative arrays at each rank's
         #: ``MarkIteration(index)`` (rows are NaN until that rank marks).
         self._compute_at_mark: dict[int, np.ndarray] = {}
         self._comm_at_mark: dict[int, np.ndarray] = {}
 
+    @property
+    def compute(self) -> np.ndarray:
+        """Computation seconds, ``(num_ranks, num_phases)``."""
+        return np.array(self._compute_rows)
+
+    @property
+    def comm(self) -> np.ndarray:
+        """Communication seconds, ``(num_ranks, num_phases)``."""
+        return np.array(self._comm_rows)
+
     def add_compute(self, rank: int, phase: int, seconds: float) -> None:
         """Charge computation time."""
-        self.compute[rank, phase] += seconds
+        self._compute_rows[rank][phase] += seconds
 
     def add_comm(self, rank: int, phase: int, seconds: float) -> None:
         """Charge communication time."""
-        self.comm[rank, phase] += seconds
+        self._comm_rows[rank][phase] += seconds
 
     def mark_iteration(self, rank: int, index: int, clock: float) -> None:
         """Record ``rank``'s clock at the start of iteration ``index``."""
@@ -58,10 +74,10 @@ class PhaseTrace:
         shape = (self.num_ranks, self.num_phases)
         self._compute_at_mark.setdefault(index, np.full(shape, np.nan))[
             rank
-        ] = self.compute[rank]
+        ] = self._compute_rows[rank]
         self._comm_at_mark.setdefault(index, np.full(shape, np.nan))[
             rank
-        ] = self.comm[rank]
+        ] = self._comm_rows[rank]
 
     # ---- summaries ---------------------------------------------------------
 

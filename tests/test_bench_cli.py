@@ -1,0 +1,102 @@
+"""End-to-end `repro bench` CLI: list, run, and compare exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import load_report
+from repro.cli import main
+
+#: A cheap, deterministic subset for CLI round trips.
+CHEAP = "table4.collectives_model,table3.boundary_exchange_model"
+
+
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    """One real `bench run` over the cheap subset."""
+    path = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    code = main([
+        "bench", "run", "--suite", "smoke", "--names", CHEAP,
+        "--repeats", "2", "--output", str(path), "--quiet",
+    ])
+    assert code == 0
+    return path
+
+
+def test_bench_list_shows_registry(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "micro.tmsg_boundary_eval" in out
+    assert "table3.boundary_exchange_model" in out
+    assert "dynamic.imbalance_run" in out
+
+
+def test_bench_list_group_filter(capsys):
+    assert main(["bench", "list", "--group", "micro"]) == 0
+    out = capsys.readouterr().out
+    assert "micro.engine_event_loop" in out
+    assert "table3.boundary_exchange_model" not in out
+
+
+def test_bench_run_emits_schema_valid_report(report_path):
+    doc = load_report(report_path)  # validates
+    assert doc["suite"] == "smoke"
+    assert set(doc["benchmarks"]) == set(CHEAP.split(","))
+    for entry in doc["benchmarks"].values():
+        assert entry["repeats"] == 2
+        assert entry["invariants"]
+
+def test_bench_compare_identical_reports_pass(report_path, capsys):
+    code = main(["bench", "compare", str(report_path), str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 fail" in out
+
+
+def test_bench_compare_fails_on_injected_regression(report_path, tmp_path, capsys):
+    """The acceptance gate: a gross slowdown must exit non-zero."""
+    doc = json.loads(report_path.read_text())
+    entry = doc["benchmarks"]["table4.collectives_model"]
+    entry["wall_s"] = [t * 10 for t in entry["wall_s"]]
+    entry["stats"] = {k: v * 10 for k, v in entry["stats"].items()}
+    slow = tmp_path / "BENCH_slow.json"
+    slow.write_text(json.dumps(doc))
+
+    code = main(["bench", "compare", str(report_path), str(slow)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+    assert "slower than baseline" in out
+
+
+def test_bench_compare_fails_on_invariant_drift(report_path, tmp_path):
+    doc = json.loads(report_path.read_text())
+    entry = doc["benchmarks"]["table3.boundary_exchange_model"]
+    entry["invariants"] = {"exchange_time_s": 123.0}
+    drifted = tmp_path / "BENCH_drift.json"
+    drifted.write_text(json.dumps(doc))
+    assert main(["bench", "compare", str(report_path), str(drifted)]) == 1
+
+
+def test_bench_run_preserves_extra_block_on_overwrite(tmp_path):
+    """Re-running over a trajectory file must not drop extra.trajectory."""
+    path = tmp_path / "BENCH_smoke.json"
+    args = ["bench", "run", "--suite", "smoke", "--names",
+            "table4.collectives_model", "--repeats", "1",
+            "--output", str(path), "--quiet"]
+    assert main(args) == 0
+    doc = json.loads(path.read_text())
+    doc["extra"] = {"trajectory": {"note": "curated"}}
+    path.write_text(json.dumps(doc))
+
+    assert main(args) == 0
+    assert json.loads(path.read_text())["extra"] == {"trajectory": {"note": "curated"}}
+
+
+def test_bench_compare_rejects_malformed_file(report_path, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(ValueError):
+        main(["bench", "compare", str(report_path), str(bad)])

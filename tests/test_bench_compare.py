@@ -1,0 +1,178 @@
+"""Compare threshold logic: pass / warn / fail classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FAIL, PASS, WARN, compare_reports
+
+
+def _report(benches: dict) -> dict:
+    """A minimal valid report: name → (median_seconds, threshold, invariants)."""
+    entries = {}
+    for name, (median, threshold, invariants) in benches.items():
+        entries[name] = {
+            "group": name.split(".")[0],
+            "size": "smoke",
+            "warmup": 1,
+            "repeats": 1,
+            "threshold": threshold,
+            "wall_s": [median],
+            "stats": {
+                "best": median, "median": median, "mean": median,
+                "max": median, "stdev": 0.0,
+            },
+            "invariants": invariants,
+        }
+    return {
+        "schema": "repro-bench/1",
+        "suite": "smoke",
+        "created_utc": "2026-07-28T00:00:00+00:00",
+        "environment": {},
+        "benchmarks": entries,
+    }
+
+
+def _single(name, result):
+    (entry,) = [e for e in result.entries if e.name == name]
+    return entry
+
+
+class TestThresholds:
+    def test_within_threshold_passes(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (1.25, 0.30, {})})
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == PASS
+        assert result.ok
+
+    def test_regression_beyond_threshold_fails(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (1.31, 0.30, {})})
+        result = compare_reports(old, new)
+        entry = _single("a.x", result)
+        assert entry.status == FAIL
+        assert entry.ratio == pytest.approx(1.31)
+        assert not result.ok
+
+    def test_large_improvement_warns_stale_baseline(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (0.5, 0.30, {})})
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == WARN
+        assert result.ok  # warnings don't gate
+
+    def test_override_threshold_wins(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (1.4, 0.30, {})})
+        assert not compare_reports(old, new).ok
+        assert compare_reports(old, new, threshold=0.50).ok
+
+    def test_per_bench_thresholds_apply_independently(self):
+        old = _report({"a.tight": (1.0, 0.10, {}), "a.loose": (1.0, 1.0, {})})
+        new = _report({"a.tight": (1.2, 0.10, {}), "a.loose": (1.2, 1.0, {})})
+        result = compare_reports(old, new)
+        assert _single("a.tight", result).status == FAIL
+        assert _single("a.loose", result).status == PASS
+
+    def test_candidate_cannot_loosen_its_own_gate(self):
+        """The stricter of baseline/candidate thresholds wins, so a change
+        shipping a slowdown plus a bigger threshold still fails."""
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (2.0, 5.0, {})})
+        assert _single("a.x", compare_reports(old, new)).status == FAIL
+
+
+class TestStructuralDiffs:
+    def test_missing_and_new_benches_warn(self):
+        old = _report({"a.gone": (1.0, 0.3, {}), "a.kept": (1.0, 0.3, {})})
+        new = _report({"a.kept": (1.0, 0.3, {}), "a.fresh": (1.0, 0.3, {})})
+        result = compare_reports(old, new)
+        assert _single("a.gone", result).status == WARN
+        assert _single("a.fresh", result).status == WARN
+        assert _single("a.kept", result).status == PASS
+        assert result.ok
+
+    def test_zero_overlap_is_not_ok(self):
+        """A partial candidate must not pass the gate vacuously."""
+        old = _report({"a.x": (1.0, 0.3, {}), "a.y": (1.0, 0.3, {})})
+        new = _report({"a.z": (1.0, 0.3, {})})
+        result = compare_reports(old, new)
+        assert not result.failures
+        assert result.num_compared == 0
+        assert not result.ok
+
+    def test_invariant_drift_fails_even_when_fast(self):
+        old = _report({"a.x": (1.0, 0.30, {"makespan_s": 1.5})})
+        new = _report({"a.x": (0.9, 0.30, {"makespan_s": 1.5000001})})
+        result = compare_reports(old, new)
+        entry = _single("a.x", result)
+        assert entry.status == FAIL
+        assert "invariant drift" in entry.detail
+
+    def test_size_change_warns_not_compares(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (50.0, 0.30, {})})
+        new["benchmarks"]["a.x"]["size"] = "full"
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == WARN
+
+    def test_stat_selection(self):
+        old = _report({"a.x": (1.0, 0.30, {})})
+        new = _report({"a.x": (1.0, 0.30, {})})
+        new["benchmarks"]["a.x"]["stats"]["best"] = 2.0
+        assert compare_reports(old, new, stat="median").ok
+        assert not compare_reports(old, new, stat="best").ok
+
+
+class TestEnvironmentAwareness:
+    """Wall-clock gating only bites within a matching environment."""
+
+    def _cross_env(self, old, new):
+        old["environment"] = {"platform": "laptop", "cpu_count": 1}
+        new["environment"] = {"platform": "ci-runner", "cpu_count": 4}
+        return old, new
+
+    def test_cross_env_slowdown_downgrades_to_warn(self):
+        old, new = self._cross_env(
+            _report({"a.x": (1.0, 0.30, {})}), _report({"a.x": (2.0, 0.30, {})})
+        )
+        result = compare_reports(old, new)
+        assert not result.same_env
+        entry = _single("a.x", result)
+        assert entry.status == WARN
+        assert "environments differ" in entry.detail
+        assert result.ok
+
+    def test_cross_env_invariant_drift_still_fails(self):
+        old, new = self._cross_env(
+            _report({"a.x": (1.0, 0.30, {"makespan_s": 1.0})}),
+            _report({"a.x": (1.0, 0.30, {"makespan_s": 2.0})}),
+        )
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == FAIL
+        assert not result.ok
+
+    def test_cross_env_ulp_invariant_difference_tolerated(self):
+        """Across environments, last-ulp libm differences must not read as
+        semantic drift; real drift (far beyond 1e-9 relative) still fails."""
+        old, new = self._cross_env(
+            _report({"a.x": (1.0, 0.30, {"total_s": 1.0})}),
+            _report({"a.x": (1.0, 0.30, {"total_s": 1.0 + 1e-15})}),
+        )
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == PASS
+
+    def test_same_env_invariants_stay_exact(self):
+        old = _report({"a.x": (1.0, 0.30, {"total_s": 1.0})})
+        new = _report({"a.x": (1.0, 0.30, {"total_s": 1.0 + 1e-15})})
+        result = compare_reports(old, new)
+        assert _single("a.x", result).status == FAIL
+
+    def test_assume_same_env_restores_hard_gate(self):
+        old, new = self._cross_env(
+            _report({"a.x": (1.0, 0.30, {})}), _report({"a.x": (2.0, 0.30, {})})
+        )
+        result = compare_reports(old, new, assume_same_env=True)
+        assert result.same_env
+        assert _single("a.x", result).status == FAIL

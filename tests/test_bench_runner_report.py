@@ -1,0 +1,110 @@
+"""Runner statistics and the BENCH_*.json schema round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    build_report,
+    environment_fingerprint,
+    get_benchmark,
+    load_report,
+    robust_stats,
+    run_benchmark,
+    validate_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def cheap_timing():
+    """One cheap real benchmark, run for two repeats."""
+    return run_benchmark(
+        get_benchmark("table4.collectives_model"), "smoke", repeats=2
+    )
+
+
+class TestRobustStats:
+    def test_known_values(self):
+        stats = robust_stats([3.0, 1.0, 2.0])
+        assert stats["best"] == 1.0
+        assert stats["median"] == 2.0
+        assert stats["mean"] == 2.0
+        assert stats["max"] == 3.0
+        assert stats["stdev"] == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_even_count_median_interpolates(self):
+        assert robust_stats([1.0, 2.0, 3.0, 10.0])["median"] == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_stats([])
+
+
+class TestRunner:
+    def test_timing_shape(self, cheap_timing):
+        assert len(cheap_timing.wall_s) == 2
+        assert all(t >= 0 for t in cheap_timing.wall_s)
+        assert cheap_timing.size == "smoke"
+        assert cheap_timing.invariants["total_at_1024_s"] > 0
+
+    def test_to_dict_carries_threshold_and_source(self, cheap_timing):
+        entry = cheap_timing.to_dict()
+        assert entry["threshold"] == cheap_timing.bench.threshold
+        assert entry["source"] == cheap_timing.bench.source
+        assert entry["repeats"] == 2
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmark(get_benchmark("table4.collectives_model"), "smoke",
+                          repeats=0)
+
+    def test_unknown_size_rejected(self):
+        """A typoed size must not silently time the 'full' variant."""
+        with pytest.raises(ValueError, match="size must be one of"):
+            run_benchmark(get_benchmark("table4.collectives_model"), "smokee")
+
+
+class TestReportRoundTrip:
+    def test_fingerprint_keys(self):
+        env = environment_fingerprint()
+        for key in ("python", "platform", "numpy", "cpu_count"):
+            assert env[key]
+
+    def test_build_validate_write_load(self, cheap_timing, tmp_path):
+        doc = build_report("smoke", [cheap_timing], extra={"note": "test"})
+        assert doc["schema"] == SCHEMA
+        path = write_report(doc, tmp_path / "BENCH_smoke.json")
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(doc))  # JSON-stable
+        assert loaded["extra"]["note"] == "test"
+        entry = loaded["benchmarks"]["table4.collectives_model"]
+        assert entry["stats"]["median"] >= entry["stats"]["best"]
+
+    def test_validate_rejects_wrong_schema(self, cheap_timing):
+        doc = build_report("smoke", [cheap_timing])
+        doc["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(doc)
+
+    def test_validate_rejects_missing_fields(self, cheap_timing):
+        doc = build_report("smoke", [cheap_timing])
+        del doc["benchmarks"]["table4.collectives_model"]["stats"]
+        with pytest.raises(ValueError, match="missing 'stats'"):
+            validate_report(doc)
+
+    def test_validate_rejects_inconsistent_repeats(self, cheap_timing):
+        doc = build_report("smoke", [cheap_timing])
+        doc["benchmarks"]["table4.collectives_model"]["repeats"] = 99
+        with pytest.raises(ValueError, match="wall_s length"):
+            validate_report(doc)
+
+    def test_write_refuses_invalid(self, cheap_timing, tmp_path):
+        doc = build_report("smoke", [cheap_timing])
+        del doc["suite"]
+        with pytest.raises(ValueError):
+            write_report(doc, tmp_path / "bad.json")
+        assert not (tmp_path / "bad.json").exists()

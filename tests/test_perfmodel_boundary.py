@@ -56,6 +56,10 @@ class TestBoundaryMessageSizes:
         with pytest.raises(ValueError):
             boundary_message_sizes(np.array([1, 2]), np.array([0]))
 
+    def test_rejects_negative_multi(self):
+        with pytest.raises(ValueError):
+            boundary_message_sizes(np.array([3.0]), np.array([-50.0]))
+
 
 class TestBoundaryExchangeTime:
     def test_serial_sum(self):
