@@ -105,6 +105,10 @@ class SweepTask:
     #: Optional :class:`~repro.analysis.sweep.DynamicSpec` — a time-evolving
     #: workload with a repartitioning policy; ``None`` is the static path.
     dynamic: object = None
+    #: Optional rank→node placement strategy name (``"block"``,
+    #: ``"round-robin"``, ``"random[:seed]"``, ``"comm-aware"``); requires
+    #: an SMP cluster.  ``None`` keeps the implicit block map.
+    placement: str | None = None
 
     def store_key(self) -> str:
         """Content hash of every input that determines this point's result."""
@@ -123,6 +127,10 @@ class SweepTask:
             # Only dynamic points hash the spec, so every static key (and
             # the results already stored under it) is unchanged.
             params["dynamic"] = self.dynamic
+        if self.placement is not None:
+            # Same contract as the dynamic axis: default-placement keys are
+            # byte-identical to what they were before the axis existed.
+            params["placement"] = self.placement
         return ResultStore.key_for(params)
 
 
@@ -136,6 +144,7 @@ def evaluate_point(
     partition_method: str = "multilevel",
     faces: FaceTable | None = None,
     dynamic=None,
+    placement: str | None = None,
 ) -> ValidationPoint:
     """Measure ``deck`` at ``num_ranks`` on the simulated machine and
     predict it with each requested model (``models=()`` measures only).
@@ -145,6 +154,12 @@ def evaluate_point(
     shifts plus the spec's repartitioning policy) over the spec's iteration
     window, while model predictions stay static — their error under an
     evolving workload is exactly what such sweeps study.
+
+    ``placement`` is an optional rank→node strategy name (see
+    :func:`repro.placement.make_placement`): the measurement then runs
+    under that explicit map on the SMP hierarchy — the comm-aware strategy
+    optimises against this point's own census — while model predictions
+    keep the flat network, quantifying what placement does to their error.
     """
     if models and table is None:
         raise ValueError("a cost table is required when models are requested")
@@ -154,6 +169,23 @@ def evaluate_point(
         deck, num_ranks, method=partition_method, seed=seed, faces=faces
     )
     census = build_workload_census(deck, partition, faces)
+    if placement is not None:
+        if cluster.hierarchy is None:
+            raise ValueError(
+                "a placement requires an SMP cluster (enable the hierarchy)"
+            )
+        from repro.placement import make_placement
+
+        cluster = cluster.with_placement(
+            make_placement(
+                placement,
+                num_ranks=num_ranks,
+                ranks_per_node=cluster.hierarchy.ranks_per_node,
+                census=census,
+                cluster=cluster,
+                seed=seed,
+            )
+        )
     if dynamic is None:
         measured = measure_iteration_time(
             deck, partition, cluster=cluster, faces=faces, census=census
@@ -223,6 +255,7 @@ def _run_task(task: SweepTask) -> ValidationPoint:
         partition_method=task.partition_method,
         faces=_faces_for(task.deck),
         dynamic=task.dynamic,
+        placement=task.placement,
     )
 
 
@@ -398,7 +431,8 @@ class SweepSpec:
     """A declarative sweep grid: the cartesian product of its axes.
 
     Points are enumerated deck-major (deck → cluster → partition method →
-    seed → rank count), matching the paper's table layout.
+    seed → workload → placement → rank count), matching the paper's table
+    layout.
     """
 
     decks: tuple = ("small",)
@@ -411,6 +445,11 @@ class SweepSpec:
     #: :class:`~repro.analysis.sweep.DynamicSpec` runs the time-evolving
     #: workload under its repartitioning policy.
     dynamics: tuple = (None,)
+    #: Placement axis: ``None`` is the implicit block map; strategy names
+    #: (``"block"``, ``"round-robin"``, ``"random[:seed]"``,
+    #: ``"comm-aware"``) run under that explicit rank→node map and require
+    #: an SMP cluster spec.
+    placements: tuple = (None,)
     #: Calibration range for the contrived-grid cost table.
     max_side: int = 256
 
@@ -423,6 +462,7 @@ class SweepSpec:
             "models",
             "seeds",
             "dynamics",
+            "placements",
         ):
             value = getattr(self, name)
             if isinstance(value, (str, int)) or value is None:
@@ -455,6 +495,7 @@ class SweepSpec:
             * len(self.partition_methods)
             * len(self.seeds)
             * len(self.dynamics)
+            * len(self.placements)
         )
 
     def tasks(self) -> list:
@@ -475,13 +516,16 @@ class SweepSpec:
             )
             built.append((cluster, table))
         out = []
-        for deck, (cluster, table), method, seed, dynamic, ranks in itertools.product(
-            decks,
-            built,
-            self.partition_methods,
-            self.seeds,
-            self.dynamics,
-            self.rank_counts,
+        for deck, (cluster, table), method, seed, dynamic, placement, ranks in (
+            itertools.product(
+                decks,
+                built,
+                self.partition_methods,
+                self.seeds,
+                self.dynamics,
+                self.placements,
+                self.rank_counts,
+            )
         ):
             out.append(
                 SweepTask(
@@ -493,6 +537,7 @@ class SweepSpec:
                     partition_method=method,
                     seed=seed,
                     dynamic=dynamic,
+                    placement=placement,
                 )
             )
         return out

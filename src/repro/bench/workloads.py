@@ -660,6 +660,151 @@ register(Benchmark(
 ))
 
 
+# ---------------------------------------------------------------- placement.*
+
+def _overhead_smp_cluster(speed=1.0, ranks_per_node=4):
+    """SMP cluster with the shared-memory transport's cheaper host overheads."""
+    from repro.machine import es45_like_cluster
+
+    return _memo(
+        ("smp-oh", speed, ranks_per_node),
+        lambda: es45_like_cluster(speed=speed).with_smp(
+            ranks_per_node=ranks_per_node,
+            intra_send_overhead=0.5e-6,
+            intra_recv_overhead=0.7e-6,
+        ),
+    )
+
+
+def _setup_place_optimize(size):
+    ranks = 24 if size == "smoke" else 64
+    return {
+        "census": _census("small", ranks),
+        "cluster": _overhead_smp_cluster(),
+        "ranks": ranks,
+    }
+
+
+def _run_place_optimize(ctx):
+    from repro.placement import optimize_placement
+
+    return optimize_placement(ctx["census"], ctx["cluster"])
+
+
+def _place_optimize_invariants(ctx, placement):
+    from repro.placement import (
+        block_placement,
+        inter_node_bytes,
+        placement_comm_cost,
+        rank_comm_bytes,
+        rank_pair_times,
+    )
+
+    graph = rank_comm_bytes(ctx["census"])
+    t_intra, t_inter = rank_pair_times(ctx["census"], ctx["cluster"])
+    block = block_placement(ctx["ranks"], placement.ranks_per_node)
+    return {
+        "block_inter_bytes": inter_node_bytes(block, graph),
+        "optimized_inter_bytes": inter_node_bytes(placement, graph),
+        "block_max_rank_cost_s": placement_comm_cost(
+            block.node_of_rank, t_intra, t_inter
+        )[0],
+        "optimized_max_rank_cost_s": placement_comm_cost(
+            placement.node_of_rank, t_intra, t_inter
+        )[0],
+    }
+
+
+register(Benchmark(
+    name="placement.comm_aware_optimize",
+    group="placement",
+    description="comm-aware placement optimizer (multi-start bisection + minimax refine)",
+    source="src/repro/placement/optimize.py",
+    setup=_setup_place_optimize,
+    run=_run_place_optimize,
+    invariants=_place_optimize_invariants,
+    repeats=3,
+    threshold=0.6,
+))
+
+
+def _setup_pairwise_pricing(size):
+    from repro.placement import random_placement
+
+    ranks, count = (64, 20000) if size == "smoke" else (256, 100000)
+    rng = np.random.default_rng(2006)
+    hierarchy = _smp_cluster().hierarchy.with_placement(
+        random_placement(ranks, 4, seed=7)
+    )
+    a = rng.integers(0, ranks, size=count)
+    b = (a + rng.integers(1, ranks, size=count)) % ranks
+    sizes = rng.integers(1, 65536, size=count).astype(np.float64)
+    return {"hierarchy": hierarchy, "a": a, "b": b, "sizes": sizes}
+
+
+def _run_pairwise_pricing(ctx):
+    return float(
+        ctx["hierarchy"].tmsg_pairs(ctx["a"], ctx["b"], ctx["sizes"]).sum()
+    )
+
+
+register(Benchmark(
+    name="placement.pairwise_pricing",
+    group="placement",
+    description="batched endpoint-aware Tmsg (same-node mask over tmsg_many)",
+    source="src/repro/machine/hierarchy.py",
+    setup=_setup_pairwise_pricing,
+    run=_run_pairwise_pricing,
+    invariants=lambda ctx, result: {"total_time_s": float(result)},
+))
+
+
+def _setup_place_scenario(size):
+    from repro.placement import block_placement, optimize_placement
+
+    ranks = 16
+    census = _census("small", ranks)
+    cluster = _overhead_smp_cluster(speed=8.0)
+    return {
+        "deck": _deck("small"), "part": _partition("small", ranks),
+        "faces": _faces("small"), "census": census,
+        "block": cluster.with_placement(block_placement(ranks, 4)),
+        "optimized": cluster.with_placement(
+            optimize_placement(census, cluster)
+        ),
+    }
+
+
+def _run_place_scenario(ctx):
+    from repro.hydro import measure_iteration_time
+
+    t_block = measure_iteration_time(
+        ctx["deck"], ctx["part"], cluster=ctx["block"],
+        faces=ctx["faces"], census=ctx["census"],
+    ).seconds
+    t_opt = measure_iteration_time(
+        ctx["deck"], ctx["part"], cluster=ctx["optimized"],
+        faces=ctx["faces"], census=ctx["census"],
+    ).seconds
+    return t_block, t_opt
+
+
+register(Benchmark(
+    name="placement.smp_scenario",
+    group="placement",
+    description="SMP-hierarchy scenario: block vs comm-aware placement, 4 ranks/node",
+    source="benchmarks/bench_placement_strategies.py",
+    setup=_setup_place_scenario,
+    run=_run_place_scenario,
+    invariants=lambda ctx, result: {
+        "block_s": float(result[0]),
+        "comm_aware_s": float(result[1]),
+        "improvement_frac": float((result[0] - result[1]) / result[0]),
+    },
+    repeats=2,
+))
+
+
 # ------------------------------------------------------------------ dynamic.*
 
 def _setup_dynamic(size):

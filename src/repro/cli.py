@@ -9,6 +9,16 @@ Commands
 ``validate``
     Measure one configuration on the simulated machine and compare all
     model variants.
+``place``
+    Topology-aware rank placement on the SMP machine:
+
+    ``place compare``
+        Measure one configuration under each placement strategy (block,
+        round-robin, random, comm-aware) with inter-node traffic shares.
+    ``place optimize``
+        Run the communication-aware optimizer and report its margin over
+        block placement (inter-node bytes, max per-rank p2p cost, measured
+        iteration time).
 ``bench``
     The machine-readable benchmark subsystem:
 
@@ -228,9 +238,29 @@ def _dynamic_label(task) -> str:
     return "static" if task.dynamic is None else task.dynamic.label
 
 
+def _placements_from_args(args) -> tuple:
+    """Placement-axis entries: ``default`` → None (implicit block map),
+    anything else a strategy name for :func:`repro.placement.make_placement`."""
+    return tuple(
+        None if token in ("default", "none") else token
+        for token in _csv_strings(args.placements)
+    )
+
+
+def _placement_label(task) -> str:
+    """Placement tag of a task for progress lines and table titles."""
+    return "default" if task.placement is None else task.placement
+
+
 def _spec_from_args(args) -> SweepSpec:
     """Build the declarative grid shared by ``sweep run`` and ``sweep status``."""
     ranks = _csv_ints(args.ranks) if args.ranks else powers_of_two(args.max_ranks)
+    placements = _placements_from_args(args)
+    if any(p is not None for p in placements) and not args.smp:
+        # Fail before any grid point is evaluated, not mid-sweep.
+        raise SystemExit(
+            "error: --placements (other than 'default') requires --smp"
+        )
     return SweepSpec(
         decks=_csv_strings(args.decks),
         rank_counts=ranks,
@@ -239,6 +269,7 @@ def _spec_from_args(args) -> SweepSpec:
         models=_csv_strings(args.models),
         seeds=_csv_ints(args.seeds),
         dynamics=_dynamics_from_args(args),
+        placements=placements,
         max_side=args.max_side,
     )
 
@@ -254,7 +285,7 @@ def cmd_sweep_run(args) -> int:
         print(
             f"[{done}/{total}] {_deck_label(task.deck)} p={task.num_ranks}"
             f" {task.partition_method} seed={task.seed}"
-            f" {_dynamic_label(task)}: {source}",
+            f" {_dynamic_label(task)} {_placement_label(task)}: {source}",
             flush=True,
         )
 
@@ -274,11 +305,15 @@ def cmd_sweep_run(args) -> int:
             task.partition_method,
             task.seed,
             _dynamic_label(task),
+            _placement_label(task),
         )
         groups.setdefault(key, []).append(outcome.point)
-    for (deck_label, cluster_name, method, seed, dyn_label), points in groups.items():
+    for (
+        deck_label, cluster_name, method, seed, dyn_label, place_label
+    ), points in groups.items():
         out = TextTable(
-            f"{deck_label} deck on {cluster_name} ({method}, seed {seed}, {dyn_label})",
+            f"{deck_label} deck on {cluster_name} "
+            f"({method}, seed {seed}, {dyn_label}, place {place_label})",
             ["PEs", "measured (ms)"]
             + [f"{m} (ms)" for m in spec.models]
             + [f"{m} err" for m in spec.models],
@@ -320,6 +355,126 @@ def cmd_sweep_clear(args) -> int:
             path.unlink()
             count += 1
         print(f"removed {count} cached partitions")
+    return 0
+
+
+def _place_setup(args):
+    """Shared deck/partition/census/SMP-cluster construction for ``place``."""
+    deck = _parse_deck(args.deck)
+    faces = build_face_table(deck.mesh)
+    part = cached_partition(
+        deck, args.ranks, method=args.method, seed=args.seed, faces=faces
+    )
+    census = build_workload_census(deck, part, faces)
+    cluster = es45_like_cluster(speed=args.speed).with_smp(
+        ranks_per_node=args.ranks_per_node,
+        intra_send_overhead=args.intra_send_us * 1e-6,
+        intra_recv_overhead=args.intra_recv_us * 1e-6,
+    )
+    return deck, faces, part, census, cluster
+
+
+def cmd_place_compare(args) -> int:
+    """Measure one configuration under each placement strategy."""
+    from repro.placement import (
+        inter_node_bytes,
+        make_placement,
+        rank_comm_bytes,
+        total_pair_bytes,
+    )
+
+    deck, faces, part, census, cluster = _place_setup(args)
+    graph = rank_comm_bytes(census)
+    total = total_pair_bytes(graph)
+
+    block = make_placement("block", args.ranks, args.ranks_per_node)
+    t_block = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(block), faces=faces,
+        census=census,
+    ).seconds
+
+    out = TextTable(
+        f"rank placement, {deck.name} deck, {args.ranks} ranks on {cluster.name}",
+        ["strategy", "nodes", "inter-node KB", "share", "measured (ms)", "vs block"],
+    )
+    for strategy in _csv_strings(args.strategies):
+        placement = make_placement(
+            strategy,
+            num_ranks=args.ranks,
+            ranks_per_node=args.ranks_per_node,
+            census=census,
+            cluster=cluster,
+            seed=args.seed,
+        )
+        seconds = (
+            t_block
+            if strategy == "block"
+            else measure_iteration_time(
+                deck, part, cluster=cluster.with_placement(placement),
+                faces=faces, census=census,
+            ).seconds
+        )
+        inter = inter_node_bytes(placement, graph)
+        out.add_row(
+            placement.name,
+            placement.num_nodes,
+            inter / 1e3,
+            f"{inter / total * 100:.0f}%" if total else "-",
+            seconds * 1e3,
+            f"{(t_block - seconds) / t_block * 100:+.2f}%",
+        )
+    print(out.render())
+    return 0
+
+
+def cmd_place_optimize(args) -> int:
+    """Run the communication-aware optimizer and report its margin."""
+    from repro.placement import (
+        block_placement,
+        inter_node_bytes,
+        optimize_placement,
+        placement_comm_cost,
+        rank_comm_bytes,
+        rank_pair_times,
+    )
+
+    deck, faces, part, census, cluster = _place_setup(args)
+    graph = rank_comm_bytes(census)
+    block = block_placement(args.ranks, args.ranks_per_node)
+    optimized = optimize_placement(census, cluster)
+    t_intra, t_inter = rank_pair_times(census, cluster)
+
+    t_block = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(block), faces=faces,
+        census=census,
+    ).seconds
+    t_opt = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(optimized), faces=faces,
+        census=census,
+    ).seconds
+
+    out = TextTable(
+        f"comm-aware optimization, {deck.name} deck, {args.ranks} ranks "
+        f"on {cluster.name}",
+        ["quantity", "block", "comm-aware", "change"],
+    )
+    rows = [
+        ("inter-node KB", inter_node_bytes(block, graph) / 1e3,
+         inter_node_bytes(optimized, graph) / 1e3),
+        ("max per-rank p2p (ms)",
+         placement_comm_cost(block.node_of_rank, t_intra, t_inter)[0] * 1e3,
+         placement_comm_cost(optimized.node_of_rank, t_intra, t_inter)[0] * 1e3),
+        ("measured iteration (ms)", t_block * 1e3, t_opt * 1e3),
+    ]
+    for label, before, after in rows:
+        change = (before - after) / before * 100 if before else 0.0
+        out.add_row(label, before, after, f"{change:+.2f}%")
+    print(out.render())
+    if args.show_map:
+        print()
+        for node in range(optimized.num_nodes):
+            ranks = ", ".join(str(r) for r in optimized.ranks_on_node(node))
+            print(f"node {node:3d}: ranks {ranks}")
     return 0
 
 
@@ -500,6 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--dyn-iterations", type=int, default=12,
             help="iterations per dynamic run (static runs keep the default 3)",
         )
+        p.add_argument(
+            "--placements", default="default",
+            help=(
+                "comma list of rank placements (requires --smp): default "
+                "(implicit block map) or block|round-robin|random[:seed]|"
+                "comm-aware"
+            ),
+        )
 
     p_run = sweep_sub.add_parser(
         "run", help="evaluate a sweep grid (parallel + resumable)"
@@ -525,6 +688,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitions", action="store_true", help="also drop cached partitions"
     )
     p_clear.set_defaults(func=cmd_sweep_clear)
+
+    p_place = sub.add_parser(
+        "place",
+        help="topology-aware rank placement: compare|optimize",
+        description=(
+            "Rank→node placement studies on the SMP machine: `compare` "
+            "measures one configuration under each placement strategy; "
+            "`optimize` runs the communication-aware optimizer and reports "
+            "its margin over block placement.  Both default to a "
+            "shared-memory transport with cheaper on-node host overheads "
+            "(tune with --intra-send-us/--intra-recv-us)."
+        ),
+    )
+    place_sub = p_place.add_subparsers(dest="place_command", required=True)
+
+    def place_common(p):
+        p.add_argument("--deck", default="small", help="small|medium|large or NXxNY")
+        p.add_argument("--ranks", type=int, default=16)
+        p.add_argument(
+            "--ranks-per-node", type=int, default=4, help="SMP node capacity"
+        )
+        p.add_argument(
+            "--method", default="multilevel",
+            help="partitioner: multilevel|rcb|block|structured-block",
+        )
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--speed", type=float, default=1.0, help="CPU speed multiplier")
+        p.add_argument(
+            "--intra-send-us", type=float, default=0.5,
+            help="on-node send overhead, microseconds (fabric: 1.5)",
+        )
+        p.add_argument(
+            "--intra-recv-us", type=float, default=0.7,
+            help="on-node recv overhead, microseconds (fabric: 2.0)",
+        )
+
+    p_pc = place_sub.add_parser(
+        "compare", help="measure every placement strategy on one configuration"
+    )
+    place_common(p_pc)
+    p_pc.add_argument(
+        "--strategies", default="block,round-robin,random:1,comm-aware",
+        help="comma list: block|round-robin|random[:seed]|comm-aware",
+    )
+    p_pc.set_defaults(func=cmd_place_compare)
+
+    p_po = place_sub.add_parser(
+        "optimize", help="run the comm-aware optimizer, report margin vs block"
+    )
+    place_common(p_po)
+    p_po.add_argument(
+        "--show-map", action="store_true", help="print the optimized rank→node map"
+    )
+    p_po.set_defaults(func=cmd_place_optimize)
 
     p_bench = sub.add_parser(
         "bench",

@@ -65,16 +65,53 @@ class ClusterConfig:
         ranks_per_node: int = 4,
         intra_latency: float = 3e-6,
         intra_bandwidth: float = 1.2e9,
+        intra_send_overhead: float | None = None,
+        intra_recv_overhead: float | None = None,
     ) -> "ClusterConfig":
-        """Copy of this cluster with an ES-45-style SMP hierarchy enabled."""
+        """Copy of this cluster with an ES-45-style SMP hierarchy enabled.
+
+        ``intra_send_overhead`` / ``intra_recv_overhead`` optionally lower
+        the per-message host overheads for on-node messages (a shared-memory
+        transport bypasses the NIC); ``None`` keeps the flat overheads on
+        every message, bitwise-identical to the placement-unaware machine.
+        """
         hierarchy = es45_hierarchical_network(
             self.network,
             intra_latency=intra_latency,
             intra_bandwidth=intra_bandwidth,
             ranks_per_node=ranks_per_node,
+            intra_send_overhead=intra_send_overhead,
+            intra_recv_overhead=intra_recv_overhead,
         )
         return replace(
             self, hierarchy=hierarchy, name=f"{self.name}+smp{ranks_per_node}"
+        )
+
+    def with_placement(self, placement) -> "ClusterConfig":
+        """Copy of this SMP cluster under an explicit rank→node map.
+
+        Requires the SMP hierarchy (enable it first with :meth:`with_smp`);
+        the placement's capacity must match the hierarchy's
+        ``ranks_per_node``.
+
+        >>> cluster = es45_like_cluster().with_smp()
+        >>> from repro.placement import round_robin_placement
+        >>> placed = cluster.with_placement(round_robin_placement(8, 4))
+        >>> placed.name
+        'es45-qsnet-like+smp4+round-robin'
+        >>> placed.network_for(0, 1) is placed.hierarchy.inter  # adjacent ranks split
+        True
+        >>> placed.network_for(0, 2) is placed.hierarchy.intra  # stride-2 shares a node
+        True
+        """
+        if self.hierarchy is None:
+            raise ValueError(
+                "placement requires an SMP hierarchy; call with_smp() first"
+            )
+        return replace(
+            self,
+            hierarchy=self.hierarchy.with_placement(placement),
+            name=f"{self.name}+{placement.name}",
         )
 
 

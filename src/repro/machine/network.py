@@ -147,7 +147,17 @@ def make_network(
     bandwidth_bytes_per_s: float = 300e6,
     name: str = "custom",
 ) -> NetworkModel:
-    """Convenience two-segment network: eager below the threshold, rendezvous above."""
+    """Convenience two-segment network: eager below the threshold, rendezvous above.
+
+    >>> net = make_network(small_latency=2e-6, large_latency=4e-6,
+    ...                    eager_threshold=1024.0, bandwidth_bytes_per_s=1e9)
+    >>> net.tmsg(0)  # a zero-byte message still pays the eager latency
+    2e-06
+    >>> int(net.segment_of(1024)), int(net.segment_of(1025))  # threshold stays eager
+    (0, 1)
+    >>> net.tmsg(1024) == 2e-06 + 1024 * 1e-09
+    True
+    """
     check_nonnegative(small_latency, "small_latency")
     check_nonnegative(large_latency, "large_latency")
     per_byte = 1.0 / bandwidth_bytes_per_s

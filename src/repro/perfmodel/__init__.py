@@ -25,13 +25,22 @@ from repro.perfmodel.computation import (
     computation_time,
     computation_time_by_phase,
 )
-from repro.perfmodel.boundary import boundary_exchange_time, boundary_message_sizes
-from repro.perfmodel.ghostmodel import ghost_update_time, ghost_phase_total
+from repro.perfmodel.boundary import (
+    boundary_exchange_time,
+    boundary_exchange_time_pair,
+    boundary_message_sizes,
+)
+from repro.perfmodel.ghostmodel import (
+    ghost_update_time,
+    ghost_phase_total,
+    ghost_phase_total_pair,
+)
 from repro.perfmodel.collectives import (
     broadcast_time,
     allreduce_total_time,
     gather_total_time,
     collectives_time,
+    hier_collectives_time,
 )
 from repro.perfmodel.runtime import PredictedTime
 from repro.perfmodel.mesh_specific import MeshSpecificModel
@@ -48,13 +57,16 @@ __all__ = [
     "computation_time",
     "computation_time_by_phase",
     "boundary_exchange_time",
+    "boundary_exchange_time_pair",
     "boundary_message_sizes",
     "ghost_update_time",
     "ghost_phase_total",
+    "ghost_phase_total_pair",
     "broadcast_time",
     "allreduce_total_time",
     "gather_total_time",
     "collectives_time",
+    "hier_collectives_time",
     "PredictedTime",
     "MeshSpecificModel",
     "GeneralModel",

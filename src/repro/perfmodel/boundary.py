@@ -102,6 +102,26 @@ def priced_tally_time(counts: np.ndarray, times: np.ndarray) -> float:
     return total
 
 
+def boundary_exchange_time_pair(
+    hierarchy,
+    rank_a: int,
+    rank_b: int,
+    faces_by_material: np.ndarray,
+    multi_nodes_by_material: np.ndarray | None = None,
+) -> float:
+    """Equation (5) priced by the endpoints' actual nodes.
+
+    The placement-aware form of :func:`boundary_exchange_time`: the whole
+    exchange between ``rank_a`` and ``rank_b`` travels one network level —
+    shared memory when the hierarchy places both ranks on one node, the
+    inter-node fabric otherwise.
+    """
+    network = hierarchy.network_for(rank_a, rank_b)
+    return boundary_exchange_time(
+        network, faces_by_material, multi_nodes_by_material
+    )
+
+
 def boundary_exchange_time(
     network: NetworkModel,
     faces_by_material: np.ndarray,

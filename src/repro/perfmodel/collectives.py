@@ -39,3 +39,28 @@ def collectives_time(network: NetworkModel, num_ranks: int) -> float:
         + allreduce_total_time(network, num_ranks)
         + gather_total_time(network, num_ranks)
     )
+
+
+def hier_collectives_time(hierarchy, num_ranks: int) -> float:
+    """Equations (8)–(10) over the SMP two-level trees.
+
+    Same per-iteration census as :func:`collectives_time` — six broadcasts
+    (3×4 B + 3×8 B), twenty-two allreduces (9×4 B + 13×8 B, fan-in plus
+    fan-out), one 32-byte gather — but each tree is the node-then-leader
+    structure of :func:`~repro.machine.hierarchy.hier_bcast_time`, so the
+    total depends on the placement's node occupancy, not just ``P``.
+    """
+    from repro.machine.hierarchy import (
+        hier_allreduce_time,
+        hier_bcast_time,
+        hier_gather_time,
+    )
+
+    bcast = 3 * hier_bcast_time(hierarchy, num_ranks, 4) + 3 * hier_bcast_time(
+        hierarchy, num_ranks, 8
+    )
+    allreduce = 9 * hier_allreduce_time(hierarchy, num_ranks, 4) + (
+        13 * hier_allreduce_time(hierarchy, num_ranks, 8)
+    )
+    gather = hier_gather_time(hierarchy, num_ranks, 32)
+    return bcast + allreduce + gather

@@ -26,6 +26,16 @@ class CostCurve:
         Ascending sample subgrid sizes (cells per processor), all positive.
     per_cell:
         Measured per-cell cost (seconds) at each sample size.
+
+    >>> import numpy as np
+    >>> curve = CostCurve(cells=np.array([1.0, 100.0]),
+    ...                   per_cell=np.array([2.0, 1.0]))
+    >>> curve(1.0), curve(100.0)  # exact at every sample
+    (2.0, 1.0)
+    >>> curve(1000.0)  # clamps outside the sampled range
+    1.0
+    >>> float(curve.subgrid_time(100.0))  # total phase time: T(n) * n
+    100.0
     """
 
     cells: np.ndarray

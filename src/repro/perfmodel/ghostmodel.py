@@ -65,3 +65,18 @@ def ghost_update_time(
 def ghost_phase_total(network: NetworkModel, n_local: int, n_remote: int) -> float:
     """All three ghost-update phases for one neighbour (8 + 16 + 16 bytes)."""
     return priced_ghost_time(network.tmsg_many(ghost_sizes(n_local, n_remote)))
+
+
+def ghost_phase_total_pair(
+    hierarchy, rank_a: int, rank_b: int, n_local: int, n_remote: int
+) -> float:
+    """Equations (6)/(7) priced by the endpoints' actual nodes.
+
+    The placement-aware form of :func:`ghost_phase_total`: all three
+    ghost-update phases of the ``(rank_a, rank_b)`` link travel shared
+    memory when the hierarchy places both ranks on one node, the
+    inter-node fabric otherwise.
+    """
+    return ghost_phase_total(
+        hierarchy.network_for(rank_a, rank_b), n_local, n_remote
+    )

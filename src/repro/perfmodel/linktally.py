@@ -1,0 +1,63 @@
+"""The census link walk: one place that knows every link's message tally.
+
+Three consumers price the same per-link message structure — the
+mesh-specific model (:mod:`repro.perfmodel.mesh_specific`), the placement
+communication graph, and the placement cost matrices
+(:mod:`repro.placement.optimize`).  This iterator is the single source of
+that structure, so a change to the tally semantics (e.g. the
+multi-material surcharge) cannot silently diverge between the model and
+the optimizer objective it claims to minimise.
+
+Order contract: links are yielded per rank in ascending rank order,
+boundary links before ghost links, each sub-list already sorted by
+neighbour — exactly the serial-sum order the mesh-specific model has
+always priced, so batching over this walk stays bitwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.hydro.workload import NUM_EXCHANGE_GROUPS
+from repro.perfmodel.boundary import boundary_tally
+from repro.perfmodel.ghostmodel import ghost_sizes
+
+#: Link kinds: phase-2 boundary exchange / phases-4,5,7 ghost updates.
+BOUNDARY_LINK = "be"
+GHOST_LINK = "gn"
+
+
+def iter_link_tallies(
+    census, include_multi_surcharge: bool = True
+) -> Iterator[tuple]:
+    """Yield ``(kind, rank, nbr_rank, counts, sizes)`` for every census link.
+
+    ``counts``/``sizes`` are the Table-3 tally arrays for boundary links
+    (:func:`~repro.perfmodel.boundary.boundary_tally`, with or without the
+    multi-material surcharge); ghost links yield ``counts=None`` and the
+    six per-phase message sizes
+    (:func:`~repro.perfmodel.ghostmodel.ghost_sizes`).
+    """
+    faces = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+    multi = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
+    for rank in range(census.num_ranks):
+        for bl in census.boundary_links[rank]:
+            faces[:] = 0
+            multi[:] = 0
+            for (group, f, g) in bl.mine.groups:
+                faces[group] += f
+                multi[group] += g
+            counts, sizes = boundary_tally(
+                faces, multi if include_multi_surcharge else None
+            )
+            yield BOUNDARY_LINK, rank, bl.nbr_rank, counts, sizes
+        for gl in census.ghost_links[rank]:
+            yield (
+                GHOST_LINK,
+                rank,
+                gl.nbr_rank,
+                None,
+                ghost_sizes(gl.owned_by_me, gl.not_owned_by_me),
+            )

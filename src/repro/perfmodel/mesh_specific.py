@@ -6,6 +6,13 @@ ghost-node counts for Equations (5)–(7).  Communication is charged with no
 overlap (the paper's stated approximation): each rank's point-to-point time
 is the serial sum over its neighbours, and the modelled iteration takes the
 max-over-ranks of that, plus the collective total.
+
+With a :class:`~repro.machine.hierarchy.HierarchicalNetwork` (optionally
+carrying an explicit rank→node placement), every link is priced by its
+actual endpoint nodes — shared memory on-node, the fabric across nodes —
+instead of one flat network, and collectives use the SMP two-level trees.
+The batching stays: one ``tmsg_many`` evaluation per network level for the
+whole census.
 """
 
 from __future__ import annotations
@@ -15,14 +22,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hydro.workload import WorkloadCensus
-from repro.perfmodel.boundary import boundary_tally, priced_tally_time
-from repro.perfmodel.collectives import collectives_time
+from repro.perfmodel.boundary import priced_tally_time
+from repro.perfmodel.collectives import collectives_time, hier_collectives_time
 from repro.perfmodel.computation import computation_time
 from repro.perfmodel.costcurves import CostTable
-from repro.perfmodel.ghostmodel import ghost_sizes, priced_ghost_time
+from repro.perfmodel.ghostmodel import priced_ghost_time
+from repro.perfmodel.linktally import iter_link_tallies
 from repro.perfmodel.runtime import PredictedTime
 from repro.machine.network import NetworkModel
-from repro.hydro.workload import NUM_EXCHANGE_GROUPS
 
 
 @dataclass(frozen=True)
@@ -40,11 +47,19 @@ class MeshSpecificModel:
         first two messages of each sextet (the Table 3 refinement).  The
         printed Equation (5) omits it; default on, as the mesh-specific
         model has the information.
+    hierarchy:
+        Optional SMP two-level network.  When set, point-to-point links are
+        priced pairwise by their endpoint nodes (under the hierarchy's
+        placement — block unless an explicit
+        :class:`~repro.placement.base.Placement` was attached) and
+        collectives use the node-then-leader trees; ``network`` is ignored
+        for communication terms.  ``None`` keeps the paper's flat pricing.
     """
 
     table: CostTable
     network: NetworkModel
     include_multi_surcharge: bool = True
+    hierarchy: object | None = None
 
     def computation(self, cells_matrix: np.ndarray) -> float:
         """Equation (3) on the exact per-processor material census."""
@@ -54,38 +69,36 @@ class MeshSpecificModel:
         """Max-over-ranks boundary-exchange and ghost-update times.
 
         All links' message tallies are priced in *one* batched ``Tmsg``
-        evaluation, then re-aggregated per link in the historical order —
+        evaluation (one per network level when a hierarchy is set — the
+        same-node mask over the concatenated endpoint arrays splits the
+        batch), then re-aggregated per link in the historical order —
         bitwise identical to pricing each link on its own.
         """
-        faces = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
-        multi = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.int64)
-
         # Pass 1: tally every link's message sizes (no Tmsg yet).
         entries = []  # (kind, rank, counts-or-None, num_sizes)
         chunks = []
-        for rank in range(census.num_ranks):
-            for bl in census.boundary_links[rank]:
-                faces[:] = 0
-                multi[:] = 0
-                for (group, f, g) in bl.mine.groups:
-                    faces[group] += f
-                    multi[group] += g
-                counts, sizes = boundary_tally(
-                    faces, multi if self.include_multi_surcharge else None
-                )
-                entries.append(("be", rank, counts, sizes.size))
-                chunks.append(sizes)
-            for gl in census.ghost_links[rank]:
-                sizes = ghost_sizes(gl.owned_by_me, gl.not_owned_by_me)
-                entries.append(("gn", rank, None, sizes.size))
-                chunks.append(sizes)
+        endpoints = []  # (rank, nbr) per chunk, aligned with `chunks`
+        for kind, rank, nbr, counts, sizes in iter_link_tallies(
+            census, self.include_multi_surcharge
+        ):
+            entries.append((kind, rank, counts, sizes.size))
+            chunks.append(sizes)
+            endpoints.append((rank, nbr))
 
-        # Pass 2: one piecewise-linear evaluation for the whole census.
-        times = (
-            self.network.tmsg_many(np.concatenate(chunks))
-            if chunks
-            else np.empty(0)
-        )
+        # Pass 2: one piecewise-linear evaluation for the whole census
+        # (flat), or one per network level (pairwise-aware hierarchy).
+        if not chunks:
+            times = np.empty(0)
+        elif self.hierarchy is None:
+            times = self.network.tmsg_many(np.concatenate(chunks))
+        else:
+            lengths = np.array([c.size for c in chunks], dtype=np.int64)
+            pair_arr = np.array(endpoints, dtype=np.int64)
+            a_ranks = np.repeat(pair_arr[:, 0], lengths)
+            b_ranks = np.repeat(pair_arr[:, 1], lengths)
+            times = self.hierarchy.tmsg_pairs(
+                a_ranks, b_ranks, np.concatenate(chunks)
+            )
 
         # Pass 3: per-link aggregation in the original serial-sum order.
         be_by_rank = [0.0] * census.num_ranks
@@ -104,7 +117,10 @@ class MeshSpecificModel:
         """Full per-iteration prediction from a workload census."""
         comp = self.computation(census.material_counts.astype(np.float64))
         be, gn = self.point_to_point(census)
-        coll = collectives_time(self.network, census.num_ranks)
+        if self.hierarchy is None:
+            coll = collectives_time(self.network, census.num_ranks)
+        else:
+            coll = hier_collectives_time(self.hierarchy, census.num_ranks)
         return PredictedTime(
             computation=comp,
             boundary_exchange=be,

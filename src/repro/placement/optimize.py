@@ -1,0 +1,421 @@
+"""Communication-graph costing and the placement optimizers.
+
+Two objectives, two optimizers:
+
+* **Inter-node bytes** (:func:`comm_aware_placement`) — the classic graph
+  objective: a symmetric matrix of per-iteration point-to-point bytes
+  between rank pairs (:func:`rank_comm_bytes`, from the Equation-(5)/
+  Table-3 boundary tallies plus the Equations-(6)–(7) ghost messages),
+  minimised by recursive bisection plus Kernighan–Lin-style
+  :func:`greedy_refine`.  Needs no machine model.
+* **Max-over-ranks priced cost** (:func:`optimize_placement`) — the
+  makespan-aligned objective.  Simulated iteration time is a *max* over
+  ranks (every phase ends in a synchronisation), so shaving total bytes
+  can still lose if it concentrates fabric traffic on one critical rank.
+  :func:`rank_pair_times` prices each link twice (all-intra and all-inter,
+  wire cost plus per-message host overheads) and :func:`minimax_refine`
+  minimises the lexicographic ``(max per-rank cost, total cost)``.
+
+Both are deterministic in their inputs: fixed scan order, exact float
+comparisons, no RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.base import Placement, compact_labels
+
+
+def rank_comm_bytes(census) -> np.ndarray:
+    """Symmetric ``(P, P)`` matrix of per-iteration bytes between rank pairs.
+
+    Sums every boundary-exchange message (count × size, including the
+    multi-material surcharge) and every ghost-update message a rank sends
+    its neighbour in one iteration.  Both directions of a link contribute,
+    so entry ``(a, b)`` is the total traffic the pair would exchange —
+    exactly what crossing a node boundary costs under pairwise pricing.
+    """
+    from repro.perfmodel.linktally import iter_link_tallies
+
+    num_ranks = census.num_ranks
+    graph = np.zeros((num_ranks, num_ranks), dtype=np.float64)
+    for kind, rank, nbr, counts, sizes in iter_link_tallies(census):
+        nbytes = float(sizes.sum() if counts is None else (counts * sizes).sum())
+        graph[rank, nbr] += nbytes
+        graph[nbr, rank] += nbytes
+    return graph
+
+
+def inter_node_bytes(placement: Placement, graph: np.ndarray) -> float:
+    """Bytes crossing node boundaries under ``placement`` (the objective).
+
+    Each unordered rank pair on different nodes contributes its symmetric
+    graph weight once.
+    """
+    nodes = placement.node_of_rank
+    if graph.shape != (nodes.size, nodes.size):
+        raise ValueError("graph shape does not match the placement's rank count")
+    cross = nodes[:, None] != nodes[None, :]
+    return float(graph[cross].sum()) / 2.0
+
+
+def total_pair_bytes(graph: np.ndarray) -> float:
+    """All pairwise bytes in the graph (the inter-node objective's ceiling)."""
+    return float(graph.sum()) / 2.0
+
+
+def rank_pair_times(census, cluster) -> tuple[np.ndarray, np.ndarray]:
+    """Per-link priced comm cost at each network level: ``(T_intra, T_inter)``.
+
+    ``T_*[a, b]`` is rank ``a``'s per-iteration serial cost on its link to
+    ``b`` — the wire time of every message it sends (Equations (5)–(7)
+    tallies through the level's ``Tmsg``) plus the host overheads both
+    endpoints pay (``a``'s sends and the receives of ``b``'s mirrored
+    messages charged to ``b``'s row) — priced as if the pair were on the
+    same node (``T_intra``) or on different nodes (``T_inter``).  The
+    placement then just selects, per pair, which matrix applies; row sums
+    are each rank's p2p cost, whose max is the makespan-aligned objective.
+
+    Requires ``cluster.hierarchy``; intra host overheads default to the
+    flat cluster overheads when the hierarchy does not declare cheaper
+    shared-memory values.
+    """
+    from repro.perfmodel.boundary import priced_tally_time
+    from repro.perfmodel.ghostmodel import priced_ghost_time
+    from repro.perfmodel.linktally import iter_link_tallies
+
+    hierarchy = cluster.hierarchy
+    if hierarchy is None:
+        raise ValueError("rank_pair_times needs an SMP hierarchy on the cluster")
+    send_inter, recv_inter = cluster.send_overhead, cluster.recv_overhead
+    send_intra = (
+        send_inter
+        if hierarchy.intra_send_overhead is None
+        else hierarchy.intra_send_overhead
+    )
+    recv_intra = (
+        recv_inter
+        if hierarchy.intra_recv_overhead is None
+        else hierarchy.intra_recv_overhead
+    )
+
+    num_ranks = census.num_ranks
+    t_intra = np.zeros((num_ranks, num_ranks), dtype=np.float64)
+    t_inter = np.zeros((num_ranks, num_ranks), dtype=np.float64)
+    for kind, rank, nbr, counts, sizes in iter_link_tallies(census):
+        if counts is None:
+            msgs = float(sizes.size)
+            wire_intra = priced_ghost_time(hierarchy.intra.tmsg_many(sizes))
+            wire_inter = priced_ghost_time(hierarchy.inter.tmsg_many(sizes))
+        else:
+            msgs = float(counts.sum())
+            wire_intra = priced_tally_time(counts, hierarchy.intra.tmsg_many(sizes))
+            wire_inter = priced_tally_time(counts, hierarchy.inter.tmsg_many(sizes))
+        t_intra[rank, nbr] += wire_intra + msgs * send_intra
+        t_inter[rank, nbr] += wire_inter + msgs * send_inter
+        t_intra[nbr, rank] += msgs * recv_intra
+        t_inter[nbr, rank] += msgs * recv_inter
+    return t_intra, t_inter
+
+
+def placement_comm_cost(
+    node_of_rank: np.ndarray, t_intra: np.ndarray, t_inter: np.ndarray
+) -> tuple[float, float]:
+    """``(max per-rank cost, total cost)`` of a rank→node map.
+
+    Each rank's cost is the row sum of the applicable matrix entries —
+    intra where the pair shares a node, inter elsewhere.  The lexicographic
+    pair orders placements the way a synchronising iteration experiences
+    them: the slowest rank first, aggregate traffic as tiebreak.
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64)
+    same = nodes[:, None] == nodes[None, :]
+    priced = np.where(same, t_intra, t_inter)
+    np.fill_diagonal(priced, 0.0)
+    per_rank = priced.sum(axis=1)
+    return float(per_rank.max()), float(per_rank.sum())
+
+
+def minimax_refine(
+    node_of_rank: np.ndarray,
+    t_intra: np.ndarray,
+    t_inter: np.ndarray,
+    ranks_per_node: int,
+    num_nodes: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Deterministic local search on the ``(max, total)`` priced objective.
+
+    Same move/swap neighbourhood as :func:`greedy_refine`, scored by the
+    lexicographic :func:`placement_comm_cost` pair and accepted only on a
+    strict improvement — so the critical rank's cost never rises for the
+    sake of the average.  Candidates are scored incrementally: an op only
+    touches rows/columns of the two nodes involved, so each trial costs
+    ``O(P)`` (delta-update the per-rank vector, then one max/sum) instead
+    of re-pricing the full ``P×P`` matrix.  After an op is *applied* the
+    vector is recomputed exactly, so float error cannot accumulate across
+    accepted ops.
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64).copy()
+    num_ranks = t_intra.shape[0]
+    #: delta[r, x]: what rank r's row cost loses when x joins its node.
+    delta = t_inter - t_intra
+
+    def recompute() -> np.ndarray:
+        same = nodes[:, None] == nodes[None, :]
+        priced = np.where(same, t_intra, t_inter)
+        np.fill_diagonal(priced, 0.0)
+        return priced.sum(axis=1)
+
+    per_rank = recompute()
+    current = (float(per_rank.max()), float(per_rank.sum()))
+    trial = np.empty_like(per_rank)
+    for _ in range(max_passes):
+        improved = False
+        for a in range(num_ranks):
+            na = int(nodes[a])
+            counts = np.bincount(nodes, minlength=num_nodes)
+            mates_a = nodes == na
+            mates_a[a] = False  # a's node-mates, excluding a itself
+            best = current
+            best_op = None
+            for m in range(num_nodes):
+                if m == na or counts[m] >= ranks_per_node:
+                    continue
+                members_m = nodes == m
+                np.copyto(trial, per_rank)
+                trial[mates_a] += delta[mates_a, a]
+                trial[members_m] -= delta[members_m, a]
+                trial[a] += delta[a, mates_a].sum() - delta[a, members_m].sum()
+                cost = (float(trial.max()), float(trial.sum()))
+                if cost < best:
+                    best = cost
+                    best_op = ("move", m)
+            for b in range(a + 1, num_ranks):
+                nb = int(nodes[b])
+                if nb == na:
+                    continue
+                mates_b = nodes == nb
+                mates_b[b] = False
+                # Swapping a↔b: a's old mates gain a's absence and b's
+                # presence (and vice versa); the (a, b) pair itself stays
+                # cross-node, so its price is untouched.
+                np.copyto(trial, per_rank)
+                trial[mates_a] += delta[mates_a, a] - delta[mates_a, b]
+                trial[mates_b] += delta[mates_b, b] - delta[mates_b, a]
+                trial[a] += delta[a, mates_a].sum() - delta[a, mates_b].sum()
+                trial[b] += delta[b, mates_b].sum() - delta[b, mates_a].sum()
+                cost = (float(trial.max()), float(trial.sum()))
+                if cost < best:
+                    best = cost
+                    best_op = ("swap", b)
+            if best_op is None:
+                continue
+            improved = True
+            if best_op[0] == "move":
+                nodes[a] = best_op[1]
+            else:
+                b = best_op[1]
+                nodes[a], nodes[b] = nodes[b], nodes[a]
+            per_rank = recompute()
+            current = (float(per_rank.max()), float(per_rank.sum()))
+        if not improved:
+            break
+    return nodes
+
+
+def optimize_placement(
+    census,
+    cluster,
+    max_passes: int = 8,
+    name: str = "comm-aware",
+) -> Placement:
+    """The full communication-aware optimizer against a priced machine.
+
+    Builds the per-link priced matrices for ``cluster``'s hierarchy, then
+    polishes three deterministic starts — block, round-robin, and the
+    bytes-objective :func:`comm_aware_placement` — with
+    :func:`minimax_refine`, keeping the best ``(max, total)``.  Because
+    block is among the starts and acceptance is strict, the result is never
+    worse than block placement under the objective.
+    """
+    t_intra, t_inter = rank_pair_times(census, cluster)
+    ranks_per_node = cluster.hierarchy.ranks_per_node
+    num_ranks = census.num_ranks
+    num_nodes = (num_ranks + ranks_per_node - 1) // ranks_per_node
+    ranks = np.arange(num_ranks, dtype=np.int64)
+    bytes_start = comm_aware_placement(
+        rank_comm_bytes(census), ranks_per_node
+    ).node_of_rank
+    starts = (ranks // ranks_per_node, ranks % num_nodes, bytes_start)
+    best = None
+    best_cost = (np.inf, np.inf)
+    for start in starts:
+        refined = minimax_refine(
+            start, t_intra, t_inter, ranks_per_node, num_nodes, max_passes
+        )
+        cost = placement_comm_cost(refined, t_intra, t_inter)
+        if cost < best_cost:  # strict: ties keep the earlier start
+            best, best_cost = refined, cost
+    return Placement(
+        node_of_rank=compact_labels(best), ranks_per_node=ranks_per_node,
+        name=name,
+    )
+
+
+def _conn_matrix(graph: np.ndarray, nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+    """``C[r, n]`` = bytes rank ``r`` exchanges with ranks on node ``n``."""
+    num_ranks = graph.shape[0]
+    conn = np.zeros((num_ranks, num_nodes), dtype=np.float64)
+    for n in range(num_nodes):
+        members = nodes == n
+        if members.any():
+            conn[:, n] = graph[:, members].sum(axis=1)
+    return conn
+
+
+def greedy_refine(
+    node_of_rank: np.ndarray,
+    graph: np.ndarray,
+    ranks_per_node: int,
+    num_nodes: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Deterministic local search: moves + swaps that reduce inter-node bytes.
+
+    Scans ranks in ascending order each pass; for every rank it first tries
+    moving it to a node with spare capacity, then swapping it with a
+    higher-numbered rank on another node, applying the *best* improving
+    operation for that rank.  Stops after a pass with no improvement or
+    after ``max_passes``.  Pure integer/float arithmetic in a fixed order,
+    so the result is reproducible across runs and platforms.
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64).copy()
+    num_ranks = graph.shape[0]
+    counts = np.bincount(nodes, minlength=num_nodes)
+    conn = _conn_matrix(graph, nodes, num_nodes)
+
+    def apply_move(rank: int, dst: int) -> None:
+        src = nodes[rank]
+        nodes[rank] = dst
+        counts[src] -= 1
+        counts[dst] += 1
+        conn[:, src] -= graph[:, rank]
+        conn[:, dst] += graph[:, rank]
+
+    for _ in range(max_passes):
+        improved = False
+        for a in range(num_ranks):
+            na = int(nodes[a])
+            # Best single move of `a` to a node with a free slot.
+            best_gain = 0.0
+            best_op = None
+            for m in range(num_nodes):
+                if m == na or counts[m] >= ranks_per_node:
+                    continue
+                gain = conn[a, m] - conn[a, na]
+                if gain > best_gain:
+                    best_gain = gain
+                    best_op = ("move", m)
+            # Best swap of `a` with a rank on another node.
+            for b in range(a + 1, num_ranks):
+                nb = int(nodes[b])
+                if nb == na:
+                    continue
+                w = graph[a, b]
+                gain = (conn[a, nb] - conn[a, na]) + (conn[b, na] - conn[b, nb]) - 2.0 * w
+                if gain > best_gain:
+                    best_gain = gain
+                    best_op = ("swap", b)
+            if best_op is None:
+                continue
+            improved = True
+            if best_op[0] == "move":
+                apply_move(a, best_op[1])
+            else:
+                b = best_op[1]
+                nb = int(nodes[b])
+                apply_move(a, nb)
+                apply_move(b, na)
+        if not improved:
+            break
+    return nodes
+
+
+def _bisect(
+    ranks: np.ndarray, graph: np.ndarray, num_nodes: int, ranks_per_node: int,
+    next_node: int, out: np.ndarray,
+) -> int:
+    """Recursively split ``ranks`` over ``num_nodes`` nodes; returns the next
+    free node id.  Greedy growth: seed the left side with the heaviest rank,
+    then repeatedly absorb the remaining rank most connected to it."""
+    if num_nodes == 1 or ranks.size == 0:
+        out[ranks] = next_node
+        return next_node + 1
+    n_left = (num_nodes + 1) // 2
+    n_right = num_nodes - n_left
+    size = ranks.size
+    lower = max(0, size - n_right * ranks_per_node)
+    upper = min(size, n_left * ranks_per_node)
+    ideal = int(round(size * n_left / num_nodes))
+    target = min(max(ideal, lower), upper)
+
+    sub = graph[np.ix_(ranks, ranks)]
+    in_left = np.zeros(size, dtype=bool)
+    if target > 0:
+        # Heaviest communicator seeds the left side (ties → lowest rank id).
+        seed = int(np.argmax(sub.sum(axis=1)))
+        in_left[seed] = True
+        conn = sub[seed].copy()
+        for _ in range(target - 1):
+            conn_masked = np.where(in_left, -np.inf, conn)
+            pick = int(np.argmax(conn_masked))
+            in_left[pick] = True
+            conn += sub[pick]
+    left = ranks[in_left]
+    right = ranks[~in_left]
+    next_node = _bisect(left, graph, n_left, ranks_per_node, next_node, out)
+    return _bisect(right, graph, n_right, ranks_per_node, next_node, out)
+
+
+def comm_aware_placement(
+    graph: np.ndarray,
+    ranks_per_node: int,
+    max_passes: int = 8,
+    name: str = "comm-aware",
+) -> Placement:
+    """Minimise inter-node bytes: multi-start bisection + greedy refinement.
+
+    Three deterministic starting maps — a recursive bisection of the rank
+    set over the node hierarchy (each split keeps the heaviest-communicating
+    ranks together, subject to the side capacities), the block map, and the
+    round-robin map — are each polished with :func:`greedy_refine`; the
+    cheapest survivor wins.  Including block among the starts makes the
+    optimizer *never worse* than the launcher default, so "comm-aware beats
+    block" degrades to a tie only when block is already locally optimal.
+    """
+    graph = np.asarray(graph, dtype=np.float64)
+    if graph.ndim != 2 or graph.shape[0] != graph.shape[1]:
+        raise ValueError("graph must be a square matrix")
+    if ranks_per_node < 1:
+        raise ValueError("ranks_per_node must be >= 1")
+    num_ranks = graph.shape[0]
+    num_nodes = (num_ranks + ranks_per_node - 1) // ranks_per_node
+    bisected = np.empty(num_ranks, dtype=np.int64)
+    _bisect(np.arange(num_ranks), graph, num_nodes, ranks_per_node, 0, bisected)
+    ranks = np.arange(num_ranks, dtype=np.int64)
+    starts = (bisected, ranks // ranks_per_node, ranks % num_nodes)
+    best = None
+    best_cost = np.inf
+    for start in starts:
+        refined = greedy_refine(start, graph, ranks_per_node, num_nodes, max_passes)
+        nodes = refined
+        cross = nodes[:, None] != nodes[None, :]
+        cost = float(graph[cross].sum()) / 2.0
+        if cost < best_cost:  # strict: ties keep the earlier start
+            best, best_cost = refined, cost
+    return Placement(
+        node_of_rank=compact_labels(best), ranks_per_node=ranks_per_node,
+        name=name,
+    )

@@ -80,6 +80,11 @@ class Engine:
     def __init__(self, cluster: ClusterConfig, num_ranks: int, num_phases: int) -> None:
         if num_ranks < 1:
             raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        if cluster.hierarchy is not None:
+            # Fail at construction, not mid-run: an explicit placement must
+            # cover exactly this job's ranks or pairwise pricing would be
+            # undefined (tree_extents validates both cases).
+            cluster.hierarchy.tree_extents(num_ranks)
         self.cluster = cluster
         self.num_ranks = num_ranks
         self.trace = PhaseTrace(num_ranks, num_phases)
@@ -97,6 +102,16 @@ class Engine:
         self._flat_net = cluster.network if cluster.hierarchy is None else None
         #: (src, dst) → flat network, filled lazily for hierarchical runs.
         self._pair_nets: dict[tuple, Any] = {}
+        # Per-pair host overheads apply only when the hierarchy prices
+        # on-node messages with a cheaper shared-memory transport; the flag
+        # keeps the common flat-overhead path branch-free per event.
+        hierarchy = cluster.hierarchy
+        self._pair_overheads_on = hierarchy is not None and (
+            hierarchy.intra_send_overhead is not None
+            or hierarchy.intra_recv_overhead is not None
+        )
+        #: (src, dst) → (send, recv) overheads, lazily memoised.
+        self._pair_oh: dict[tuple, tuple] = {}
         self._coll_timers = self._make_collective_timers()
 
     def _make_collective_timers(self) -> dict:
@@ -133,6 +148,21 @@ class Engine:
         if net is None:
             net = self._pair_nets[key] = self.cluster.network_for(src, dst)
         return net
+
+    def _overheads_for(self, src: int, dst: int) -> tuple:
+        """Memoised per-pair ``(send, recv)`` host overheads.
+
+        Only consulted when the hierarchy declares cheaper on-node
+        overheads; every other configuration uses the flat constants
+        resolved in ``__init__``, exactly as before.
+        """
+        key = (src, dst)
+        oh = self._pair_oh.get(key)
+        if oh is None:
+            oh = self._pair_oh[key] = self.cluster.hierarchy.host_overheads_for(
+                src, dst, self._send_overhead, self._recv_overhead
+            )
+        return oh
 
     # ------------------------------------------------------------------ run
 
@@ -181,7 +211,11 @@ class Engine:
         if not box:
             return False
         arrival, nbytes, payload = box.popleft()
-        wait = max(0.0, arrival - st.clock) + self._recv_overhead
+        if self._pair_overheads_on:
+            recv_overhead = self._overheads_for(key[0], rank)[1]
+        else:
+            recv_overhead = self._recv_overhead
+        wait = max(0.0, arrival - st.clock) + recv_overhead
         st.clock += wait
         self.trace.add_comm(rank, st.phase, wait)
         st.pending_value = (nbytes, payload)
@@ -227,7 +261,10 @@ class Engine:
                     raise ValueError(f"Isend to invalid rank {dst}")
                 if dst == rank:
                     raise ValueError("self-sends are not supported")
-                overhead = self._send_overhead
+                if self._pair_overheads_on:
+                    overhead = self._overheads_for(rank, dst)[0]
+                else:
+                    overhead = self._send_overhead
                 st.clock += overhead
                 add_comm(rank, st.phase, overhead)
                 startup, bw = self._network_for(rank, dst).send_times(req.nbytes)

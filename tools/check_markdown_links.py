@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Markdown link check: every local link, anchor, and path must resolve.
+
+Scans the repository's markdown files (root plus ``docs/``) and validates
+
+* inline links ``[text](target)`` — relative file paths must exist, and
+  ``file.md#anchor`` / ``#anchor`` targets must match a heading slug in
+  the target file;
+* backticked repository paths (`` `docs/foo.md` ``, `` `src/repro/x.py` ``,
+  …) — the documentation's dominant cross-reference style here — which
+  must name real files.
+
+External (``http(s)``/``mailto``) links are counted but not fetched, so
+the check is hermetic and CI-safe.
+
+Exit status: 0 when everything resolves, 1 otherwise (each broken
+reference is reported as ``file:line``).  No dependencies beyond the
+standard library.
+
+Run:  python tools/check_markdown_links.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+#: Backticked repo-relative file references: a known top-level directory
+#: followed by a path with a file extension (`docs/placement.md`,
+#: `src/repro/cli.py`, `benchmarks/bench_*.py`, …).
+PATH_RE = re.compile(
+    r"`((?:docs|src|tests|benchmarks|examples|tools)/[\w./*-]+\.\w+)`"
+)
+
+
+def heading_slug(text: str) -> str:
+    """GitHub-style anchor slug: lowercase, punctuation out, spaces → dashes."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """The checked set: top-level ``*.md`` plus everything under ``docs/``."""
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading slugs of a markdown file (fenced code blocks skipped)."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(heading_slug(match.group(1)))
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def iter_backtick_paths(path: Path):
+    """Yield ``(line_number, repo_relative_path)`` for backticked paths.
+
+    Fenced code blocks are *included*: console examples reference real
+    scripts (``python examples/…``) and those must exist too.
+    """
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in PATH_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check(root: Path) -> tuple[list[str], int, int]:
+    """Validate all files; returns (errors, local_checked, external_skipped)."""
+    errors: list[str] = []
+    local = external = 0
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = anchors_of(path)
+        return anchor_cache[path]
+
+    for md in markdown_files(root):
+        for lineno, target in iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                external += 1
+                continue
+            local += 1
+            raw_path, _, fragment = target.partition("#")
+            dest = (
+                md
+                if not raw_path
+                else (md.parent / raw_path).resolve()
+            )
+            if not dest.exists():
+                errors.append(f"{md}:{lineno}: broken link {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors(dest):
+                    errors.append(
+                        f"{md}:{lineno}: missing anchor {target!r}"
+                    )
+        for lineno, token in iter_backtick_paths(md):
+            local += 1
+            if "*" in token:
+                # Glob references (`benchmarks/bench_*.py`) must match
+                # at least one real file.
+                if not list(root.glob(token)):
+                    errors.append(f"{md}:{lineno}: glob matches nothing {token!r}")
+            elif not (root / token).exists():
+                errors.append(f"{md}:{lineno}: missing file {token!r}")
+    return errors, local, external
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=Path(__file__).resolve().parents[1], type=Path,
+        help="repository root to scan (default: this script's repo)",
+    )
+    args = parser.parse_args(argv)
+    errors, local, external = check(args.root)
+    for error in errors:
+        print(error)
+    print(
+        f"checked {local} local links ({external} external skipped) in "
+        f"{len(markdown_files(args.root))} markdown files: "
+        f"{len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
