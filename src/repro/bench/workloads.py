@@ -845,6 +845,36 @@ register(Benchmark(
 ))
 
 
+# ------------------------------------------------------------------- verify.*
+
+def _setup_verify_fuzz(size):
+    return {"count": 6 if size == "smoke" else 24}
+
+
+def _run_verify_fuzz(ctx):
+    from repro.verify import fuzz
+
+    # Regenerates + verifies inside the timed region: the bench tracks the
+    # end-to-end cost of one differential sweep (shrinking is failure-path
+    # only and stays off so a regression cannot also distort the timing).
+    return fuzz(ctx["count"], shrink=False)
+
+
+register(Benchmark(
+    name="verify.fuzz_smoke",
+    group="verify",
+    description="differential fuzz sweep: optimized engine vs reference oracle",
+    source="src/repro/verify/diff.py",
+    setup=_setup_verify_fuzz,
+    run=_run_verify_fuzz,
+    invariants=lambda ctx, result: {
+        "scenarios": int(result.num_seeds),
+        "failures": int(len(result.failures)),
+    },
+    repeats=3,
+))
+
+
 # Public faces of the memoised setup helpers, shared with the pytest
 # fixture layer (benchmarks/conftest.py) so one session never builds the
 # same deck or calibration table twice.

@@ -1,0 +1,597 @@
+"""The reference oracle: slow, scalar, and obviously correct.
+
+Every function here re-implements a piece of the optimized stack —
+Equation-(4) message pricing, the binary-tree collectives, the
+boundary/ghost exchange tallies, the per-processor compute charge, and the
+logical-time engine itself — with plain Python loops over scalars: no
+``searchsorted`` batching, no per-size memoisation, no per-pair network
+caches, no type-dispatch tables.  The oracle shares only the *input*
+dataclasses (:class:`~repro.machine.network.NetworkModel`,
+:class:`~repro.machine.cluster.ClusterConfig`,
+:class:`~repro.hydro.workload.WorkloadCensus`, …) with the optimized code;
+all derived quantities are recomputed from first principles on every call.
+
+The optimized paths claim to be *bitwise* refactorings, so the differential
+runner (:mod:`repro.verify.diff`) holds them to a 1e-12 relative tolerance
+against this module — tight enough that any semantic drift (a wrong segment
+at a breakpoint, a dropped overhead, a mis-keyed cache) is caught, loose
+enough to admit benign re-association inside a dot product.
+
+Performance is an explicit non-goal: clarity is the whole point.  Never
+"optimize" this module; speedups belong in the production stack, where this
+oracle will judge them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hydro.dynamic import DynamicConfig, DynamicController, DynamicRunInfo
+from repro.hydro.phases import KrakProgram
+from repro.hydro.workload import WorkloadCensus, build_workload_census
+from repro.machine.cluster import ClusterConfig, es45_like_cluster
+from repro.machine.costdb import NUM_PHASES
+from repro.machine.network import NetworkModel
+from repro.mesh.connectivity import FaceTable, build_face_table
+from repro.mesh.deck import InputDeck
+from repro.partition.base import Partition
+from repro.simmpi import api
+
+# --------------------------------------------------------------- Equation (4)
+
+
+def _oracle_segment(network: NetworkModel, size: float) -> int:
+    """Piecewise segment of ``size``: first segment whose breakpoint is >= it.
+
+    A size exactly at a breakpoint belongs to the segment *below* the
+    breakpoint (an eager-threshold-sized message still goes eagerly) —
+    the loop form of ``searchsorted(..., side="left")``.
+    """
+    breakpoints = network.breakpoints
+    seg = 0
+    while seg < len(breakpoints) and float(breakpoints[seg]) < size:
+        seg += 1
+    return seg
+
+
+def oracle_tmsg(network: NetworkModel, size) -> float:
+    """Equation (4), one scalar at a time: ``L(S) + S · TB(S)``."""
+    s = float(size)
+    if s < 0:
+        raise ValueError("message size must be non-negative")
+    seg = _oracle_segment(network, s)
+    return float(network.latency[seg]) + s * float(network.per_byte[seg])
+
+
+def oracle_send_times(network: NetworkModel, size) -> tuple[float, float]:
+    """``(L(S), S · TB(S))`` — the two terms an ``Isend`` charges separately."""
+    s = float(size)
+    if s < 0:
+        raise ValueError("message size must be non-negative")
+    seg = _oracle_segment(network, s)
+    return float(network.latency[seg]), s * float(network.per_byte[seg])
+
+
+# ---------------------------------------------------------------- collectives
+
+
+def oracle_tree_depth(num_ranks: int) -> int:
+    """Binary-tree depth by counting doublings (no floating-point log)."""
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    depth = 0
+    while (1 << depth) < num_ranks:
+        depth += 1
+    return depth
+
+
+def oracle_bcast_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+    """Fan-out over a binary tree: ``log2(P) · Tmsg(S)``."""
+    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+
+
+def oracle_gather_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+    """Fan-in over a binary tree (same step structure as the fan-out)."""
+    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+
+
+def oracle_allreduce_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+    """Fan-in plus fan-out: ``2 · log2(P) · Tmsg(S)``."""
+    return 2.0 * oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+
+
+def oracle_collectives_time(network: NetworkModel, num_ranks: int) -> float:
+    """The per-iteration collective census of Equations (8)–(10), by loops."""
+    depth = oracle_tree_depth(num_ranks)
+    total = 0.0
+    # Equation (8): three 4-byte and three 8-byte broadcasts.
+    total += 3 * depth * oracle_tmsg(network, 4)
+    total += 3 * depth * oracle_tmsg(network, 8)
+    # Equation (9): nine 4-byte and thirteen 8-byte allreduces, each a
+    # fan-in plus a fan-out.
+    total += 18 * depth * oracle_tmsg(network, 4)
+    total += 26 * depth * oracle_tmsg(network, 8)
+    # Equation (10): one 32-byte gather.
+    total += depth * oracle_tmsg(network, 32)
+    return total
+
+
+def _oracle_node_of(hierarchy, rank: int) -> int:
+    """Rank → node, recomputed per call (block map or explicit placement)."""
+    if hierarchy.placement is None:
+        return rank // hierarchy.ranks_per_node
+    return int(hierarchy.placement.node_of_rank[rank])
+
+
+def oracle_tree_extents(hierarchy, num_ranks: int) -> tuple[int, int]:
+    """``(num_nodes, max_ranks_on_one_node)`` by counting every rank."""
+    occupancy: dict[int, int] = {}
+    for rank in range(num_ranks):
+        node = _oracle_node_of(hierarchy, rank)
+        occupancy[node] = occupancy.get(node, 0) + 1
+    return len(occupancy), max(occupancy.values())
+
+
+def oracle_hier_bcast_time(hierarchy, num_ranks: int, nbytes) -> float:
+    """SMP fan-out: inter-node tree plus an intra-node tree."""
+    num_nodes, local = oracle_tree_extents(hierarchy, num_ranks)
+    return oracle_tree_depth(num_nodes) * oracle_tmsg(
+        hierarchy.inter, nbytes
+    ) + oracle_tree_depth(local) * oracle_tmsg(hierarchy.intra, nbytes)
+
+
+def oracle_hier_gather_time(hierarchy, num_ranks: int, nbytes) -> float:
+    """SMP fan-in (same step structure as the fan-out)."""
+    return oracle_hier_bcast_time(hierarchy, num_ranks, nbytes)
+
+
+def oracle_hier_allreduce_time(hierarchy, num_ranks: int, nbytes) -> float:
+    """SMP reduce + broadcast: twice the fan-out time."""
+    return 2.0 * oracle_hier_bcast_time(hierarchy, num_ranks, nbytes)
+
+
+# -------------------------------------------- boundary / ghost exchange model
+
+
+def oracle_boundary_exchange_time(
+    network: NetworkModel,
+    faces_by_material,
+    multi_nodes_by_material=None,
+) -> float:
+    """Equation (5) with the Table-3 sizes, message by message.
+
+    For each material (or combined exchange group) with boundary faces: two
+    enlarged messages then four plain ones; finally a six-message step over
+    all faces.  Each message is priced with a fresh scalar
+    :func:`oracle_tmsg`.
+    """
+    faces = [float(f) for f in np.asarray(faces_by_material).ravel()]
+    if multi_nodes_by_material is None:
+        multi = [0.0] * len(faces)
+    else:
+        multi = [float(m) for m in np.asarray(multi_nodes_by_material).ravel()]
+    if len(multi) != len(faces):
+        raise ValueError("multi_nodes_by_material must align with faces_by_material")
+    if any(f < 0 for f in faces) or any(m < 0 for m in multi):
+        raise ValueError("face and multi-node counts must be non-negative")
+
+    total = 0.0
+    for f, m in zip(faces, multi):
+        if f <= 0:
+            continue
+        big = 12.0 * f + 12.0 * m
+        small = 12.0 * f
+        total += 2 * oracle_tmsg(network, big)
+        total += 4 * oracle_tmsg(network, small)
+    all_faces = 0.0
+    for f in faces:
+        all_faces += f
+    total += 6 * oracle_tmsg(network, 12.0 * all_faces)
+    return total
+
+
+def oracle_ghost_phase_total(
+    network: NetworkModel, n_local: int, n_remote: int
+) -> float:
+    """Equations (6)/(7) for one neighbour over all three ghost phases.
+
+    Phase 4 moves 8 bytes per ghost node, phases 5 and 7 move 16; each
+    phase sends one message for the locally-owned nodes and one for the
+    remote ones.
+    """
+    if n_local < 0 or n_remote < 0:
+        raise ValueError("ghost-node counts must be non-negative")
+    total = 0.0
+    for bytes_per_node in (8, 16, 16):
+        total += oracle_tmsg(network, bytes_per_node * n_local) + oracle_tmsg(
+            network, bytes_per_node * n_remote
+        )
+    return total
+
+
+# ----------------------------------------------------------- compute charges
+
+
+def oracle_phase_time(
+    node_model,
+    phase: int,
+    work_by_material,
+    rank: int = 0,
+    iteration: int = 0,
+    with_jitter: bool = True,
+) -> float:
+    """The per-processor compute charge, with an explicit material loop.
+
+    ``T = overhead[p] + cache(n) · Σ_m cell_cost[p, m] · work[m]``, then the
+    deterministic jitter factor — the same hash stream as the production
+    model (the jitter *is* part of the specification, not an optimization).
+    """
+    from repro.machine.node import _hash_jitter
+
+    work = [float(w) for w in np.asarray(work_by_material).ravel()]
+    if any(w < 0 for w in work):
+        raise ValueError("work counts must be non-negative")
+    n = 0.0
+    for w in work:
+        n += w
+    if n <= 0:
+        cache = 1.0
+    else:
+        cache = 1.0 + node_model.cache_penalty * n / (n + node_model.cache_cells)
+    cost = 0.0
+    for material, w in enumerate(work):
+        cost += float(node_model.cell_cost[phase][material]) * w
+    base = float(node_model.phase_overhead[phase]) + cache * cost
+    if with_jitter and node_model.jitter_frac:
+        base *= 1.0 + node_model.jitter_frac * _hash_jitter(
+            rank, phase, iteration, node_model.seed
+        )
+    return base
+
+
+# ------------------------------------------------------------- oracle engine
+
+
+class OracleDeadlockError(RuntimeError):
+    """All unfinished ranks are blocked and no progress is possible."""
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """What the oracle engine produces — the comparable trace surface."""
+
+    #: Computation seconds per ``(rank, phase)``.
+    compute: np.ndarray
+    #: Communication seconds per ``(rank, phase)``.
+    comm: np.ndarray
+    #: Final virtual clock per rank.
+    final_clocks: np.ndarray
+    #: iteration index → per-rank clock at its ``MarkIteration``.
+    iteration_starts: dict
+
+    @property
+    def makespan(self) -> float:
+        """Latest rank completion time."""
+        return float(self.final_clocks.max())
+
+
+class _OracleRankState:
+    """Mutable per-rank bookkeeping (a plain object, no dataclass magic)."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.clock = 0.0
+        self.nic_free = 0.0
+        self.phase = 0
+        self.finished = False
+        self.value = None  # fed into the generator at the next resume
+        self.pending = None  # request we could not complete yet
+        self.in_collective = False
+
+
+class OracleEngine:
+    """A naive logical-time scheduler for simulated rank programs.
+
+    Fair round-robin over ranks, one request at a time; a rank that cannot
+    complete its request (unmatched receive, incomplete collective) simply
+    keeps it pending for the next sweep.  Every cost — pair network
+    selection, host overheads, Equation-(4) terms, collective trees — is
+    recomputed from the cluster configuration at the point of use, with no
+    caches anywhere.  Request semantics mirror
+    :class:`repro.simmpi.engine.Engine` exactly; only the bookkeeping
+    strategy differs (and logical-time simulation is scheduling-order
+    independent, as the production engine's module docstring argues).
+    """
+
+    def __init__(self, cluster: ClusterConfig, num_ranks: int, num_phases: int) -> None:
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.cluster = cluster
+        self.num_ranks = num_ranks
+        self.num_phases = num_phases
+        self._compute = np.zeros((num_ranks, num_phases))
+        self._comm = np.zeros((num_ranks, num_phases))
+        self._marks: dict[int, np.ndarray] = {}
+        #: (src, dst, tag) → list of (arrival, nbytes, payload), FIFO.
+        self._mailboxes: dict[tuple, list] = {}
+        #: Per-rank count of collectives entered (rendezvous sequence ids).
+        self._coll_entered: list[int] = [0] * num_ranks
+        #: sequence id → {rank: (request, entry clock)}
+        self._coll_pending: dict[int, dict[int, tuple]] = {}
+
+    # ---------------------------------------------------------- cost lookups
+
+    def _network_for(self, src: int, dst: int) -> NetworkModel:
+        """Which flat network a message between two ranks travels."""
+        hierarchy = self.cluster.hierarchy
+        if hierarchy is None:
+            return self.cluster.network
+        if _oracle_node_of(hierarchy, src) == _oracle_node_of(hierarchy, dst):
+            return hierarchy.intra
+        return hierarchy.inter
+
+    def _host_overheads(self, src: int, dst: int) -> tuple[float, float]:
+        """``(send, recv)`` host overheads for a message between two ranks."""
+        send = float(self.cluster.send_overhead)
+        recv = float(self.cluster.recv_overhead)
+        hierarchy = self.cluster.hierarchy
+        if hierarchy is None:
+            return send, recv
+        if hierarchy.intra_send_overhead is None and (
+            hierarchy.intra_recv_overhead is None
+        ):
+            return send, recv
+        if _oracle_node_of(hierarchy, src) != _oracle_node_of(hierarchy, dst):
+            return send, recv
+        if hierarchy.intra_send_overhead is not None:
+            send = float(hierarchy.intra_send_overhead)
+        if hierarchy.intra_recv_overhead is not None:
+            recv = float(hierarchy.intra_recv_overhead)
+        return send, recv
+
+    def _collective_duration(self, kind, nbytes) -> float:
+        """Tree time of one collective, recomputed per call."""
+        hierarchy = self.cluster.hierarchy
+        if hierarchy is not None:
+            if kind is api.Bcast:
+                return oracle_hier_bcast_time(hierarchy, self.num_ranks, nbytes)
+            if kind is api.Gather:
+                return oracle_hier_gather_time(hierarchy, self.num_ranks, nbytes)
+            # Allreduce and Barrier share the reduce + broadcast tree.
+            return oracle_hier_allreduce_time(hierarchy, self.num_ranks, nbytes)
+        network = self.cluster.network
+        if kind is api.Bcast:
+            return oracle_bcast_time(network, self.num_ranks, nbytes)
+        if kind is api.Gather:
+            return oracle_gather_time(network, self.num_ranks, nbytes)
+        return oracle_allreduce_time(network, self.num_ranks, nbytes)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, make_program) -> OracleResult:
+        """Execute ``make_program(rank)`` for every rank until all finish."""
+        states = [_OracleRankState(make_program(r)) for r in range(self.num_ranks)]
+        while not all(st.finished for st in states):
+            progress = False
+            for rank, st in enumerate(states):
+                if self._advance(rank, st, states):
+                    progress = True
+            if not progress:
+                blocked = [r for r, st in enumerate(states) if not st.finished]
+                raise OracleDeadlockError(
+                    f"{len(blocked)} ranks blocked forever (first few: {blocked[:8]})"
+                )
+        clocks = np.array([st.clock for st in states])
+        return OracleResult(
+            compute=self._compute,
+            comm=self._comm,
+            final_clocks=clocks,
+            iteration_starts=self._marks,
+        )
+
+    def _advance(self, rank: int, st: _OracleRankState, states: list) -> bool:
+        """Run ``rank`` until it blocks or finishes; True if it made progress."""
+        moved = False
+        while not st.finished and not st.in_collective:
+            if st.pending is not None:
+                req = st.pending
+            else:
+                try:
+                    req = st.program.send(st.value)
+                except StopIteration:
+                    st.finished = True
+                    return True
+                st.value = None
+            if not self._handle(rank, st, req, states):
+                st.pending = req
+                return moved
+            st.pending = None
+            moved = True
+        return moved
+
+    def _handle(self, rank: int, st: _OracleRankState, req, states: list) -> bool:
+        """Apply one request; False when the rank must wait and retry."""
+        if isinstance(req, api.Compute):
+            st.clock += req.seconds
+            self._compute[rank, st.phase] += req.seconds
+
+        elif isinstance(req, api.Isend):
+            send_overhead, _ = self._host_overheads(rank, req.dst)
+            st.clock += send_overhead
+            self._comm[rank, st.phase] += send_overhead
+            network = self._network_for(rank, req.dst)
+            startup, bandwidth = oracle_send_times(network, req.nbytes)
+            nic_start = st.nic_free if st.nic_free > st.clock else st.clock
+            arrival = nic_start + startup + bandwidth
+            st.nic_free = nic_start + bandwidth
+            key = (rank, req.dst, req.tag)
+            self._mailboxes.setdefault(key, []).append(
+                (arrival, req.nbytes, req.payload)
+            )
+
+        elif isinstance(req, api.Recv):
+            key = (req.src, rank, req.tag)
+            box = self._mailboxes.get(key)
+            if not box:
+                return False
+            arrival, nbytes, payload = box.pop(0)
+            _, recv_overhead = self._host_overheads(req.src, rank)
+            wait = max(0.0, arrival - st.clock) + recv_overhead
+            st.clock += wait
+            self._comm[rank, st.phase] += wait
+            st.value = (nbytes, payload)
+
+        elif isinstance(req, api.SetPhase):
+            if not 0 <= req.phase < self.num_phases:
+                raise ValueError(f"phase {req.phase} out of range")
+            st.phase = req.phase
+
+        elif isinstance(req, api.WaitSends):
+            if st.nic_free > st.clock:
+                self._comm[rank, st.phase] += st.nic_free - st.clock
+                st.clock = st.nic_free
+
+        elif isinstance(req, api.MarkIteration):
+            marks = self._marks.setdefault(
+                req.index, np.full(self.num_ranks, np.nan)
+            )
+            marks[rank] = st.clock
+
+        elif isinstance(
+            req, (api.Allreduce, api.Bcast, api.Gather, api.Barrier)
+        ):
+            seq = self._coll_entered[rank]
+            self._coll_entered[rank] += 1
+            pend = self._coll_pending.setdefault(seq, {})
+            pend[rank] = (req, st.clock)
+            st.in_collective = True
+            if len(pend) == self.num_ranks:
+                self._complete_collective(seq, states)
+
+        else:
+            raise TypeError(f"unknown request {req!r}")
+        return True
+
+    def _complete_collective(self, seq: int, states: list) -> None:
+        """All ranks entered collective ``seq``: time it and release them."""
+        pend = self._coll_pending.pop(seq)
+        reqs = [pend[r][0] for r in range(self.num_ranks)]
+        enter_times = [pend[r][1] for r in range(self.num_ranks)]
+        kind = type(reqs[0])
+        if any(type(q) is not kind for q in reqs):
+            raise RuntimeError(f"collective mismatch at sequence {seq}")
+
+        if kind is api.Allreduce:
+            nbytes = max(q.nbytes for q in reqs)
+            duration = self._collective_duration(kind, nbytes)
+            result = self._combine(reqs[0].op, [q.value for q in reqs])
+            results = [result] * self.num_ranks
+        elif kind is api.Bcast:
+            root = reqs[0].root
+            duration = self._collective_duration(kind, reqs[root].nbytes)
+            results = [reqs[root].value] * self.num_ranks
+        elif kind is api.Gather:
+            root = reqs[0].root
+            nbytes = max(q.nbytes for q in reqs)
+            duration = self._collective_duration(kind, nbytes)
+            gathered = [q.value for q in reqs]
+            results = [
+                gathered if r == root else None for r in range(self.num_ranks)
+            ]
+        else:  # Barrier: a zero-payload (4-byte) allreduce.
+            duration = self._collective_duration(kind, 4)
+            results = [None] * self.num_ranks
+
+        finish = max(enter_times) + duration
+        for rank, st in enumerate(states):
+            waited = finish - st.clock
+            if waited > 0:
+                self._comm[rank, st.phase] += waited
+                st.clock = finish
+            st.value = results[rank]
+            st.in_collective = False
+
+    @staticmethod
+    def _combine(op: str, values: list):
+        """Reduce per-rank contributions, left to right in rank order."""
+        acc = values[0]
+        for value in values[1:]:
+            if op == "sum":
+                acc = acc + value
+            elif op == "min":
+                acc = np.minimum(acc, value)
+            elif op == "max":
+                acc = np.maximum(acc, value)
+            else:
+                raise ValueError(f"unsupported reduction op {op!r}")
+        return acc
+
+
+# ------------------------------------------------------------ full-run oracle
+
+
+@dataclass(frozen=True)
+class OracleRun:
+    """Everything the oracle produces for one simulated Krak execution."""
+
+    result: OracleResult
+    iterations: int
+    #: Imbalance trajectory + repartition tally (None for static runs).
+    dynamic: DynamicRunInfo | None = None
+
+
+def oracle_run_krak(
+    deck: InputDeck,
+    partition: Partition,
+    cluster: ClusterConfig | None = None,
+    iterations: int = 3,
+    faces: FaceTable | None = None,
+    census: WorkloadCensus | None = None,
+    dynamic: DynamicConfig | None = None,
+) -> OracleRun:
+    """The oracle's independent execution of one census-mode Krak run.
+
+    Mirrors :func:`repro.hydro.driver.run_krak` (timing mode only): deck →
+    partition → census → rank programs, but the programs run on the
+    :class:`OracleEngine`.  The rank programs themselves are shared with
+    the production path — the program *is* the workload specification; what
+    is being verified is every cost the engine charges while executing it.
+    """
+    if cluster is None:
+        cluster = es45_like_cluster()
+    if dynamic is not None and faces is None:
+        faces = build_face_table(deck.mesh)
+    if census is None:
+        census = build_workload_census(deck, partition, faces)
+
+    controller = None
+    num_phases = NUM_PHASES
+    fixed_dt = {}
+    if dynamic is not None:
+        controller = DynamicController(
+            deck, partition, dynamic, faces=faces, base_census=census
+        )
+        num_phases = NUM_PHASES + 1
+        fixed_dt = {"fixed_dt": dynamic.dt}
+
+    programs = [
+        KrakProgram(
+            rank=r,
+            census=census,
+            node_model=cluster.node,
+            state=None,
+            iterations=iterations,
+            dynamic=controller,
+            **fixed_dt,
+        )
+        for r in range(partition.num_ranks)
+    ]
+    engine = OracleEngine(cluster, partition.num_ranks, num_phases)
+    result = engine.run(lambda r: programs[r]())
+    return OracleRun(
+        result=result,
+        iterations=iterations,
+        dynamic=controller.run_info() if controller is not None else None,
+    )

@@ -79,7 +79,14 @@ def predicted_dict(pred) -> dict:
     }
 
 
-def main() -> int:
+def main(output: Path | None = None) -> int:
+    """Capture the goldens; ``output`` defaults to the committed location.
+
+    Passing another path regenerates *without* touching the committed file
+    — the regression test for this script captures into a tmpdir and
+    asserts the bytes match the committed goldens exactly.
+    """
+    output = GOLDEN_PATH if output is None else Path(output)
     cluster = es45_like_cluster()
     smp = es45_like_cluster().with_smp()
     golden: dict = {"_format": "float.hex() strings; regenerate with capture_goldens.py"}
@@ -199,10 +206,19 @@ def main() -> int:
             }
         golden["figure5_predicted"][deck.name] = per_deck
 
-    GOLDEN_PATH.write_text(json.dumps(golden, indent=1) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    output.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"wrote {output}")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the goldens here instead of the committed path",
+    )
+    sys.exit(main(parser.parse_args().output))

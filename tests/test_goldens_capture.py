@@ -1,0 +1,48 @@
+"""The golden *capture tool* itself must reproduce the committed goldens.
+
+``tests/test_golden_times.py`` recomputes every recorded quantity and pins
+it bitwise — but it trusts that ``capture_goldens.py`` still *describes*
+the committed file.  If the capture script silently drifts (a changed case
+list, different calibration sides, a new serialisation), the next intended
+regeneration would rewrite goldens that no longer mean what the tests
+think they mean.  Running the capture into a tmpdir and requiring
+byte-for-byte equality with the committed file closes that loop.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def _load_capture_module():
+    """Import the capture script from its file path (not a package module)."""
+    spec = importlib.util.spec_from_file_location(
+        "capture_goldens", GOLDENS_DIR / "capture_goldens.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("capture_goldens", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_capture_reproduces_committed_goldens_byte_for_byte(tmp_path, capsys):
+    capture = _load_capture_module()
+    out = tmp_path / "vectorized_paths.json"
+    assert capture.main(out) == 0
+    committed = (GOLDENS_DIR / "vectorized_paths.json").read_bytes()
+    regenerated = out.read_bytes()
+    assert regenerated == committed, (
+        "capture_goldens.py no longer reproduces the committed goldens — "
+        "either the timing model changed without regenerating "
+        "tests/goldens/vectorized_paths.json, or the capture tool itself "
+        "drifted (cases, calibration sides, serialisation)"
+    )
+
+
+def test_capture_default_path_is_the_committed_file():
+    capture = _load_capture_module()
+    assert capture.GOLDEN_PATH == GOLDENS_DIR / "vectorized_paths.json"

@@ -46,6 +46,22 @@ class TestCostCurveProperties:
         assert np.isclose(curve(curve.cells[0] * 0.1), curve.per_cell[0])
         assert np.isclose(curve(curve.cells[-1] * 10), curve.per_cell[-1])
 
+    @given(curve=curves(), t=st.floats(0.0, 1.0))
+    @settings(max_examples=80)
+    def test_bounded_by_adjacent_knots(self, curve, t):
+        """Between two knots the interpolant stays inside *those* knots.
+
+        Stronger than the global envelope: log-linear interpolation on the
+        interval ``[cells[i], cells[i+1]]`` can only produce values between
+        ``per_cell[i]`` and ``per_cell[i+1]``.
+        """
+        for i in range(curve.cells.size - 1):
+            lo_x, hi_x = curve.cells[i], curve.cells[i + 1]
+            n = lo_x + t * (hi_x - lo_x)
+            lo_y = min(curve.per_cell[i], curve.per_cell[i + 1])
+            hi_y = max(curve.per_cell[i], curve.per_cell[i + 1])
+            assert lo_y - 1e-18 <= curve(n) <= hi_y + 1e-18, (i, n)
+
     @given(curve=curves(), a=st.floats(1.0, 1e6), b=st.floats(1.0, 1e6))
     @settings(max_examples=60)
     def test_monotone_curves_stay_monotone(self, a, b, curve):

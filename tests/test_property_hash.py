@@ -1,0 +1,106 @@
+"""Property-based tests for ``stable_hash``.
+
+The content-addressed stores (partitions, sweep results) key everything on
+``stable_hash``; two invariants carry the whole design: the digest must not
+depend on dict insertion order (the same parameters must hit the same cache
+entry from any worker), and structurally distinct values must not collide
+through sloppy canonicalisation (``[1, 2]`` vs ``"12"`` vs ``12``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.artifacts import stable_hash
+
+#: JSON-ish scalar leaves, including the float oddballs the stores may see.
+leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**63), 2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+
+#: Nested values of leaves, lists, and string-keyed dicts.
+values = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _shuffle_dicts(value, rng):
+    """Deep copy with every dict rebuilt in a shuffled insertion order."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: _shuffle_dicts(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [_shuffle_dicts(v, rng) for v in value]
+    return value
+
+
+class TestDictOrderStability:
+    @given(value=values, seed=st.integers(0, 1000))
+    @settings(max_examples=120, deadline=None)
+    def test_insertion_order_never_matters(self, value, seed):
+        rng = np.random.default_rng(seed)
+        assert stable_hash(value) == stable_hash(_shuffle_dicts(value, rng))
+
+    def test_known_reordering(self):
+        a = {"x": 1, "y": {"b": 2, "a": [1, 2]}}
+        b = {"y": {"a": [1, 2], "b": 2}, "x": 1}
+        assert stable_hash(a) == stable_hash(b)
+
+
+class TestDistinctness:
+    @given(value=values)
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic_across_calls(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    def test_type_tags_prevent_collisions(self):
+        distinct = [
+            12,
+            "12",
+            [1, 2],
+            ["12"],
+            {"12": None},
+            12.0,
+            True,
+            b"12",
+            None,
+        ]
+        digests = [stable_hash(v) for v in distinct]
+        assert len(set(digests)) == len(distinct)
+
+    def test_array_dtype_and_shape_distinct(self):
+        flat = np.array([1.0, 2.0, 3.0, 4.0])
+        assert stable_hash(flat) != stable_hash(flat.reshape(2, 2))
+        assert stable_hash(flat) != stable_hash(flat.astype(np.float32))
+        assert stable_hash(flat) != stable_hash(flat.astype(np.int64))
+
+    def test_concatenation_cannot_collide(self):
+        assert stable_hash([["ab"], ["c"]]) != stable_hash([["a"], ["bc"]])
+
+    def test_dataclass_identity_is_content(self):
+        @dataclasses.dataclass
+        class Params:
+            a: int
+            b: str
+
+        assert stable_hash(Params(1, "x")) == stable_hash(Params(1, "x"))
+        assert stable_hash(Params(1, "x")) != stable_hash(Params(2, "x"))
+
+    def test_unhashable_types_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())

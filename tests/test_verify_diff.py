@@ -1,0 +1,290 @@
+"""The differential runner: agreement, mutation detection, shrinking, CLI.
+
+The mutation tests are the acceptance gate for the whole subsystem: a
+deliberately injected engine bug must be *caught* by the differential — if
+these tests fail, the oracle has drifted into agreeing with whatever the
+production engine does, and the subsystem is decorative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro.simmpi.engine as engine_module
+from repro.cli import main
+from repro.verify import (
+    diff_scenario,
+    fuzz,
+    random_scenario,
+    shrink_scenario,
+    verify_scenario,
+)
+from repro.verify.scenarios import Scenario, save_scenario
+
+#: A handful of seeds covering one archetype rotation.
+SMOKE_SEEDS = list(range(8))
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_seed_agrees_bitwise(self, seed):
+        result = diff_scenario(random_scenario(seed))
+        assert result.ok, result.describe()
+        # The optimized paths are refactorings, not approximations: the
+        # observed error is not just within tolerance, it is exactly zero.
+        assert result.max_rel_err == 0.0
+
+    def test_fuzz_sweep(self):
+        outcome = fuzz(len(SMOKE_SEEDS), shrink=False)
+        assert outcome.ok
+        assert outcome.max_rel_err == 0.0
+
+    def test_verify_scenario_runs_properties(self):
+        outcome = verify_scenario(random_scenario(3))  # smp archetype
+        assert outcome.ok, outcome.describe()
+
+
+def _recv_overhead_dropped(self, rank, st, key):
+    """Mutant ``Engine._satisfy_recv``: forgets the receive host overhead."""
+    box = self._mailboxes.get(key)
+    if not box:
+        return False
+    arrival, nbytes, payload = box.popleft()
+    wait = max(0.0, arrival - st.clock)  # BUG: no recv_overhead
+    st.clock += wait
+    self.trace.add_comm(rank, st.phase, wait)
+    st.pending_value = (nbytes, payload)
+    return True
+
+
+class TestMutationSmoke:
+    """Injected engine bugs must fail the differential."""
+
+    def test_dropped_recv_overhead_caught(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        # Seed 2 is the ranks == cells archetype: plenty of receives.
+        result = diff_scenario(random_scenario(2))
+        assert not result.ok
+        assert any(m.field == "comm" for m in result.mismatches)
+
+    def test_wrong_collective_factor_caught(self, monkeypatch):
+        original = engine_module.allreduce_time
+        monkeypatch.setattr(
+            engine_module,
+            "allreduce_time",
+            lambda net, p, n: 1.5 * original(net, p, n),
+        )
+        # Seed 2 has several ranks, so the collective tree has depth > 0
+        # and the mutated factor actually changes charged time.
+        result = diff_scenario(random_scenario(2))
+        assert not result.ok
+
+    def test_mutant_also_breaks_multi_rank_scenarios(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        failures = [
+            seed
+            for seed in SMOKE_SEEDS
+            if random_scenario(seed).num_ranks > 1
+            and not diff_scenario(random_scenario(seed)).ok
+        ]
+        assert failures, "no multi-rank scenario caught the mutation"
+
+
+class TestShrinking:
+    def test_shrinks_to_smaller_failing_scenario(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        original = random_scenario(2)
+
+        def still_fails(scenario):
+            return not diff_scenario(scenario).ok
+
+        assert still_fails(original)
+        shrunk = shrink_scenario(original, still_fails)
+        assert still_fails(shrunk)
+        assert shrunk.iterations <= original.iterations
+        assert shrunk.num_ranks <= original.num_ranks
+        assert shrunk.nx * shrunk.ny <= original.nx * original.ny
+        # 1-minimality: no single candidate move still fails.
+        from repro.verify.diff import _shrink_candidates
+
+        for candidate in _shrink_candidates(shrunk):
+            try:
+                assert not still_fails(candidate)
+            except Exception:
+                pass  # invalid simplifications are fair to skip
+
+    def test_shrink_keeps_original_when_nothing_simplifies(self):
+        scenario = Scenario(seed=0, nx=4, ny=1, num_ranks=1, iterations=1,
+                            partition_method="block", jitter_frac=0.0,
+                            speed=1.0)
+        shrunk = shrink_scenario(scenario, lambda s: True)
+        assert shrunk.num_ranks == 1
+        assert shrunk.iterations == 1
+
+
+class TestCli:
+    def test_fuzz_verb(self, capsys):
+        assert main(["verify", "fuzz", "--seeds", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios" in out
+        assert "0 failed" in out
+
+    def test_diff_verb(self, tmp_path, capsys):
+        path = save_scenario(random_scenario(1), tmp_path / "s.json")
+        assert main(["verify", "diff", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_fuzz_verb_saves_failures(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        outdir = tmp_path / "failures"
+        rc = main([
+            "verify", "fuzz", "--seeds", "3", "--base-seed", "2", "--quiet",
+            "--save-failures", str(outdir),
+        ])
+        assert rc == 1
+        saved = sorted(outdir.glob("seed*.json"))
+        assert saved
+        # Each saved file is a replayable scenario that still fails.
+        data = json.loads(saved[0].read_text())
+        assert not diff_scenario(Scenario(**data)).ok
+
+    def test_diff_verb_fails_on_mismatch(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        path = save_scenario(random_scenario(2), tmp_path / "s.json")
+        assert main(["verify", "diff", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestReporting:
+    def test_mismatch_reports_are_bounded_and_descriptive(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        result = diff_scenario(random_scenario(2))
+        from repro.verify.diff import MAX_MISMATCHES
+
+        assert 0 < len(result.mismatches) <= MAX_MISMATCHES
+        text = result.describe()
+        assert "FAIL" in text and "rel_err" in text
+
+    def test_dynamic_runs_compare_repartition_counts(self):
+        scenario = random_scenario(6)  # burn-burst archetype
+        assert scenario.dynamic is not None
+        result = diff_scenario(scenario)
+        assert result.ok, result.describe()
+
+    def test_rtol_zero_still_passes(self):
+        # The agreement really is bitwise: even rtol=0 finds nothing.
+        result = diff_scenario(random_scenario(4), rtol=0.0)
+        assert result.ok
+
+
+class TestDefenses:
+    """The verifier must catch corruption, not just clean mismatches."""
+
+    def test_nan_reads_as_infinite_error(self):
+        from repro.verify.properties import relative_errors
+
+        rel = relative_errors(
+            np.array([np.nan, np.inf, 1.0, np.inf]),
+            np.array([1e-3, -np.inf, 1.0, np.inf]),
+        )
+        assert rel[0] == np.inf  # NaN vs finite
+        assert rel[1] == np.inf  # opposite infinities
+        assert rel[2] == 0.0
+        assert rel[3] == np.inf  # agreeing infinities are still corrupt
+
+    def test_nan_compute_caught_end_to_end(self, monkeypatch):
+        from repro.simmpi.tracing import PhaseTrace
+
+        original = PhaseTrace.add_compute
+
+        def poisoned(self, rank, phase, seconds):
+            original(self, rank, phase, np.nan if phase == 2 else seconds)
+
+        monkeypatch.setattr(PhaseTrace, "add_compute", poisoned)
+        outcome = verify_scenario(random_scenario(2))
+        assert not outcome.ok
+
+    def test_missing_iteration_mark_is_a_mismatch_not_a_crash(self, monkeypatch):
+        from repro.simmpi.tracing import PhaseTrace
+
+        original = PhaseTrace.mark_iteration
+
+        def dropped(self, rank, index, clock):
+            if index != 1:
+                original(self, rank, index, clock)
+
+        monkeypatch.setattr(PhaseTrace, "mark_iteration", dropped)
+        result = diff_scenario(random_scenario(2))
+        assert not result.ok
+        assert any("iteration_start[1]" in m.field for m in result.mismatches)
+
+    def test_crash_contained_as_failure_with_repro(self, monkeypatch):
+        import repro.verify.diff as diff_module
+
+        def exploding(*args, **kwargs):
+            raise IndexError("vectorization out of bounds")
+
+        monkeypatch.setattr(diff_module, "run_krak", exploding)
+        outcome = fuzz(2, base_seed=2, shrink=True)
+        assert not outcome.ok
+        assert len(outcome.failures) == 2
+        for failure in outcome.failures:
+            assert failure.outcome is None
+            assert "IndexError" in failure.error
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ValueError, match="num_seeds"):
+            fuzz(0)
+
+    def test_shrink_never_hijacks_mismatch_into_build_crash(self, monkeypatch):
+        import repro.verify.diff as diff_module
+
+        # An engine mismatch on a scenario whose nx-halving shrink move
+        # yields an *infeasible* structured-block tiling (4x2 into 5):
+        # the shrinker must skip that candidate, not adopt its ValueError
+        # as "the failure", and the reported repro must still mismatch.
+        crafted = Scenario(
+            seed=99, nx=8, ny=2, num_ranks=5,
+            partition_method="structured-block",
+        )
+        monkeypatch.setattr(
+            engine_module.Engine, "_satisfy_recv", _recv_overhead_dropped
+        )
+        monkeypatch.setattr(diff_module, "random_scenario", lambda seed: crafted)
+        outcome = fuzz(1, shrink=True)
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.error is None
+        assert failure.outcome is not None and not failure.outcome.ok
+        from repro.verify.scenarios import build_scenario
+
+        build_scenario(failure.shrunk)  # the shrunk repro must build
+        assert not diff_scenario(failure.shrunk).ok  # and still mismatch
+
+
+class TestBenchEntry:
+    def test_registered_and_runs(self):
+        from repro.bench import all_benchmarks
+        from repro.bench.runner import run_benchmark
+
+        bench = all_benchmarks()["verify.fuzz_smoke"]
+        timing = run_benchmark(bench, "smoke", repeats=1, warmup=0)
+        assert timing.invariants["failures"] == 0
+        assert timing.invariants["scenarios"] == 6

@@ -1,0 +1,79 @@
+"""Metamorphic property checks over built scenarios."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.verify.properties import check_properties
+from repro.verify.scenarios import build_scenario, random_scenario
+
+
+class TestPropertiesHold:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_clean_scenarios_have_no_violations(self, seed):
+        built = build_scenario(random_scenario(seed))
+        assert check_properties(built) == []
+
+    def test_never_policy_check_runs(self):
+        # Force a dynamic scenario so the never-policy branch executes.
+        scenario = random_scenario(6)
+        assert scenario.dynamic is not None
+        built = build_scenario(scenario)
+        assert check_properties(built) == []
+
+    def test_smp_checks_run(self):
+        scenario = random_scenario(3)
+        assert scenario.smp
+        built = build_scenario(scenario)
+        assert check_properties(built) == []
+
+
+class TestViolationsDetected:
+    def test_never_policy_violation_detected(self, monkeypatch):
+        """A policy that fires while claiming to be 'never' must be flagged."""
+        from repro.partition import dynamic as partition_dynamic
+
+        scenario = dataclasses.replace(
+            random_scenario(6),
+            dynamic={**random_scenario(6).dynamic, "policy": "never"},
+        )
+        built = build_scenario(scenario)
+        assert check_properties(built) == []
+
+        # Mutate NeverPolicy to secretly repartition every iteration: both
+        # the repartition count and the charged repartition-phase time are
+        # now non-zero, and the check must say so.
+        monkeypatch.setattr(
+            partition_dynamic.NeverPolicy,
+            "should_repartition",
+            lambda self, iteration, work: iteration > 0,
+        )
+        violations = check_properties(built)
+        assert any(v.name == "never_policy_free" for v in violations)
+
+    def test_block_identity_violation_detected(self, monkeypatch):
+        """Breaking explicit-placement pricing must trip the identity check."""
+        from repro.machine import hierarchy as hierarchy_module
+
+        scenario = random_scenario(3)
+        built = build_scenario(scenario)
+
+        original = hierarchy_module.HierarchicalNetwork.node_of
+
+        def scattered(self, rank):
+            # Explicit placements scatter every rank onto its own node, so
+            # on-node pairs of the implicit block map price as off-node.
+            if self.placement is not None:
+                return rank
+            return original(self, rank)
+
+        monkeypatch.setattr(
+            hierarchy_module.HierarchicalNetwork, "node_of", scattered
+        )
+        violations = check_properties(built)
+        names = {v.name for v in violations}
+        assert "block_placement_identity" in names or (
+            "flat_network_placement_invariance" in names
+        )
