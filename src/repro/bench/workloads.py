@@ -503,6 +503,50 @@ register(Benchmark(
 ))
 
 
+def _setup_extreme(size):
+    from repro.perfmodel import SparseMeshModel, weak_scaled_census
+
+    ranks = 100_000 if size == "smoke" else 1_000_000
+    return {
+        "ranks": ranks,
+        "census": weak_scaled_census(ranks),
+        "model": SparseMeshModel(
+            table=_cost_table("coarse"), network=_cluster().network
+        ),
+    }
+
+
+def _run_extreme(ctx):
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        predicted = ctx["model"].predict(ctx["census"])
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return predicted, peak
+
+
+register(Benchmark(
+    name="figure5.extreme_scaling",
+    group="figure5",
+    description="sparse-path prediction at 10^5 (smoke) / 10^6 ranks, peak-memory guarded",
+    source="src/repro/perfmodel/sparse_mesh.py",
+    setup=_setup_extreme,
+    run=_run_extreme,
+    invariants=lambda ctx, result: {
+        "total_s": float(result[0].total),
+        "boundary_s": float(result[0].boundary_exchange),
+        "collectives_s": float(result[0].collectives),
+        # A dense path would need an 8 * P^2-byte matrix (80 GB at smoke
+        # scale); the sparse path must stay within a per-rank budget.
+        "peak_mem_under_4kb_per_rank": bool(result[1] < 4096 * ctx["ranks"]),
+    },
+    repeats=2,
+))
+
+
 # ----------------------------------------------------------------- ablation.*
 
 def _setup_allreduce(size):

@@ -9,6 +9,11 @@ Commands
 ``validate``
     Measure one configuration on the simulated machine and compare all
     model variants.
+``scale``
+    Extreme-scaling predictions on the sparse O(P log P) path: sweep a
+    ``--ranks`` axis (up to 10^6) over synthetic weak-scaled meshes and
+    price each machine analytically — no (P, P) arrays, optionally with
+    a tracemalloc peak-memory column (``--memory``).
 ``place``
     Topology-aware rank placement on the SMP machine:
 
@@ -19,6 +24,10 @@ Commands
         Run the communication-aware optimizer and report its margin over
         block placement (inter-node bytes, max per-rank p2p cost, measured
         iteration time).
+    ``place scale``
+        Cost placements on a synthetic weak-scaled mesh through the CSR
+        sparse path — works at 10^5–10^6 ranks where the dense (P, P)
+        structures cannot be built.
 ``verify``
     Differential verification against the reference oracle:
 
@@ -173,6 +182,59 @@ def cmd_validate(args) -> int:
     }
     for name, pred in predictions.items():
         out.add_row(name, pred * 1e3, f"{(measured - pred) / measured * 100:+.1f}%")
+    print(out.render())
+    return 0
+
+
+def cmd_scale(args) -> int:
+    """Price extreme-scale machines through the sparse O(P log P) path."""
+    import time
+
+    from repro.perfmodel import SparseMeshModel, weak_scaled_census
+
+    cluster = _make_cluster(args)
+    table = calibrate_contrived_grid(
+        cluster, sides=default_sample_sides(args.max_side)
+    )
+    model = SparseMeshModel(
+        table=table, network=cluster.network, hierarchy=cluster.hierarchy
+    )
+
+    columns = [
+        "ranks", "links", "compute (ms)", "boundary (ms)", "ghost (ms)",
+        "collectives (ms)", "total (ms)", "wall (s)",
+    ]
+    if args.memory:
+        columns.append("peak MB")
+    out = TextTable(
+        f"sparse weak-scaled prediction on {cluster.name} "
+        f"({args.cells_per_rank:g} cells/rank)",
+        columns,
+    )
+    for ranks in _csv_ints(args.ranks):
+        if args.memory:
+            import tracemalloc
+
+            tracemalloc.start()
+        begin = time.perf_counter()
+        census = weak_scaled_census(ranks, cells_per_rank=args.cells_per_rank)
+        predicted = model.predict(census)
+        wall = time.perf_counter() - begin
+        row = [
+            ranks,
+            census.num_boundary_links + census.num_ghost_links,
+            predicted.computation * 1e3,
+            predicted.boundary_exchange * 1e3,
+            predicted.ghost_updates * 1e3,
+            predicted.collectives * 1e3,
+            predicted.total * 1e3,
+            f"{wall:.2f}",
+        ]
+        if args.memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            row.append(f"{peak / 1e6:.1f}")
+        out.add_row(*row)
     print(out.render())
     return 0
 
@@ -488,6 +550,55 @@ def cmd_place_optimize(args) -> int:
     return 0
 
 
+def cmd_place_scale(args) -> int:
+    """Cost placements on a synthetic weak-scaled mesh at extreme scale."""
+    import time
+
+    from repro.perfmodel import weak_scaled_census
+    from repro.placement import (
+        block_placement,
+        comm_aware_placement_sparse,
+        inter_node_bytes_sparse,
+        round_robin_placement,
+        sparse_comm_bytes,
+        total_pair_bytes_sparse,
+    )
+
+    begin = time.perf_counter()
+    census = weak_scaled_census(args.ranks, cells_per_rank=args.cells_per_rank)
+    graph = sparse_comm_bytes(census)
+    build = time.perf_counter() - begin
+    total = total_pair_bytes_sparse(graph)
+
+    strategies = ["block", "round-robin"]
+    if args.optimize:
+        strategies.append("comm-aware")
+    out = TextTable(
+        f"sparse placement costing, {args.ranks} ranks, "
+        f"{graph.num_entries // 2} comm edges (built in {build:.2f}s)",
+        ["strategy", "nodes", "inter-node MB", "share", "wall (s)"],
+    )
+    for strategy in strategies:
+        begin = time.perf_counter()
+        if strategy == "block":
+            placement = block_placement(args.ranks, args.ranks_per_node)
+        elif strategy == "round-robin":
+            placement = round_robin_placement(args.ranks, args.ranks_per_node)
+        else:
+            placement = comm_aware_placement_sparse(graph, args.ranks_per_node)
+        inter = inter_node_bytes_sparse(placement, graph)
+        wall = time.perf_counter() - begin
+        out.add_row(
+            placement.name,
+            placement.num_nodes,
+            inter / 1e6,
+            f"{inter / total * 100:.0f}%" if total else "-",
+            f"{wall:.2f}",
+        )
+    print(out.render())
+    return 0
+
+
 def cmd_verify_fuzz(args) -> int:
     """Fuzz the optimized stack against the reference oracle."""
     from pathlib import Path
@@ -678,6 +789,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--ranks", type=int, default=16)
     p_val.set_defaults(func=cmd_validate)
 
+    p_scale = sub.add_parser(
+        "scale",
+        help="extreme-scaling predictions on the sparse O(P log P) path",
+        description=(
+            "Sweep a --ranks axis over synthetic weak-scaled meshes and "
+            "price each machine with the sparse mesh-specific model: "
+            "O(edges) memory and time, so a 10^6-rank prediction finishes "
+            "in seconds with no (P, P) array."
+        ),
+    )
+    common(p_scale)
+    p_scale.add_argument(
+        "--ranks", default="1000,10000,100000,1000000",
+        help="comma list of rank counts to price",
+    )
+    p_scale.add_argument(
+        "--cells-per-rank", type=float, default=8192.0,
+        help="weak-scaling workload per rank",
+    )
+    p_scale.add_argument(
+        "--memory", action="store_true",
+        help="report tracemalloc peak memory per point (slower)",
+    )
+    p_scale.set_defaults(func=cmd_scale)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="strong-scaling sweep (legacy table) or grid subcommands run|status|clear",
@@ -818,6 +954,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-map", action="store_true", help="print the optimized rank→node map"
     )
     p_po.set_defaults(func=cmd_place_optimize)
+
+    p_ps = place_sub.add_parser(
+        "scale",
+        help="cost placements on a weak-scaled mesh via the sparse path",
+        description=(
+            "Build a synthetic weak-scaled mesh census, extract its CSR "
+            "communication graph, and cost block / round-robin (and, with "
+            "--optimize, the comm-aware optimizer) by sparse inter-node "
+            "bytes — no (P, P) structures, so it works at 10^5-10^6 ranks."
+        ),
+    )
+    p_ps.add_argument(
+        "--ranks", type=int, default=100000, help="rank count to cost"
+    )
+    p_ps.add_argument(
+        "--ranks-per-node", type=int, default=4, help="SMP node capacity"
+    )
+    p_ps.add_argument(
+        "--cells-per-rank", type=float, default=8192.0,
+        help="weak-scaling workload per rank",
+    )
+    p_ps.add_argument(
+        "--optimize", action="store_true",
+        help="also run the sparse comm-aware optimizer (moderate ranks)",
+    )
+    p_ps.set_defaults(func=cmd_place_scale)
 
     p_verify = sub.add_parser(
         "verify",

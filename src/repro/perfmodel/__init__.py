@@ -44,6 +44,12 @@ from repro.perfmodel.collectives import (
 )
 from repro.perfmodel.runtime import PredictedTime
 from repro.perfmodel.mesh_specific import MeshSpecificModel
+from repro.perfmodel.sparse_mesh import (
+    SparseLinkCensus,
+    SparseMeshModel,
+    point_to_point_sparse,
+    weak_scaled_census,
+)
 from repro.perfmodel.general import GeneralModel, TABLE2_RATIOS
 from repro.perfmodel.transition import LayeredProfile, TransitionModel
 
@@ -69,6 +75,10 @@ __all__ = [
     "hier_collectives_time",
     "PredictedTime",
     "MeshSpecificModel",
+    "SparseLinkCensus",
+    "SparseMeshModel",
+    "point_to_point_sparse",
+    "weak_scaled_census",
     "GeneralModel",
     "TABLE2_RATIOS",
     "LayeredProfile",

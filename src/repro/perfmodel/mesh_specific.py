@@ -127,3 +127,21 @@ class MeshSpecificModel:
             ghost_updates=gn,
             collectives=coll,
         )
+
+    def predict_sparse(self, census) -> PredictedTime:
+        """The same prediction from a columnar
+        :class:`~repro.perfmodel.sparse_mesh.SparseLinkCensus`.
+
+        Delegates to :class:`~repro.perfmodel.sparse_mesh.SparseMeshModel`
+        with this model's table, network, and hierarchy — O(edges + log P)
+        work and memory, agreeing with :meth:`predict` on a converted
+        census to the differential tolerance (1e-12 relative).
+        """
+        from repro.perfmodel.sparse_mesh import SparseMeshModel
+
+        return SparseMeshModel(
+            table=self.table,
+            network=self.network,
+            include_multi_surcharge=self.include_multi_surcharge,
+            hierarchy=self.hierarchy,
+        ).predict(census)

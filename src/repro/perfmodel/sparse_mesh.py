@@ -1,0 +1,412 @@
+"""Columnar link census and the O(P log P) extreme-scale prediction path.
+
+The object-based :class:`~repro.hydro.workload.WorkloadCensus` carries one
+Python object per link — perfect for the validation-scale meshes, hopeless
+at 10^5–10^6 ranks.  This module stores the same information *columnar*
+(one numpy array per field, O(edges) memory), prices it with fully
+vectorized chunked evaluations, and computes collectives analytically, so
+a full mesh-specific prediction at a million ranks completes in seconds
+without ever materialising a ``(P, P)`` array.
+
+Equivalence contract: for a census converted with
+:meth:`SparseLinkCensus.from_workload_census`,
+:meth:`SparseMeshModel.predict` agrees with
+:meth:`~repro.perfmodel.mesh_specific.MeshSpecificModel.predict` to the
+differential tolerance (1e-12 relative) — computation and collectives are
+bitwise identical (same code paths), point-to-point differs only in float
+summation association.  ``tests/test_sparse_dense_equivalence.py`` holds
+the line across the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hydro.workload import NUM_EXCHANGE_GROUPS
+from repro.machine.costdb import (
+    BOUNDARY_BYTES_PER_FACE,
+    BOUNDARY_BYTES_PER_MULTI_NODE,
+    BOUNDARY_MSGS_PER_STEP,
+    NUM_MATERIALS,
+)
+from repro.perfmodel.collectives import collectives_time, hier_collectives_time
+from repro.perfmodel.computation import computation_time
+from repro.perfmodel.costcurves import CostTable
+from repro.perfmodel.ghostmodel import GHOST_PHASE_BYTES
+from repro.perfmodel.runtime import PredictedTime
+from repro.machine.network import NetworkModel
+
+#: Edges priced per vectorized chunk — bounds peak memory at large P
+#: (a chunk touches ~10 temporaries of `chunk × groups` float64).
+DEFAULT_CHUNK_EDGES = 1 << 19
+
+
+@dataclass(frozen=True)
+class SparseLinkCensus:
+    """Columnar per-link workload census (O(edges) memory).
+
+    Directed boundary/ghost link arrays mirror the
+    :func:`~repro.perfmodel.linktally.iter_link_tallies` walk: entry ``k``
+    of the boundary arrays is the link *owned* by ``be_src[k]`` toward
+    ``be_dst[k]``, with its per-exchange-group face and multi-material
+    ghost-node counts; ghost entries carry the locally-owned/remote node
+    counts.  The material census is stored deduplicated: row
+    ``cell_profiles[profile_of_rank[r]]`` is rank ``r``'s per-material
+    cell counts (weak-scaled machines have a handful of distinct
+    profiles, so this is O(1) instead of O(P) for the synthetic
+    generator).
+    """
+
+    num_ranks: int
+    be_src: np.ndarray
+    be_dst: np.ndarray
+    be_faces: np.ndarray
+    be_multi: np.ndarray
+    gn_src: np.ndarray
+    gn_dst: np.ndarray
+    gn_local: np.ndarray
+    gn_remote: np.ndarray
+    cell_profiles: np.ndarray
+    profile_of_rank: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        for name in ("be_src", "be_dst", "gn_src", "gn_dst", "profile_of_rank"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.int64)
+            )
+        for name in ("be_faces", "be_multi", "gn_local", "gn_remote",
+                     "cell_profiles"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.float64)
+            )
+        eb = self.be_src.shape[0]
+        if self.be_dst.shape != (eb,):
+            raise ValueError("boundary endpoint arrays must align")
+        if self.be_faces.shape != (eb, NUM_EXCHANGE_GROUPS) or (
+            self.be_multi.shape != (eb, NUM_EXCHANGE_GROUPS)
+        ):
+            raise ValueError(
+                "boundary tallies must be (edges, NUM_EXCHANGE_GROUPS)"
+            )
+        eg = self.gn_src.shape[0]
+        if (
+            self.gn_dst.shape != (eg,)
+            or self.gn_local.shape != (eg,)
+            or self.gn_remote.shape != (eg,)
+        ):
+            raise ValueError("ghost link arrays must align")
+        for ends in (self.be_src, self.be_dst, self.gn_src, self.gn_dst):
+            if ends.size and (ends.min() < 0 or ends.max() >= self.num_ranks):
+                raise ValueError("link endpoints out of rank range")
+        for counts in (self.be_faces, self.be_multi, self.gn_local,
+                       self.gn_remote, self.cell_profiles):
+            if np.any(counts < 0):
+                raise ValueError("census counts must be non-negative")
+        if self.profile_of_rank.shape != (self.num_ranks,):
+            raise ValueError("profile_of_rank must map every rank")
+        if self.cell_profiles.ndim != 2:
+            raise ValueError("cell_profiles must be (profiles, materials)")
+        if self.profile_of_rank.size and (
+            self.profile_of_rank.min() < 0
+            or self.profile_of_rank.max() >= self.cell_profiles.shape[0]
+        ):
+            raise ValueError("profile_of_rank indexes outside cell_profiles")
+
+    @property
+    def num_boundary_links(self) -> int:
+        return int(self.be_src.size)
+
+    @property
+    def num_ghost_links(self) -> int:
+        return int(self.gn_src.size)
+
+    def material_counts(self) -> np.ndarray:
+        """The full ``(P, materials)`` census (small-P reference only)."""
+        return self.cell_profiles[self.profile_of_rank]
+
+    @classmethod
+    def from_workload_census(cls, census) -> "SparseLinkCensus":
+        """Exact columnar form of an object-based workload census.
+
+        Per-group face/multi counts accumulate exactly as the link-tally
+        walk does, so pricing the result reproduces the dense model's
+        tallies value for value.
+        """
+        be_src: list = []
+        be_dst: list = []
+        be_faces: list = []
+        be_multi: list = []
+        gn_src: list = []
+        gn_dst: list = []
+        gn_local: list = []
+        gn_remote: list = []
+        for rank in range(census.num_ranks):
+            for bl in census.boundary_links[rank]:
+                faces = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.float64)
+                multi = np.zeros(NUM_EXCHANGE_GROUPS, dtype=np.float64)
+                for (group, f, g) in bl.mine.groups:
+                    faces[group] += f
+                    multi[group] += g
+                be_src.append(rank)
+                be_dst.append(bl.nbr_rank)
+                be_faces.append(faces)
+                be_multi.append(multi)
+            for gl in census.ghost_links[rank]:
+                gn_src.append(rank)
+                gn_dst.append(gl.nbr_rank)
+                gn_local.append(gl.owned_by_me)
+                gn_remote.append(gl.not_owned_by_me)
+        cells = np.asarray(census.material_counts, dtype=np.float64)
+        profiles, inverse = np.unique(cells, axis=0, return_inverse=True)
+        empty_group = np.empty((0, NUM_EXCHANGE_GROUPS))
+        return cls(
+            num_ranks=census.num_ranks,
+            be_src=np.array(be_src, dtype=np.int64),
+            be_dst=np.array(be_dst, dtype=np.int64),
+            be_faces=np.array(be_faces) if be_faces else empty_group,
+            be_multi=np.array(be_multi) if be_multi else empty_group,
+            gn_src=np.array(gn_src, dtype=np.int64),
+            gn_dst=np.array(gn_dst, dtype=np.int64),
+            gn_local=np.array(gn_local, dtype=np.float64),
+            gn_remote=np.array(gn_remote, dtype=np.float64),
+            cell_profiles=profiles,
+            profile_of_rank=inverse.astype(np.int64).reshape(-1),
+        )
+
+
+def _near_square_grid(num_ranks: int) -> tuple[int, int]:
+    """``(width, height)`` — the divisor pair closest to square."""
+    width = 1
+    for cand in range(int(np.sqrt(num_ranks)), 0, -1):
+        if num_ranks % cand == 0:
+            width = cand
+            break
+    return width, num_ranks // width
+
+
+def weak_scaled_census(
+    num_ranks: int,
+    cells_per_rank: float = 8192.0,
+    faces_per_side: float = 90.0,
+    multi_frac: float = 0.125,
+    ghost_per_side: float = 128.0,
+) -> SparseLinkCensus:
+    """A weak-scaled 2-D rank grid at any P — the extrapolation workload.
+
+    Every rank owns the same subgrid (the paper's weak-scaling premise:
+    problem size grows with the machine), so the mesh is a
+    ``width × height`` rank grid with 4-neighbour boundary and ghost
+    links and a single material profile.  Construction is fully
+    vectorized: O(P) work and memory, no Python per-rank objects —
+    usable at 10^6 ranks.
+
+    ``faces_per_side`` splits across the exchange groups in fixed
+    proportions; ``multi_frac`` of each group's faces carry the
+    multi-material surcharge.
+    """
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    if cells_per_rank < 0 or faces_per_side < 0 or ghost_per_side < 0:
+        raise ValueError("census magnitudes must be non-negative")
+    if not 0.0 <= multi_frac <= 1.0:
+        raise ValueError("multi_frac must lie in [0, 1]")
+    width, height = _near_square_grid(num_ranks)
+    ranks = np.arange(num_ranks, dtype=np.int64)
+    x = ranks % width
+    y = ranks // width
+    has_right = x < width - 1
+    has_down = y < height - 1
+    right = ranks[has_right]
+    down = ranks[has_down]
+    # Directed links, rank-major and neighbour-sorted like the link walk.
+    src = np.concatenate([right, right + 1, down, down + width])
+    dst = np.concatenate([right + 1, right, down + width, down])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+
+    group_split = np.array([0.5, 0.3, 0.2])[:NUM_EXCHANGE_GROUPS]
+    group_split = group_split / group_split.sum()
+    faces_row = faces_per_side * group_split
+    edges = src.size
+    be_faces = np.broadcast_to(faces_row, (edges, NUM_EXCHANGE_GROUPS)).copy()
+    be_multi = multi_frac * be_faces
+
+    material_split = np.full(NUM_MATERIALS, 1.0 / NUM_MATERIALS)
+    profile = (cells_per_rank * material_split)[None, :]
+    return SparseLinkCensus(
+        num_ranks=num_ranks,
+        be_src=src,
+        be_dst=dst,
+        be_faces=be_faces,
+        be_multi=be_multi,
+        gn_src=src.copy(),
+        gn_dst=dst.copy(),
+        gn_local=np.full(edges, float(ghost_per_side)),
+        gn_remote=np.full(edges, 0.75 * ghost_per_side),
+        cell_profiles=profile,
+        profile_of_rank=np.zeros(num_ranks, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------- pricing
+
+
+def link_bytes(census: SparseLinkCensus) -> tuple[np.ndarray, np.ndarray]:
+    """Per-link bytes ``(boundary, ghost)`` — the comm-graph weights.
+
+    Matches ``(counts · sizes).sum()`` over each boundary link's Table-3
+    tally (with surcharge) and ``sizes.sum()`` over each ghost link's six
+    messages; byte counts are integer-valued so the vectorized sums are
+    exact.
+    """
+    faces, multi = census.be_faces, census.be_multi
+    positive = faces > 0
+    big = BOUNDARY_BYTES_PER_FACE * faces + BOUNDARY_BYTES_PER_MULTI_NODE * multi
+    small = BOUNDARY_BYTES_PER_FACE * faces
+    per_group = np.where(positive, 2.0 * big + 4.0 * small, 0.0)
+    final = BOUNDARY_BYTES_PER_FACE * faces.sum(axis=1)
+    be_bytes = per_group.sum(axis=1) + BOUNDARY_MSGS_PER_STEP * final
+    phase_bytes = np.array(GHOST_PHASE_BYTES, dtype=np.float64)
+    gn_bytes = (census.gn_local + census.gn_remote) * phase_bytes.sum()
+    return be_bytes, gn_bytes
+
+
+def _price_sizes(sizes, a_ranks, b_ranks, network, hierarchy):
+    """Tmsg for aligned message arrays — flat or endpoint-aware."""
+    if hierarchy is None:
+        return network.tmsg_many(sizes)
+    return hierarchy.tmsg_pairs(a_ranks, b_ranks, sizes)
+
+
+def point_to_point_sparse(
+    census: SparseLinkCensus,
+    network: NetworkModel | None = None,
+    hierarchy=None,
+    include_multi_surcharge: bool = True,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> tuple[float, float]:
+    """Max-over-ranks boundary-exchange and ghost-update times.
+
+    The vectorized twin of
+    :meth:`~repro.perfmodel.mesh_specific.MeshSpecificModel.point_to_point`:
+    every boundary link is priced from its Table-3 tally (two enlarged +
+    four plain messages per active exchange group, then the all-faces
+    sextet) and every ghost link from its six per-phase messages, with
+    one batched ``Tmsg`` evaluation per chunk (per network level when a
+    hierarchy is given).  Work and memory are O(edges); chunking bounds
+    the temporaries.
+    """
+    if (network is None) == (hierarchy is None):
+        raise ValueError("exactly one of network/hierarchy must be given")
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+
+    be_time = np.zeros(census.num_ranks, dtype=np.float64)
+    for lo in range(0, census.num_boundary_links, chunk_edges):
+        hi = min(lo + chunk_edges, census.num_boundary_links)
+        faces = census.be_faces[lo:hi]
+        multi = (
+            census.be_multi[lo:hi]
+            if include_multi_surcharge
+            else np.zeros_like(faces)
+        )
+        src, dst = census.be_src[lo:hi], census.be_dst[lo:hi]
+        positive = faces > 0
+        big = (
+            BOUNDARY_BYTES_PER_FACE * faces
+            + BOUNDARY_BYTES_PER_MULTI_NODE * multi
+        )
+        small = BOUNDARY_BYTES_PER_FACE * faces
+        final = BOUNDARY_BYTES_PER_FACE * faces.sum(axis=1)
+        groups = faces.shape[1]
+        src_rep = np.repeat(src, groups)
+        dst_rep = np.repeat(dst, groups)
+        t_big = _price_sizes(
+            big.ravel(), src_rep, dst_rep, network, hierarchy
+        ).reshape(faces.shape)
+        t_small = _price_sizes(
+            small.ravel(), src_rep, dst_rep, network, hierarchy
+        ).reshape(faces.shape)
+        t_final = _price_sizes(final, src, dst, network, hierarchy)
+        per_edge = (
+            np.where(positive, 2.0 * t_big + 4.0 * t_small, 0.0).sum(axis=1)
+            + float(BOUNDARY_MSGS_PER_STEP) * t_final
+        )
+        np.add.at(be_time, src, per_edge)
+
+    gn_time = np.zeros(census.num_ranks, dtype=np.float64)
+    phase_bytes = np.array(GHOST_PHASE_BYTES, dtype=np.float64)
+    for lo in range(0, census.num_ghost_links, chunk_edges):
+        hi = min(lo + chunk_edges, census.num_ghost_links)
+        src, dst = census.gn_src[lo:hi], census.gn_dst[lo:hi]
+        local = census.gn_local[lo:hi]
+        remote = census.gn_remote[lo:hi]
+        # (edges, phases, local/remote) — the ghost_sizes layout, batched.
+        sizes = np.empty((src.size, phase_bytes.size, 2), dtype=np.float64)
+        sizes[:, :, 0] = local[:, None] * phase_bytes[None, :]
+        sizes[:, :, 1] = remote[:, None] * phase_bytes[None, :]
+        reps = 2 * phase_bytes.size
+        t = _price_sizes(
+            sizes.reshape(src.size, -1).ravel(),
+            np.repeat(src, reps),
+            np.repeat(dst, reps),
+            network,
+            hierarchy,
+        ).reshape(src.size, -1)
+        np.add.at(gn_time, src, t.sum(axis=1))
+
+    be_max = float(be_time.max()) if be_time.size else 0.0
+    gn_max = float(gn_time.max()) if gn_time.size else 0.0
+    return be_max, gn_max
+
+
+@dataclass(frozen=True)
+class SparseMeshModel:
+    """Mesh-specific model over a columnar census — the extreme-scale path.
+
+    Mirrors :class:`~repro.perfmodel.mesh_specific.MeshSpecificModel`
+    (same attributes, same composition of Equations (1)–(10)) but every
+    term is O(edges + log P): computation evaluates the deduplicated
+    profile rows (the per-phase max over ranks equals the max over
+    distinct profiles), point-to-point is the chunked vectorized pricing
+    above, and collectives are the analytic ``tree_depth``-based
+    formulas.
+    """
+
+    table: CostTable
+    network: NetworkModel
+    include_multi_surcharge: bool = True
+    hierarchy: object | None = None
+    chunk_edges: int = DEFAULT_CHUNK_EDGES
+
+    def computation(self, census: SparseLinkCensus) -> float:
+        """Equation (3) over the distinct per-rank material profiles."""
+        return computation_time(self.table, census.cell_profiles)
+
+    def point_to_point(self, census: SparseLinkCensus) -> tuple[float, float]:
+        return point_to_point_sparse(
+            census,
+            network=None if self.hierarchy is not None else self.network,
+            hierarchy=self.hierarchy,
+            include_multi_surcharge=self.include_multi_surcharge,
+            chunk_edges=self.chunk_edges,
+        )
+
+    def predict(self, census: SparseLinkCensus) -> PredictedTime:
+        """Full per-iteration prediction — seconds even at 10^6 ranks."""
+        comp = self.computation(census)
+        be, gn = self.point_to_point(census)
+        if self.hierarchy is None:
+            coll = collectives_time(self.network, census.num_ranks)
+        else:
+            coll = hier_collectives_time(self.hierarchy, census.num_ranks)
+        return PredictedTime(
+            computation=comp,
+            boundary_exchange=be,
+            ghost_updates=gn,
+            collectives=coll,
+        )

@@ -26,6 +26,20 @@ from repro.placement.optimize import (
     rank_pair_times,
     total_pair_bytes,
 )
+from repro.placement.sparse import (
+    SPARSE_DISPATCH_MIN_RANKS,
+    SparseCommGraph,
+    SparsePairCosts,
+    comm_aware_placement_sparse,
+    greedy_refine_sparse,
+    inter_node_bytes_sparse,
+    minimax_refine_sparse,
+    optimize_placement_sparse,
+    placement_comm_cost_sparse,
+    sparse_comm_bytes,
+    sparse_rank_pair_times,
+    total_pair_bytes_sparse,
+)
 from repro.placement.strategies import (
     STRATEGIES,
     block_placement,
@@ -46,6 +60,18 @@ __all__ = [
     "rank_comm_bytes",
     "rank_pair_times",
     "total_pair_bytes",
+    "SPARSE_DISPATCH_MIN_RANKS",
+    "SparseCommGraph",
+    "SparsePairCosts",
+    "comm_aware_placement_sparse",
+    "greedy_refine_sparse",
+    "inter_node_bytes_sparse",
+    "minimax_refine_sparse",
+    "optimize_placement_sparse",
+    "placement_comm_cost_sparse",
+    "sparse_comm_bytes",
+    "sparse_rank_pair_times",
+    "total_pair_bytes_sparse",
     "STRATEGIES",
     "block_placement",
     "make_placement",

@@ -47,21 +47,38 @@ def rank_comm_bytes(census) -> np.ndarray:
     return graph
 
 
-def inter_node_bytes(placement: Placement, graph: np.ndarray) -> float:
+def inter_node_bytes(placement: Placement, graph) -> float:
     """Bytes crossing node boundaries under ``placement`` (the objective).
 
     Each unordered rank pair on different nodes contributes its symmetric
-    graph weight once.
+    graph weight once.  Accepts a dense matrix or a
+    :class:`~repro.placement.sparse.SparseCommGraph`; neither path
+    materialises a ``(P, P)`` boolean mask — the dense form subtracts the
+    per-node intra-node blocks from the grand total (O(Σ occupancy²)
+    extra memory), the sparse form sums crossing edges directly.  Byte
+    weights are integer-valued floats, so both forms equal the historical
+    masked sum exactly.
     """
+    from repro.placement.sparse import SparseCommGraph, inter_node_bytes_sparse
+
+    if isinstance(graph, SparseCommGraph):
+        return inter_node_bytes_sparse(placement, graph)
     nodes = placement.node_of_rank
     if graph.shape != (nodes.size, nodes.size):
         raise ValueError("graph shape does not match the placement's rank count")
-    cross = nodes[:, None] != nodes[None, :]
-    return float(graph[cross].sum()) / 2.0
+    intra = 0.0
+    for node in range(int(nodes.max()) + 1):
+        members = np.flatnonzero(nodes == node)
+        intra += float(graph[np.ix_(members, members)].sum())
+    return (float(graph.sum()) - intra) / 2.0
 
 
-def total_pair_bytes(graph: np.ndarray) -> float:
+def total_pair_bytes(graph) -> float:
     """All pairwise bytes in the graph (the inter-node objective's ceiling)."""
+    from repro.placement.sparse import SparseCommGraph, total_pair_bytes_sparse
+
+    if isinstance(graph, SparseCommGraph):
+        return total_pair_bytes_sparse(graph)
     return float(graph.sum()) / 2.0
 
 
@@ -239,7 +256,21 @@ def optimize_placement(
     :func:`minimax_refine`, keeping the best ``(max, total)``.  Because
     block is among the starts and acceptance is strict, the result is never
     worse than block placement under the objective.
+
+    Above :data:`~repro.placement.sparse.SPARSE_DISPATCH_MIN_RANKS` the
+    census is costed in CSR form instead
+    (:func:`~repro.placement.sparse.optimize_placement_sparse`) — the
+    dense matrices here stay the small-P reference.
     """
+    from repro.placement.sparse import (
+        SPARSE_DISPATCH_MIN_RANKS,
+        optimize_placement_sparse,
+    )
+
+    if census.num_ranks > SPARSE_DISPATCH_MIN_RANKS:
+        return optimize_placement_sparse(
+            census, cluster, max_passes=max_passes, name=name
+        )
     t_intra, t_inter = rank_pair_times(census, cluster)
     ranks_per_node = cluster.hierarchy.ranks_per_node
     num_ranks = census.num_ranks
@@ -394,8 +425,36 @@ def comm_aware_placement(
     cheapest survivor wins.  Including block among the starts makes the
     optimizer *never worse* than the launcher default, so "comm-aware beats
     block" degrades to a tie only when block is already locally optimal.
+
+    Accepts a dense matrix or a
+    :class:`~repro.placement.sparse.SparseCommGraph`.  The CSR form runs
+    :func:`~repro.placement.sparse.comm_aware_placement_sparse`, which
+    returns the **same node map** (integer byte weights sum exactly, and
+    the sparse candidate scan provably covers every improving operation);
+    a dense matrix above
+    :data:`~repro.placement.sparse.SPARSE_DISPATCH_MIN_RANKS` ranks is
+    converted rather than walked quadratically.
     """
+    from repro.placement.sparse import (
+        SPARSE_DISPATCH_MIN_RANKS,
+        SparseCommGraph,
+        comm_aware_placement_sparse,
+    )
+
+    if isinstance(graph, SparseCommGraph):
+        return comm_aware_placement_sparse(
+            graph, ranks_per_node, max_passes=max_passes, name=name
+        )
     graph = np.asarray(graph, dtype=np.float64)
+    if (
+        graph.ndim == 2
+        and graph.shape[0] == graph.shape[1]
+        and graph.shape[0] > SPARSE_DISPATCH_MIN_RANKS
+    ):
+        return comm_aware_placement_sparse(
+            SparseCommGraph.from_dense(graph), ranks_per_node,
+            max_passes=max_passes, name=name,
+        )
     if graph.ndim != 2 or graph.shape[0] != graph.shape[1]:
         raise ValueError("graph must be a square matrix")
     if ranks_per_node < 1:

@@ -1,0 +1,798 @@
+"""Sparse (CSR) communication graphs and the O(P log P) placement path.
+
+The dense structures in :mod:`repro.placement.optimize` materialise
+``(P, P)`` matrices, which caps honest scaling studies at a few thousand
+ranks.  Krak-style meshes have *bounded-degree* communication graphs — a
+rank talks to its handful of boundary/ghost neighbours — so the graph has
+O(P) edges and everything the optimizers need can be computed from an
+edge list.
+
+This module is the sparse twin of the dense code, with an explicit
+equivalence contract (see ``docs/placement.md`` and
+``tests/test_sparse_dense_equivalence.py``):
+
+* :func:`sparse_comm_bytes` / :func:`sparse_rank_pair_times` produce CSR
+  forms whose materialised entries are **bitwise identical** to
+  :func:`~repro.placement.optimize.rank_comm_bytes` /
+  :func:`~repro.placement.optimize.rank_pair_times` — coalescing sums the
+  per-link contributions in the same order the dense ``+=`` loop does.
+* Byte weights are integer-valued floats far below 2**53, so every sum
+  over them is *exact* regardless of association; the bytes-objective
+  functions and optimizers therefore agree with the dense path exactly,
+  not just to a tolerance.
+* :func:`greedy_refine_sparse` restricts the dense move/swap scan to a
+  provably complete candidate set (a positive move gain requires the
+  target node to host a neighbour; a positive swap gain requires
+  ``conn[a, nb] > 0`` or ``conn[b, na] > 0``), scanned in the same
+  ascending order — so it returns the **same node map** as
+  :func:`~repro.placement.optimize.greedy_refine` while doing
+  O(degree²) work per rank instead of O(P).
+* The priced minimax objective is float-valued, so its sparse refinement
+  only promises the differential tolerance (1e-12 relative on the
+  achieved objective); below :data:`MINIMAX_EXHAUSTIVE_MAX_RANKS` it
+  densifies and runs the dense reference verbatim.
+
+The dense implementations stay authoritative at small P; the production
+entry points in :mod:`repro.placement.optimize` auto-dispatch here above
+:data:`SPARSE_DISPATCH_MIN_RANKS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.placement.base import Placement, compact_labels
+
+#: Production optimizers switch from the dense reference to the sparse
+#: path at this rank count (the dense path would build (P, P) float64
+#: matrices — ~2 MB at 512 ranks, and quadratically worse beyond).
+SPARSE_DISPATCH_MIN_RANKS = 512
+
+#: Below this rank count :func:`minimax_refine_sparse` densifies and runs
+#: the dense reference implementation, keeping small-P results bitwise
+#: identical; above it a candidate-restricted heuristic applies.
+MINIMAX_EXHAUSTIVE_MAX_RANKS = 512
+
+
+def _coalesce(num_ranks, src, dst, values):
+    """Sort directed entries by (row, col) and sum duplicates in order.
+
+    The stable lexsort preserves each duplicate group's order of
+    appearance, and the unbuffered ``np.add.at`` scatter accumulates
+    strictly sequentially in array order — so the coalesced value equals
+    the dense ``graph[src, dst] += value`` loop bitwise (``reduceat``
+    would not: it associates pairwise even on tiny groups).
+
+    Returns ``(indptr, indices, *summed value columns)``.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    columns = [np.asarray(v, dtype=np.float64) for v in values]
+    if src.size == 0:
+        indptr = np.zeros(num_ranks + 1, dtype=np.int64)
+        empty = np.empty(0, dtype=np.float64)
+        return (indptr, src, *([empty] * len(columns)))
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    columns = [v[order] for v in columns]
+    new_group = np.empty(src.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+    starts = np.flatnonzero(new_group)
+    indices = dst[starts]
+    group_of = np.cumsum(new_group) - 1
+    summed = []
+    for v in columns:
+        acc = np.zeros(starts.size, dtype=np.float64)
+        np.add.at(acc, group_of, v)
+        summed.append(acc)
+    rows = src[starts]
+    indptr = np.zeros(num_ranks + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return (indptr, indices, *summed)
+
+
+@dataclass(frozen=True)
+class SparseCommGraph:
+    """Symmetric pairwise-bytes graph in CSR form.
+
+    Every undirected edge is stored in both endpoint rows; within a row,
+    column indices are strictly ascending (no duplicates, no diagonal).
+    ``weights`` are per-iteration bytes — integer-valued floats, so all
+    sums over them are exact.
+    """
+
+    num_ranks: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        indptr = np.asarray(self.indptr, dtype=np.int64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if indptr.shape != (self.num_ranks + 1,):
+            raise ValueError("indptr must have num_ranks + 1 entries")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must span exactly the index array")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.shape != weights.shape or indices.ndim != 1:
+            raise ValueError("indices and weights must be aligned 1-D arrays")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.num_ranks
+        ):
+            raise ValueError("column indices out of range")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def num_entries(self) -> int:
+        """Stored (directed) entries — twice the undirected edge count."""
+        return int(self.indices.size)
+
+    def row(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbour ids, weights)`` of one rank's row (views)."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        lo, hi = int(self.indptr[rank]), int(self.indptr[rank + 1])
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def degrees(self) -> np.ndarray:
+        """Neighbour count per rank."""
+        return np.diff(self.indptr)
+
+    def row_of_entry(self) -> np.ndarray:
+        """Row id of every stored entry (``np.repeat`` expansion)."""
+        return np.repeat(
+            np.arange(self.num_ranks, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the ``(P, P)`` matrix (small-P reference/testing)."""
+        dense = np.zeros((self.num_ranks, self.num_ranks), dtype=np.float64)
+        dense[self.row_of_entry(), self.indices] = self.weights
+        return dense
+
+    @classmethod
+    def from_dense(cls, graph: np.ndarray) -> "SparseCommGraph":
+        """CSR form of a dense symmetric graph (zero diagonal enforced)."""
+        graph = np.asarray(graph, dtype=np.float64)
+        if graph.ndim != 2 or graph.shape[0] != graph.shape[1]:
+            raise ValueError("graph must be a square matrix")
+        if not np.array_equal(graph, graph.T):
+            raise ValueError("graph must be symmetric")
+        if np.any(np.diagonal(graph) != 0.0):
+            raise ValueError("graph must have a zero diagonal")
+        rows, cols = np.nonzero(graph)
+        indptr = np.zeros(graph.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(
+            num_ranks=graph.shape[0],
+            indptr=indptr,
+            indices=cols.astype(np.int64),
+            weights=graph[rows, cols],
+        )
+
+    @classmethod
+    def from_edges(cls, num_ranks, src, dst, weights) -> "SparseCommGraph":
+        """Coalesce directed ``(src, dst, weight)`` entries into CSR.
+
+        Entries must already include both directions of every undirected
+        edge; duplicates are summed in order of appearance (the dense
+        ``+=`` contract).
+        """
+        indptr, indices, summed = _coalesce(num_ranks, src, dst, [weights])
+        return cls(
+            num_ranks=num_ranks, indptr=indptr, indices=indices, weights=summed
+        )
+
+
+def _census_byte_edges(census):
+    """Directed ``(src, dst, bytes)`` arrays for a census, in walk order."""
+    from repro.perfmodel.linktally import iter_link_tallies
+
+    src: list = []
+    dst: list = []
+    vals: list = []
+    for kind, rank, nbr, counts, sizes in iter_link_tallies(census):
+        nbytes = float(sizes.sum() if counts is None else (counts * sizes).sum())
+        src += [rank, nbr]
+        dst += [nbr, rank]
+        vals += [nbytes, nbytes]
+    return (
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(vals, dtype=np.float64),
+    )
+
+
+def _sparse_census_byte_edges(census):
+    """Vectorized byte edges for a columnar SparseLinkCensus."""
+    from repro.perfmodel.sparse_mesh import link_bytes
+
+    be_bytes, gn_bytes = link_bytes(census)
+    src = np.concatenate([census.be_src, census.be_dst,
+                          census.gn_src, census.gn_dst])
+    dst = np.concatenate([census.be_dst, census.be_src,
+                          census.gn_dst, census.gn_src])
+    vals = np.concatenate([be_bytes, be_bytes, gn_bytes, gn_bytes])
+    return src, dst, vals
+
+
+def sparse_comm_bytes(census) -> SparseCommGraph:
+    """CSR twin of :func:`~repro.placement.optimize.rank_comm_bytes`.
+
+    Accepts either an object-based
+    :class:`~repro.hydro.workload.WorkloadCensus` (walked link by link,
+    like the dense builder — entries are bitwise identical to the dense
+    matrix) or a columnar
+    :class:`~repro.perfmodel.sparse_mesh.SparseLinkCensus` (fully
+    vectorized, no Python per-link loop — the million-rank path).
+    """
+    if hasattr(census, "boundary_links"):
+        src, dst, vals = _census_byte_edges(census)
+    else:
+        src, dst, vals = _sparse_census_byte_edges(census)
+    return SparseCommGraph.from_edges(census.num_ranks, src, dst, vals)
+
+
+def inter_node_bytes_sparse(placement, graph: SparseCommGraph) -> float:
+    """Bytes crossing node boundaries — O(edges) time, O(edges) memory.
+
+    ``placement`` may be a :class:`~repro.placement.base.Placement` or a
+    bare ``node_of_rank`` array.  Weights are integer-valued, so the edge
+    sum equals the dense masked sum exactly.
+    """
+    nodes = getattr(placement, "node_of_rank", placement)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.shape != (graph.num_ranks,):
+        raise ValueError("placement size does not match the graph's rank count")
+    cross = nodes[graph.row_of_entry()] != nodes[graph.indices]
+    return float(graph.weights[cross].sum()) / 2.0
+
+
+def total_pair_bytes_sparse(graph: SparseCommGraph) -> float:
+    """All pairwise bytes (each undirected edge stored twice)."""
+    return float(graph.weights.sum()) / 2.0
+
+
+# ------------------------------------------------------------- priced costs
+
+
+@dataclass(frozen=True)
+class SparsePairCosts:
+    """CSR twin of the dense ``(T_intra, T_inter)`` matrix pair.
+
+    Topology arrays are shared between the two cost columns; entry ``k``
+    prices the directed pair ``(row_of_entry[k], indices[k])`` as if on
+    the same node (``t_intra``) or different nodes (``t_inter``) — the
+    same per-entry semantics as
+    :func:`~repro.placement.optimize.rank_pair_times`.
+    """
+
+    num_ranks: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    t_intra: np.ndarray
+    t_inter: np.ndarray
+    #: Cached np.repeat expansion of the row ids (built on first use).
+    _rows: list = field(default_factory=list, repr=False, compare=False)
+
+    def row_of_entry(self) -> np.ndarray:
+        if not self._rows:
+            self._rows.append(
+                np.repeat(
+                    np.arange(self.num_ranks, dtype=np.int64),
+                    np.diff(self.indptr),
+                )
+            )
+        return self._rows[0]
+
+    def to_dense(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise the dense matrix pair (small-P reference/testing)."""
+        rows = self.row_of_entry()
+        intra = np.zeros((self.num_ranks, self.num_ranks), dtype=np.float64)
+        inter = np.zeros_like(intra)
+        intra[rows, self.indices] = self.t_intra
+        inter[rows, self.indices] = self.t_inter
+        return intra, inter
+
+    def delta(self) -> np.ndarray:
+        """Per-entry ``t_inter - t_intra`` (what sharing a node saves)."""
+        return self.t_inter - self.t_intra
+
+
+def sparse_rank_pair_times(census, cluster) -> SparsePairCosts:
+    """CSR twin of :func:`~repro.placement.optimize.rank_pair_times`.
+
+    Walks the same link tallies and coalesces the same contributions in
+    the same order, so every stored entry is bitwise identical to the
+    dense matrix element of the same pair.
+    """
+    from repro.perfmodel.boundary import priced_tally_time
+    from repro.perfmodel.ghostmodel import priced_ghost_time
+    from repro.perfmodel.linktally import iter_link_tallies
+
+    hierarchy = cluster.hierarchy
+    if hierarchy is None:
+        raise ValueError(
+            "sparse_rank_pair_times needs an SMP hierarchy on the cluster"
+        )
+    send_inter, recv_inter = cluster.send_overhead, cluster.recv_overhead
+    send_intra = (
+        send_inter
+        if hierarchy.intra_send_overhead is None
+        else hierarchy.intra_send_overhead
+    )
+    recv_intra = (
+        recv_inter
+        if hierarchy.intra_recv_overhead is None
+        else hierarchy.intra_recv_overhead
+    )
+
+    src: list = []
+    dst: list = []
+    val_intra: list = []
+    val_inter: list = []
+    for kind, rank, nbr, counts, sizes in iter_link_tallies(census):
+        if counts is None:
+            msgs = float(sizes.size)
+            wire_intra = priced_ghost_time(hierarchy.intra.tmsg_many(sizes))
+            wire_inter = priced_ghost_time(hierarchy.inter.tmsg_many(sizes))
+        else:
+            msgs = float(counts.sum())
+            wire_intra = priced_tally_time(counts, hierarchy.intra.tmsg_many(sizes))
+            wire_inter = priced_tally_time(counts, hierarchy.inter.tmsg_many(sizes))
+        src += [rank, nbr]
+        dst += [nbr, rank]
+        val_intra += [wire_intra + msgs * send_intra, msgs * recv_intra]
+        val_inter += [wire_inter + msgs * send_inter, msgs * recv_inter]
+    indptr, indices, intra, inter = _coalesce(
+        census.num_ranks,
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        [np.array(val_intra), np.array(val_inter)],
+    )
+    return SparsePairCosts(
+        num_ranks=census.num_ranks,
+        indptr=indptr,
+        indices=indices,
+        t_intra=intra,
+        t_inter=inter,
+    )
+
+
+def placement_comm_cost_sparse(
+    node_of_rank: np.ndarray, costs: SparsePairCosts
+) -> tuple[float, float]:
+    """``(max per-rank cost, total cost)`` from CSR pair costs.
+
+    Same objective as
+    :func:`~repro.placement.optimize.placement_comm_cost`; per-rank sums
+    run over the stored entries only, so the result matches the dense
+    row sums to the differential tolerance (summation association
+    differs, values do not).
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64)
+    if nodes.shape != (costs.num_ranks,):
+        raise ValueError("node_of_rank size does not match the cost graph")
+    rows = costs.row_of_entry()
+    same = nodes[rows] == nodes[costs.indices]
+    priced = np.where(same, costs.t_intra, costs.t_inter)
+    per_rank = np.zeros(costs.num_ranks, dtype=np.float64)
+    np.add.at(per_rank, rows, priced)
+    return float(per_rank.max()), float(per_rank.sum())
+
+
+def _per_rank_costs(nodes: np.ndarray, costs: SparsePairCosts) -> np.ndarray:
+    """Per-rank priced cost vector under ``nodes`` (vectorized)."""
+    rows = costs.row_of_entry()
+    same = nodes[rows] == nodes[costs.indices]
+    priced = np.where(same, costs.t_intra, costs.t_inter)
+    per_rank = np.zeros(costs.num_ranks, dtype=np.float64)
+    np.add.at(per_rank, rows, priced)
+    return per_rank
+
+
+# -------------------------------------------------------- bytes optimizer
+
+
+def _node_members(nodes: np.ndarray, num_nodes: int) -> list:
+    members: list = [set() for _ in range(num_nodes)]
+    for rank, node in enumerate(nodes.tolist()):
+        members[node].add(rank)
+    return members
+
+
+def greedy_refine_sparse(
+    node_of_rank: np.ndarray,
+    graph: SparseCommGraph,
+    ranks_per_node: int,
+    num_nodes: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Sparse :func:`~repro.placement.optimize.greedy_refine` — same result.
+
+    The dense scan tries every node and every higher-numbered rank; here
+    each rank only scans a provably complete candidate set:
+
+    * **moves** — ``gain = conn[a, m] - conn[a, na]`` is positive only if
+      ``conn[a, m] > 0``, i.e. node ``m`` hosts a neighbour of ``a``;
+    * **swaps** — ``gain > 0`` requires ``conn[a, nb] > 0`` (``b`` sits on
+      a node hosting a neighbour of ``a``) or ``conn[b, na] > 0`` (``b``
+      neighbours a rank on ``a``'s node).
+
+    Candidates are scanned in the dense code's ascending order and gains
+    use the same float expressions over exactly-summed integer byte
+    weights, so every accepted operation — and hence the final node map —
+    is identical to the dense reference.
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64).copy()
+    num_ranks = graph.num_ranks
+    counts = np.bincount(nodes, minlength=num_nodes)
+    members = _node_members(nodes, num_nodes)
+
+    def conn_of(rank: int) -> dict:
+        """Bytes ``rank`` exchanges with each node (exact, on the fly)."""
+        nbrs, weights = graph.row(rank)
+        conn: dict = {}
+        for nbr, w in zip(nbrs.tolist(), weights.tolist()):
+            node = int(nodes[nbr])
+            conn[node] = conn.get(node, 0.0) + w
+        return conn
+
+    def apply_move(rank: int, dst: int) -> None:
+        src = int(nodes[rank])
+        nodes[rank] = dst
+        counts[src] -= 1
+        counts[dst] += 1
+        members[src].discard(rank)
+        members[dst].add(rank)
+
+    for _ in range(max_passes):
+        improved = False
+        for a in range(num_ranks):
+            na = int(nodes[a])
+            nbrs_a, weights_a = graph.row(a)
+            conn_a = conn_of(a)
+            w_ab = dict(zip(nbrs_a.tolist(), weights_a.tolist()))
+            best_gain = 0.0
+            best_op = None
+            for m in sorted(conn_a):
+                if m == na or counts[m] >= ranks_per_node:
+                    continue
+                gain = conn_a[m] - conn_a.get(na, 0.0)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_op = ("move", m)
+            candidates: set = set()
+            for node in conn_a:
+                if node != na:
+                    candidates.update(members[node])
+            for mate in members[na]:
+                candidates.update(graph.row(mate)[0].tolist())
+            for b in sorted(candidates):
+                if b <= a:
+                    continue
+                nb = int(nodes[b])
+                if nb == na:
+                    continue
+                conn_b = conn_of(b)
+                w = w_ab.get(b, 0.0)
+                gain = (
+                    (conn_a.get(nb, 0.0) - conn_a.get(na, 0.0))
+                    + (conn_b.get(na, 0.0) - conn_b.get(nb, 0.0))
+                    - 2.0 * w
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_op = ("swap", b)
+            if best_op is None:
+                continue
+            improved = True
+            if best_op[0] == "move":
+                apply_move(a, best_op[1])
+            else:
+                b = best_op[1]
+                nb = int(nodes[b])
+                apply_move(a, nb)
+                apply_move(b, na)
+        if not improved:
+            break
+    return nodes
+
+
+def _subset_entries(graph: SparseCommGraph, ranks: np.ndarray):
+    """All CSR entries whose row is in ``ranks``: (local row, col, weight)."""
+    starts = graph.indptr[ranks]
+    lengths = (graph.indptr[ranks + 1] - starts).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i, np.empty(0, dtype=np.float64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    flat = np.repeat(starts - offsets, lengths) + np.arange(total)
+    local_rows = np.repeat(np.arange(ranks.size, dtype=np.int64), lengths)
+    return local_rows, graph.indices[flat], graph.weights[flat]
+
+
+def _bisect_sparse(
+    ranks: np.ndarray,
+    graph: SparseCommGraph,
+    num_nodes: int,
+    ranks_per_node: int,
+    next_node: int,
+    out: np.ndarray,
+) -> int:
+    """Sparse twin of the dense ``_bisect`` recursion — same splits.
+
+    Greedy growth over a *vector* of subset-restricted connectivities:
+    integer byte weights make every accumulated value exact, so each
+    ``argmax`` (ties → lowest id, as ``np.argmax``) picks the same rank
+    the dense sub-matrix walk does.
+    """
+    if num_nodes == 1 or ranks.size == 0:
+        out[ranks] = next_node
+        return next_node + 1
+    n_left = (num_nodes + 1) // 2
+    n_right = num_nodes - n_left
+    size = ranks.size
+    lower = max(0, size - n_right * ranks_per_node)
+    upper = min(size, n_left * ranks_per_node)
+    ideal = int(round(size * n_left / num_nodes))
+    target = min(max(ideal, lower), upper)
+
+    pos = np.full(graph.num_ranks, -1, dtype=np.int64)
+    pos[ranks] = np.arange(size)
+    local_rows, cols, weights = _subset_entries(graph, ranks)
+    inside = pos[cols] >= 0
+    local_rows = local_rows[inside]
+    local_cols = pos[cols[inside]]
+    weights = weights[inside]
+
+    in_left = np.zeros(size, dtype=bool)
+    if target > 0:
+        degree = np.zeros(size, dtype=np.float64)
+        np.add.at(degree, local_rows, weights)
+        seed = int(np.argmax(degree))
+        in_left[seed] = True
+        conn = np.zeros(size, dtype=np.float64)
+        row_sel = local_rows == seed
+        np.add.at(conn, local_cols[row_sel], weights[row_sel])
+        for _ in range(target - 1):
+            conn_masked = np.where(in_left, -np.inf, conn)
+            pick = int(np.argmax(conn_masked))
+            in_left[pick] = True
+            row_sel = local_rows == pick
+            np.add.at(conn, local_cols[row_sel], weights[row_sel])
+    left = ranks[in_left]
+    right = ranks[~in_left]
+    next_node = _bisect_sparse(
+        left, graph, n_left, ranks_per_node, next_node, out
+    )
+    return _bisect_sparse(
+        right, graph, n_right, ranks_per_node, next_node, out
+    )
+
+
+def comm_aware_placement_sparse(
+    graph: SparseCommGraph,
+    ranks_per_node: int,
+    max_passes: int = 8,
+    name: str = "comm-aware",
+) -> Placement:
+    """Sparse :func:`~repro.placement.optimize.comm_aware_placement`.
+
+    Same three starts, same refinement, same strict cost comparison —
+    and, because every intermediate quantity is an exactly-summed integer
+    byte count, the same node map as the dense reference.  Work and
+    memory are O(P · degree²) per refinement pass instead of O(P²).
+    """
+    if ranks_per_node < 1:
+        raise ValueError("ranks_per_node must be >= 1")
+    num_ranks = graph.num_ranks
+    num_nodes = (num_ranks + ranks_per_node - 1) // ranks_per_node
+    bisected = np.empty(num_ranks, dtype=np.int64)
+    _bisect_sparse(
+        np.arange(num_ranks), graph, num_nodes, ranks_per_node, 0, bisected
+    )
+    ranks = np.arange(num_ranks, dtype=np.int64)
+    starts = (bisected, ranks // ranks_per_node, ranks % num_nodes)
+    best = None
+    best_cost = np.inf
+    for start in starts:
+        refined = greedy_refine_sparse(
+            start, graph, ranks_per_node, num_nodes, max_passes
+        )
+        cost = inter_node_bytes_sparse(refined, graph)
+        if cost < best_cost:  # strict: ties keep the earlier start
+            best, best_cost = refined, cost
+    return Placement(
+        node_of_rank=compact_labels(best), ranks_per_node=ranks_per_node,
+        name=name,
+    )
+
+
+# ------------------------------------------------------- priced optimizer
+
+
+def minimax_refine_sparse(
+    node_of_rank: np.ndarray,
+    costs: SparsePairCosts,
+    ranks_per_node: int,
+    num_nodes: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Sparse local search on the priced ``(max, total)`` objective.
+
+    Below :data:`MINIMAX_EXHAUSTIVE_MAX_RANKS` the dense reference runs
+    verbatim on densified matrices (bitwise-identical decisions).  Above
+    it, a candidate-restricted heuristic applies: each rank considers
+    moves to nodes hosting its graph neighbours (plus the first node with
+    a free slot — the escape hatch for adversarial networks where
+    spreading out wins) and swaps against the ranks on those nodes.  The
+    acceptance rule is the dense one — strict improvement on
+    ``(max, total)`` — and every trial is scored by exact O(degree)
+    re-costing of the touched rows, so the heuristic never accepts an op
+    the dense objective would reject.
+    """
+    nodes = np.asarray(node_of_rank, dtype=np.int64).copy()
+    num_ranks = costs.num_ranks
+    if num_ranks <= MINIMAX_EXHAUSTIVE_MAX_RANKS:
+        from repro.placement.optimize import minimax_refine
+
+        t_intra, t_inter = costs.to_dense()
+        return minimax_refine(
+            nodes, t_intra, t_inter, ranks_per_node, num_nodes, max_passes
+        )
+
+    indptr, indices = costs.indptr, costs.indices
+    t_intra, t_inter = costs.t_intra, costs.t_inter
+
+    def row_cost(tmp_nodes: np.ndarray, rank: int) -> float:
+        """Rank's full priced row cost under a candidate node map."""
+        lo, hi = int(indptr[rank]), int(indptr[rank + 1])
+        same = tmp_nodes[indices[lo:hi]] == tmp_nodes[rank]
+        return float(np.where(same, t_intra[lo:hi], t_inter[lo:hi]).sum())
+
+    def neighbours(rank: int) -> np.ndarray:
+        return indices[int(indptr[rank]) : int(indptr[rank + 1])]
+
+    per_rank = _per_rank_costs(nodes, costs)
+    current = (float(per_rank.max()), float(per_rank.sum()))
+    counts = np.bincount(nodes, minlength=num_nodes)
+
+    def trial_cost(changes: dict) -> tuple[float, float]:
+        """``(max, total)`` after replacing a few per-rank row costs."""
+        new_total = current[1]
+        local_max = -np.inf
+        displaced_max = False
+        for rank, value in changes.items():
+            new_total += value - per_rank[rank]
+            if value > local_max:
+                local_max = value
+            if per_rank[rank] == current[0]:
+                displaced_max = True
+        if displaced_max:
+            # A rank at the current max changed: rescan the untouched rest.
+            mask = np.ones(num_ranks, dtype=bool)
+            mask[np.fromiter(changes, dtype=np.int64, count=len(changes))] = False
+            if mask.any():
+                local_max = max(local_max, float(per_rank[mask].max()))
+        else:
+            local_max = max(local_max, current[0])
+        return local_max, new_total
+
+    def score_map(scratch: np.ndarray, touched) -> tuple[float, float]:
+        return trial_cost({r: row_cost(scratch, r) for r in touched})
+
+    for _ in range(max_passes):
+        improved = False
+        for a in range(num_ranks):
+            na = int(nodes[a])
+            nbrs_a = neighbours(a)
+            nbr_nodes = sorted(set(nodes[nbrs_a].tolist()) - {na})
+            free = np.flatnonzero(counts < ranks_per_node)
+            move_targets = set(nbr_nodes)
+            if free.size:
+                move_targets.add(int(free[0]))
+            best = current
+            best_op = None
+            scratch = nodes.copy()
+            for m in sorted(move_targets):
+                if m == na or counts[m] >= ranks_per_node:
+                    continue
+                scratch[a] = m
+                cost = score_map(scratch, {a, *nbrs_a.tolist()})
+                scratch[a] = na
+                if cost < best:
+                    best = cost
+                    best_op = ("move", m)
+            swap_candidates: set = set()
+            for m in nbr_nodes:
+                swap_candidates.update(np.flatnonzero(nodes == m).tolist())
+            for b in sorted(swap_candidates):
+                nb = int(nodes[b])
+                if b <= a or nb == na:
+                    continue
+                scratch[a], scratch[b] = nb, na
+                touched = {a, b, *nbrs_a.tolist(), *neighbours(b).tolist()}
+                cost = score_map(scratch, touched)
+                scratch[a], scratch[b] = na, nb
+                if cost < best:
+                    best = cost
+                    best_op = ("swap", b)
+            if best_op is None:
+                continue
+            improved = True
+            if best_op[0] == "move":
+                counts[na] -= 1
+                counts[best_op[1]] += 1
+                nodes[a] = best_op[1]
+            else:
+                b = best_op[1]
+                nodes[a], nodes[b] = nodes[b], nodes[a]
+            per_rank = _per_rank_costs(nodes, costs)
+            current = (float(per_rank.max()), float(per_rank.sum()))
+        if not improved:
+            break
+    return nodes
+
+
+def optimize_placement_sparse(
+    census,
+    cluster,
+    max_passes: int = 8,
+    name: str = "comm-aware",
+) -> Placement:
+    """Sparse :func:`~repro.placement.optimize.optimize_placement`.
+
+    Same three starts (block, round-robin, bytes-objective) refined under
+    the priced ``(max, total)`` objective.  Below
+    :data:`MINIMAX_EXHAUSTIVE_MAX_RANKS` the refinement and final costing
+    replicate the dense reference exactly.
+    """
+    costs = sparse_rank_pair_times(census, cluster)
+    ranks_per_node = cluster.hierarchy.ranks_per_node
+    num_ranks = census.num_ranks
+    num_nodes = (num_ranks + ranks_per_node - 1) // ranks_per_node
+    ranks = np.arange(num_ranks, dtype=np.int64)
+    bytes_start = comm_aware_placement_sparse(
+        sparse_comm_bytes(census), ranks_per_node
+    ).node_of_rank
+    starts = (ranks // ranks_per_node, ranks % num_nodes, bytes_start)
+    # Below the exhaustive threshold, score candidates with the *dense*
+    # coster: near-tied starts differ by association-order ULPs between
+    # the two costers, and a strict `<` would then pick different winners.
+    # Densifying keeps the whole small-P pipeline bitwise identical to
+    # the dense reference, not merely 1e-12-close.
+    if num_ranks <= MINIMAX_EXHAUSTIVE_MAX_RANKS:
+        from repro.placement.optimize import placement_comm_cost
+
+        t_intra, t_inter = costs.to_dense()
+        cost_of = lambda nodes: placement_comm_cost(nodes, t_intra, t_inter)
+    else:
+        cost_of = lambda nodes: placement_comm_cost_sparse(nodes, costs)
+    best = None
+    best_cost = (np.inf, np.inf)
+    for start in starts:
+        refined = minimax_refine_sparse(
+            start, costs, ranks_per_node, num_nodes, max_passes
+        )
+        cost = cost_of(refined)
+        if cost < best_cost:  # strict: ties keep the earlier start
+            best, best_cost = refined, cost
+    return Placement(
+        node_of_rank=compact_labels(best), ranks_per_node=ranks_per_node,
+        name=name,
+    )

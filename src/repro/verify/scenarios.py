@@ -54,6 +54,8 @@ ARCHETYPES = (
     "zero_cost_node",
     "burn_burst",
     "smp_overheads",
+    # Appended last so seeds 0..7 keep their historical archetypes.
+    "large_sparse_mesh",
 )
 
 
@@ -372,6 +374,24 @@ def random_scenario(seed: int) -> Scenario:
     elif archetype == "burn_burst":
         fields["iterations"] = rng.randrange(4, 7)
         fields["dynamic"] = _random_dynamic(rng, burst=True)
+    elif archetype == "large_sparse_mesh":
+        # High rank count, low degree: the structured-block partition of a
+        # large mesh gives every rank a handful of neighbours — the regime
+        # the sparse O(P log P) path is built for, exercised here so the
+        # fuzz lane checks sparse == dense placement costing on graphs
+        # whose sparsity actually matters.
+        fields["nx"] = rng.randrange(10, 14)
+        fields["ny"] = rng.randrange(6, 10)
+        fields["num_ranks"] = min(
+            fields["nx"] * fields["ny"], rng.choice([16, 24, 32])
+        )
+        fields["partition_method"] = "structured-block"
+        fields["iterations"] = 2
+        if rng.random() < 0.6:
+            fields["smp"] = True
+            fields["ranks_per_node"] = rng.choice([4, 8])
+            if rng.random() < 0.5:
+                fields["placement"] = _random_placement(rng)
     elif archetype == "smp_overheads":
         fields["smp"] = True
         fields["ranks_per_node"] = rng.choice([2, 3, 4])

@@ -1,0 +1,196 @@
+"""The analytic O(log P) collective formulas vs explicit tree walks.
+
+The sparse extreme-scaling path prices collectives purely analytically —
+``tree_depth``-scaled Equations (8)–(10) — instead of simulating a tree.
+These tests pin that analytic form against a literal walk of the binomial
+tree (the informed set doubles once per round) at the awkward rank counts:
+exact powers of two, one above, one below, and tiny P where the tree
+degenerates.  The SMP two-level trees are walked the same way — an
+inter-node tree over the occupied nodes, then an intra-node tree over the
+fullest node — including uneven explicit placements where the occupancy
+is not the block map's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.hierarchy import (
+    es45_hierarchical_network,
+    hier_allreduce_time,
+    hier_bcast_time,
+    hier_gather_time,
+)
+from repro.machine.network import QSNET_LIKE
+from repro.perfmodel.collectives import (
+    allreduce_total_time,
+    broadcast_time,
+    collectives_time,
+    gather_total_time,
+    hier_collectives_time,
+)
+from repro.placement import Placement
+from repro.simmpi.collectives import tree_depth
+from repro.verify.oracle import (
+    oracle_collectives_time,
+    oracle_hier_allreduce_time,
+    oracle_hier_bcast_time,
+    oracle_hier_gather_time,
+    oracle_tree_depth,
+    oracle_tree_extents,
+)
+
+#: Powers of two, their neighbours, and degenerate small trees.
+PINNED_RANKS = [1, 2, 3, 5, 64, 1023, 1024, 1025]
+
+
+def walk_tree_rounds(num_ranks: int) -> int:
+    """Explicit binomial-tree fan-out: every informed rank forwards once
+    per round, so the informed set doubles until it covers ``num_ranks``."""
+    informed, rounds = 1, 0
+    while informed < num_ranks:
+        informed += informed
+        rounds += 1
+    return rounds
+
+
+def walked_bcast(network, num_ranks: int, nbytes: float) -> float:
+    """Priced fan-out walk: one ``Tmsg`` per tree level (links within a
+    level run in parallel)."""
+    total, informed = 0.0, 1
+    while informed < num_ranks:
+        total += network.tmsg_cached(nbytes)
+        informed += informed
+    return total
+
+
+def walked_hier_bcast(hierarchy, num_ranks: int, nbytes: float) -> float:
+    """Two-level walk: inter-node tree over the occupied nodes, then an
+    intra-node tree over the fullest node."""
+    num_nodes, local = oracle_tree_extents(hierarchy, num_ranks)
+    return walked_bcast(hierarchy.inter, num_nodes, nbytes) + walked_bcast(
+        hierarchy.intra, local, nbytes
+    )
+
+
+class TestTreeDepth:
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_matches_explicit_walk(self, p):
+        assert tree_depth(p) == walk_tree_rounds(p)
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_matches_oracle_doubling_count(self, p):
+        assert tree_depth(p) == oracle_tree_depth(p)
+
+    def test_extreme_scale_depths(self):
+        # The analytic path's whole point: depth is O(log P), evaluated in
+        # constant time even for machine sizes no walk could simulate.
+        assert tree_depth(10**6) == walk_tree_rounds(10**6) == 20
+        assert tree_depth(2**40) == 40
+        assert tree_depth(2**40 + 1) == 41
+
+
+class TestFlatCollectives:
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_broadcast_pins_to_walk(self, p):
+        net = QSNET_LIKE
+        expected = 3 * walked_bcast(net, p, 4) + 3 * walked_bcast(net, p, 8)
+        assert broadcast_time(net, p) == pytest.approx(expected, rel=1e-12)
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_allreduce_pins_to_walk(self, p):
+        # Fan-in plus fan-out: two walks per reduction.
+        net = QSNET_LIKE
+        expected = 2 * (
+            9 * walked_bcast(net, p, 4) + 13 * walked_bcast(net, p, 8)
+        )
+        assert allreduce_total_time(net, p) == pytest.approx(expected, rel=1e-12)
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_gather_pins_to_walk(self, p):
+        net = QSNET_LIKE
+        assert gather_total_time(net, p) == pytest.approx(
+            walked_bcast(net, p, 32), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_total_pins_to_oracle(self, p):
+        net = QSNET_LIKE
+        assert collectives_time(net, p) == pytest.approx(
+            oracle_collectives_time(net, p), rel=1e-12
+        )
+
+
+class TestHierCollectives:
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_block_map_pins_to_walk(self, p):
+        h = es45_hierarchical_network(QSNET_LIKE)
+        for nbytes in (4, 8, 32):
+            walked = walked_hier_bcast(h, p, nbytes)
+            assert hier_bcast_time(h, p, nbytes) == pytest.approx(
+                walked, rel=1e-12
+            )
+            assert hier_gather_time(h, p, nbytes) == pytest.approx(
+                walked, rel=1e-12
+            )
+            assert hier_allreduce_time(h, p, nbytes) == pytest.approx(
+                2 * walked, rel=1e-12
+            )
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_block_map_pins_to_oracle(self, p):
+        h = es45_hierarchical_network(QSNET_LIKE)
+        for nbytes in (4, 8, 32):
+            assert hier_bcast_time(h, p, nbytes) == pytest.approx(
+                oracle_hier_bcast_time(h, p, nbytes), rel=1e-12
+            )
+            assert hier_gather_time(h, p, nbytes) == pytest.approx(
+                oracle_hier_gather_time(h, p, nbytes), rel=1e-12
+            )
+            assert hier_allreduce_time(h, p, nbytes) == pytest.approx(
+                oracle_hier_allreduce_time(h, p, nbytes), rel=1e-12
+            )
+
+    @pytest.mark.parametrize("p", PINNED_RANKS)
+    def test_total_pins_to_per_op_walks(self, p):
+        h = es45_hierarchical_network(QSNET_LIKE)
+        expected = (
+            3 * walked_hier_bcast(h, p, 4)
+            + 3 * walked_hier_bcast(h, p, 8)
+            + 2 * (9 * walked_hier_bcast(h, p, 4))
+            + 2 * (13 * walked_hier_bcast(h, p, 8))
+            + walked_hier_bcast(h, p, 32)
+        )
+        assert hier_collectives_time(h, p) == pytest.approx(expected, rel=1e-12)
+
+    def test_uneven_explicit_placement_pins_to_walk(self):
+        # Occupancy [4, 2, 1]: the intra tree spans the *fullest* node, not
+        # the average, and the inter tree spans exactly 3 occupied nodes.
+        placement = Placement(
+            node_of_rank=np.array([0, 0, 0, 0, 1, 1, 2]),
+            ranks_per_node=4,
+            name="uneven",
+        )
+        h = es45_hierarchical_network(QSNET_LIKE).with_placement(placement)
+        assert oracle_tree_extents(h, 7) == (3, 4)
+        for nbytes in (4, 8, 32):
+            assert hier_bcast_time(h, 7, nbytes) == pytest.approx(
+                walked_hier_bcast(h, 7, nbytes), rel=1e-12
+            )
+        assert hier_collectives_time(h, 7) == pytest.approx(
+            3 * walked_hier_bcast(h, 7, 4)
+            + 3 * walked_hier_bcast(h, 7, 8)
+            + 18 * walked_hier_bcast(h, 7, 4)
+            + 26 * walked_hier_bcast(h, 7, 8)
+            + walked_hier_bcast(h, 7, 32),
+            rel=1e-12,
+        )
+
+    def test_single_node_job_has_no_inter_steps(self):
+        # P <= ranks_per_node: the inter-node tree is a single node (depth
+        # 0), so only intra-node hops are charged.
+        h = es45_hierarchical_network(QSNET_LIKE)
+        assert hier_bcast_time(h, 4, 8) == pytest.approx(
+            walked_bcast(h.intra, 4, 8), rel=1e-12
+        )

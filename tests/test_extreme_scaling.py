@@ -1,0 +1,156 @@
+"""Acceptance tests for the extreme-scale sparse path.
+
+The PR's acceptance criteria, executed literally: a 10^6-rank model-only
+prediction completes in seconds with bounded memory — no (P, P) array is
+ever materialised (a dense byte matrix at that scale would be 8 TB).
+``tracemalloc`` provides the proof: the peak traced allocation must stay
+within a small per-rank budget, orders of magnitude below anything
+quadratic.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.machine import es45_like_cluster
+from repro.perfmodel import (
+    SparseLinkCensus,
+    SparseMeshModel,
+    calibrate_contrived_grid,
+    weak_scaled_census,
+)
+from repro.placement import (
+    block_placement,
+    inter_node_bytes_sparse,
+    round_robin_placement,
+    sparse_comm_bytes,
+)
+
+#: Peak traced bytes allowed per rank.  A dense path would need 8 bytes
+#: per rank *pair* — 8 MB/rank at 10^6 ranks — so this bound is three
+#: orders of magnitude below quadratic while leaving the columnar census
+#: (a few hundred bytes per rank across its edge arrays) ample room.
+PEAK_BYTES_PER_RANK = 4096
+
+
+@pytest.fixture(scope="module")
+def model():
+    cluster = es45_like_cluster()
+    table = calibrate_contrived_grid(cluster, sides=[1, 8, 64])
+    return SparseMeshModel(table=table, network=cluster.network)
+
+
+class TestMillionRanks:
+    def test_prediction_under_time_and_memory_budget(self, model):
+        ranks = 1_000_000
+        tracemalloc.start()
+        begin = time.perf_counter()
+        census = weak_scaled_census(ranks)
+        predicted = model.predict(census)
+        wall = time.perf_counter() - begin
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Acceptance: < 10 s including the census build (tracemalloc
+        # roughly doubles allocation cost, so the untraced path is faster
+        # still).
+        assert wall < 10.0, f"10^6-rank prediction took {wall:.1f}s"
+        assert peak < PEAK_BYTES_PER_RANK * ranks, (
+            f"peak {peak / 1e6:.0f} MB exceeds the per-rank budget — "
+            "something allocated a quadratic structure"
+        )
+        # The prediction itself must be a sane, finite iteration time.
+        assert np.isfinite(predicted.total)
+        assert predicted.total > 0
+        for part in (
+            predicted.computation,
+            predicted.boundary_exchange,
+            predicted.ghost_updates,
+            predicted.collectives,
+        ):
+            assert part >= 0
+
+    def test_smp_prediction_under_budget(self):
+        cluster = es45_like_cluster().with_smp()
+        table = calibrate_contrived_grid(cluster, sides=[1, 8, 64])
+        model = SparseMeshModel(
+            table=table, network=cluster.network, hierarchy=cluster.hierarchy
+        )
+        ranks = 1_000_000
+        begin = time.perf_counter()
+        census = weak_scaled_census(ranks)
+        predicted = model.predict(census)
+        wall = time.perf_counter() - begin
+        assert wall < 10.0, f"10^6-rank SMP prediction took {wall:.1f}s"
+        assert np.isfinite(predicted.total) and predicted.total > 0
+
+    def test_placement_costing_under_memory_budget(self):
+        # The `repro place scale` path: CSR graph + inter-node byte
+        # costing at 10^5 ranks without any (P, P) structure.
+        ranks = 100_000
+        tracemalloc.start()
+        census = weak_scaled_census(ranks)
+        graph = sparse_comm_bytes(census)
+        block = block_placement(ranks, 4)
+        spread = round_robin_placement(ranks, 4)
+        inter_block = inter_node_bytes_sparse(block, graph)
+        inter_spread = inter_node_bytes_sparse(spread, graph)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < PEAK_BYTES_PER_RANK * ranks
+        # Round-robin severs every grid neighbour pair; block keeps some
+        # on-node, so it must strictly win.
+        assert 0 < inter_block < inter_spread
+
+
+class TestWeakScaledCensus:
+    def test_structure_scales_linearly(self):
+        small = weak_scaled_census(1_000)
+        large = weak_scaled_census(4_000)
+        assert large.num_boundary_links == pytest.approx(
+            4 * small.num_boundary_links, rel=0.05
+        )
+        assert large.num_ghost_links == pytest.approx(
+            4 * small.num_ghost_links, rel=0.05
+        )
+        # Weak scaling: per-rank work is constant, so the deduplicated
+        # profile table stays tiny regardless of P.
+        assert large.cell_profiles.shape[0] <= 8
+
+    def test_predictions_weakly_scale(self, model):
+        # Under weak scaling only the collective term may grow (with
+        # log P); the per-rank point-to-point and compute terms must be
+        # flat across a 100x machine-size range.
+        small = model.predict(weak_scaled_census(10_000))
+        large = model.predict(weak_scaled_census(1_000_000))
+        assert large.computation == pytest.approx(small.computation, rel=1e-9)
+        assert large.boundary_exchange == pytest.approx(
+            small.boundary_exchange, rel=1e-9
+        )
+        assert large.ghost_updates == pytest.approx(
+            small.ghost_updates, rel=1e-9
+        )
+        assert large.collectives > small.collectives
+
+    def test_converted_workload_census_round_trip(self):
+        # SparseLinkCensus.from_workload_census is the bridge the
+        # equivalence tests lean on; sanity-check the counts here.
+        from repro.hydro import build_workload_census
+        from repro.mesh import build_deck, build_face_table
+        from repro.partition import cached_partition
+        from repro.perfmodel.linktally import iter_link_tallies
+
+        deck = build_deck("small")
+        faces = build_face_table(deck.mesh)
+        part = cached_partition(deck, 12, faces=faces)
+        census = build_workload_census(deck, part, faces)
+        sparse = SparseLinkCensus.from_workload_census(census)
+        kinds = [k for k, *_ in iter_link_tallies(census, True)]
+        assert sparse.num_boundary_links == kinds.count("be")
+        assert sparse.num_ghost_links == kinds.count("gn")
+        assert np.array_equal(
+            sparse.material_counts(), census.material_counts
+        )

@@ -1,0 +1,223 @@
+"""Unit tests for the sparse placement path and its dense twins.
+
+Complements ``tests/test_sparse_dense_equivalence.py`` (fuzz-scenario
+sweeps) with targeted checks on synthetic graphs: refiner-level
+equivalence of the CSR optimizers, the large-P auto-dispatch seams, and
+the reworked dense ``inter_node_bytes`` — which must reproduce the
+historical masked sum exactly *without* the (P, P) boolean mask it used
+to allocate (the satellite bugfix this PR ships).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    SPARSE_DISPATCH_MIN_RANKS,
+    Placement,
+    SparseCommGraph,
+    block_placement,
+    comm_aware_placement,
+    comm_aware_placement_sparse,
+    greedy_refine,
+    greedy_refine_sparse,
+    inter_node_bytes,
+    inter_node_bytes_sparse,
+    minimax_refine,
+    minimax_refine_sparse,
+    placement_comm_cost,
+    placement_comm_cost_sparse,
+)
+from repro.placement.sparse import MINIMAX_EXHAUSTIVE_MAX_RANKS, SparsePairCosts
+
+
+def random_graph(num_ranks: int, seed: int, density: float = 0.2) -> np.ndarray:
+    """Random symmetric zero-diagonal integer byte graph."""
+    rng = np.random.default_rng(seed)
+    upper = np.triu(
+        rng.integers(1, 10_000, size=(num_ranks, num_ranks)).astype(np.float64)
+        * (rng.random((num_ranks, num_ranks)) < density),
+        k=1,
+    )
+    return upper + upper.T
+
+
+def random_costs(num_ranks: int, seed: int) -> tuple:
+    """A (dense pair, sparse pair) of priced cost structures on one
+    random topology, with ``t_inter`` strictly dearer than ``t_intra``."""
+    rng = np.random.default_rng(seed)
+    graph = SparseCommGraph.from_dense(random_graph(num_ranks, seed))
+    t_intra = rng.random(graph.num_entries) * 1e-5
+    t_inter = t_intra + rng.random(graph.num_entries) * 1e-4
+    costs = SparsePairCosts(
+        num_ranks=num_ranks,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        t_intra=t_intra,
+        t_inter=t_inter,
+    )
+    return costs.to_dense(), costs
+
+
+class TestGreedyRefine:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dense_refiner(self, seed):
+        num_ranks, rpn = 24, 4
+        num_nodes = num_ranks // rpn
+        dense = random_graph(num_ranks, seed)
+        sparse = SparseCommGraph.from_dense(dense)
+        start = np.arange(num_ranks, dtype=np.int64) % num_nodes
+        expected = greedy_refine(start, dense, rpn, num_nodes)
+        got = greedy_refine_sparse(start, sparse, rpn, num_nodes)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_comm_aware_same_map(self, seed):
+        dense = random_graph(20, seed)
+        sparse = SparseCommGraph.from_dense(dense)
+        assert np.array_equal(
+            comm_aware_placement_sparse(sparse, 4).node_of_rank,
+            comm_aware_placement(dense, 4).node_of_rank,
+        )
+
+    def test_empty_graph_is_block(self):
+        sparse = SparseCommGraph.from_dense(np.zeros((8, 8)))
+        placed = comm_aware_placement_sparse(sparse, 4)
+        assert np.array_equal(
+            placed.node_of_rank, block_placement(8, 4).node_of_rank
+        )
+
+
+class TestMinimaxRefine:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exhaustive_mode_matches_dense(self, seed):
+        num_ranks, rpn = 24, 4
+        assert num_ranks <= MINIMAX_EXHAUSTIVE_MAX_RANKS
+        num_nodes = num_ranks // rpn
+        (t_intra, t_inter), costs = random_costs(num_ranks, seed)
+        start = np.arange(num_ranks, dtype=np.int64) // rpn
+        expected = minimax_refine(start, t_intra, t_inter, rpn, num_nodes)
+        got = minimax_refine_sparse(start, costs, rpn, num_nodes)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heuristic_mode_never_worsens(self, seed):
+        # Above the exhaustive threshold the candidate-restricted search
+        # need not match dense picks, but it must never accept a worse
+        # (max, total) objective than its start.
+        num_ranks, rpn = 600, 4
+        assert num_ranks > MINIMAX_EXHAUSTIVE_MAX_RANKS
+        num_nodes = num_ranks // rpn
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, num_ranks, size=2000)
+        dst = (src + 1 + rng.integers(0, 5, size=2000)) % num_ranks
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        w = rng.integers(1, 1000, size=src.size).astype(np.float64)
+        graph = SparseCommGraph.from_edges(
+            num_ranks,
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            np.concatenate([w, w]),
+        )
+        t_intra = graph.weights * 1e-9
+        costs = SparsePairCosts(
+            num_ranks=num_ranks,
+            indptr=graph.indptr,
+            indices=graph.indices,
+            t_intra=t_intra,
+            t_inter=t_intra * 20.0,
+        )
+        start = np.arange(num_ranks, dtype=np.int64) % num_nodes
+        refined = minimax_refine_sparse(start, costs, rpn, num_nodes)
+        assert placement_comm_cost_sparse(refined, costs) <= (
+            placement_comm_cost_sparse(start, costs)
+        )
+        # Still a valid assignment: capacities respected.
+        assert np.bincount(refined, minlength=num_nodes).max() <= rpn
+
+
+class TestDispatch:
+    def test_large_dense_matrix_routes_through_sparse(self):
+        num_ranks = SPARSE_DISPATCH_MIN_RANKS + 8
+        dense = random_graph(num_ranks, seed=3, density=0.01)
+        placed = comm_aware_placement(dense, 4)
+        direct = comm_aware_placement_sparse(
+            SparseCommGraph.from_dense(dense), 4
+        )
+        assert np.array_equal(placed.node_of_rank, direct.node_of_rank)
+
+    def test_small_dense_matrix_stays_dense_equivalent(self):
+        dense = random_graph(16, seed=5)
+        placed = comm_aware_placement(dense, 4)
+        assert placed.num_ranks == 16
+        assert np.bincount(placed.node_of_rank).max() <= 4
+
+
+class TestInterNodeBytesRework:
+    """The satellite bugfix: dense inter_node_bytes without a (P, P) mask."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_vs_historical_masked_sum(self, seed):
+        num_ranks, rpn = 30, 4
+        graph = random_graph(num_ranks, seed)
+        placement = block_placement(num_ranks, rpn)
+        nodes = placement.node_of_rank
+        masked = float(graph[nodes[:, None] != nodes[None, :]].sum()) / 2.0
+        assert inter_node_bytes(placement, graph) == masked
+        assert inter_node_bytes_sparse(
+            placement, SparseCommGraph.from_dense(graph)
+        ) == masked
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            inter_node_bytes(block_placement(8, 4), np.zeros((6, 6)))
+
+    def test_no_quadratic_mask_allocation(self):
+        # Regression: the old implementation built a (P, P) bool mask —
+        # 4 MB at P = 2000 — on every call.  The reworked form subtracts
+        # per-node intra blocks, so with 4-rank nodes its working set is
+        # O(P) small arrays.  The graph itself is allocated before
+        # tracing starts; only the call's own allocations are measured.
+        num_ranks, rpn = 2000, 4
+        rng = np.random.default_rng(0)
+        dense = np.zeros((num_ranks, num_ranks))
+        ring = np.arange(num_ranks)
+        dense[ring, (ring + 1) % num_ranks] = rng.integers(1, 100, num_ranks)
+        dense = dense + dense.T
+        np.fill_diagonal(dense, 0.0)
+        placement = block_placement(num_ranks, rpn)
+        inter_node_bytes(placement, dense)  # warm any lazy imports
+        tracemalloc.start()
+        result = inter_node_bytes(placement, dense)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < num_ranks * num_ranks // 4, (
+            f"peak {peak} bytes suggests a quadratic mask was allocated"
+        )
+        nodes = placement.node_of_rank
+        assert result == float(
+            dense[nodes[:, None] != nodes[None, :]].sum()
+        ) / 2.0
+
+
+class TestSparsePairCosts:
+    def test_round_trip_and_delta(self):
+        (t_intra, t_inter), costs = random_costs(12, seed=1)
+        rows = costs.row_of_entry()
+        assert np.array_equal(
+            t_intra[rows, costs.indices], np.asarray(costs.t_intra)
+        )
+        assert np.array_equal(
+            t_inter[rows, costs.indices], np.asarray(costs.t_inter)
+        )
+
+    def test_placement_cost_matches_dense(self):
+        (t_intra, t_inter), costs = random_costs(12, seed=2)
+        nodes = block_placement(12, 4).node_of_rank
+        dense_cost = placement_comm_cost(nodes, t_intra, t_inter)
+        sparse_cost = placement_comm_cost_sparse(nodes, costs)
+        assert sparse_cost == pytest.approx(dense_cost, rel=1e-12)

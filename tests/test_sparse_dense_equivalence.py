@@ -1,0 +1,146 @@
+"""The sparse ≡ dense equivalence contract, over seeded fuzz scenarios.
+
+The headline guarantee of the O(P log P) scaling path: every sparse form
+reproduces its dense (P, P) reference —
+
+* the CSR communication graph, pairwise priced-cost entries, and the
+  bytes-objective optimizer's node map **bitwise** (integer-exact sums,
+  provably complete candidate sets, preserved scan order);
+* priced placement objectives and full model predictions to the
+  differential tolerance (**1e-12 relative** — only the association of
+  exact per-edge terms differs).
+
+Each seed builds one random scenario from the PR-5 fuzzer (census only —
+no engine runs), so this file sweeps the same input distribution the
+differential lane guards, across ≥ 50 seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    block_placement,
+    comm_aware_placement,
+    comm_aware_placement_sparse,
+    inter_node_bytes,
+    inter_node_bytes_sparse,
+    optimize_placement,
+    optimize_placement_sparse,
+    placement_comm_cost,
+    placement_comm_cost_sparse,
+    rank_comm_bytes,
+    rank_pair_times,
+    round_robin_placement,
+    sparse_comm_bytes,
+    sparse_rank_pair_times,
+    total_pair_bytes,
+    total_pair_bytes_sparse,
+)
+from repro.verify.properties import relative_errors
+from repro.verify.scenarios import build_scenario, random_scenario
+
+RTOL = 1e-12
+
+#: ≥ 50 seeds, as the acceptance criteria require.
+SEEDS = range(50)
+
+
+def _built(seed: int):
+    return build_scenario(random_scenario(seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_graph_and_bytes_objective_bitwise(seed):
+    built = _built(seed)
+    census = built.census
+    scenario = built.scenario
+    dense = rank_comm_bytes(census)
+    sparse = sparse_comm_bytes(census)
+    assert np.array_equal(sparse.to_dense(), dense)
+    assert total_pair_bytes_sparse(sparse) == total_pair_bytes(dense)
+
+    rpn = scenario.ranks_per_node
+    for placement in (
+        block_placement(scenario.num_ranks, rpn),
+        round_robin_placement(scenario.num_ranks, rpn),
+    ):
+        assert inter_node_bytes_sparse(placement, sparse) == pytest.approx(
+            inter_node_bytes(placement, dense), rel=RTOL
+        )
+    # The bytes-objective optimizer: identical node map, not just an
+    # equally good one.
+    dense_map = comm_aware_placement(dense, rpn).node_of_rank
+    sparse_map = comm_aware_placement_sparse(sparse, rpn).node_of_rank
+    assert np.array_equal(dense_map, sparse_map)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_priced_costs_within_tolerance(seed):
+    built = _built(seed)
+    if built.smp_base is None:
+        pytest.skip("scenario has no SMP hierarchy")
+    census, scenario = built.census, built.scenario
+    t_intra, t_inter = rank_pair_times(census, built.smp_base)
+    costs = sparse_rank_pair_times(census, built.smp_base)
+    sparse_intra, sparse_inter = costs.to_dense()
+    assert np.array_equal(sparse_intra, t_intra)
+    assert np.array_equal(sparse_inter, t_inter)
+    rpn = scenario.ranks_per_node
+    for placement in (
+        block_placement(scenario.num_ranks, rpn),
+        round_robin_placement(scenario.num_ranks, rpn),
+    ):
+        dense_cost = placement_comm_cost(placement.node_of_rank, t_intra, t_inter)
+        sparse_cost = placement_comm_cost_sparse(placement.node_of_rank, costs)
+        errs = relative_errors(np.array(dense_cost), np.array(sparse_cost))
+        assert float(errs.max()) <= RTOL
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+def test_full_optimizer_same_node_map(seed):
+    # The complete priced pipeline (bytes start + minimax refinement).
+    # Below the dispatch threshold the sparse minimax densifies and runs
+    # the dense refiner verbatim, so the node maps must be identical.
+    built = _built(seed)
+    if built.smp_base is None:
+        pytest.skip("scenario has no SMP hierarchy")
+    dense_opt = optimize_placement(built.census, built.smp_base)
+    sparse_opt = optimize_placement_sparse(built.census, built.smp_base)
+    assert np.array_equal(dense_opt.node_of_rank, sparse_opt.node_of_rank)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+@pytest.mark.parametrize("smp", [False, True])
+def test_model_predictions_within_tolerance(seed, smp):
+    from repro.machine import es45_like_cluster
+    from repro.perfmodel import (
+        MeshSpecificModel,
+        SparseLinkCensus,
+        calibrate_contrived_grid,
+    )
+
+    built = _built(seed)
+    cluster = es45_like_cluster()
+    if smp:
+        cluster = cluster.with_smp()
+    table = calibrate_contrived_grid(cluster, sides=[1, 8, 64])
+    model = MeshSpecificModel(
+        table=table,
+        network=cluster.network,
+        hierarchy=cluster.hierarchy,
+    )
+    dense_pred = model.predict(built.census)
+    sparse_pred = model.predict_sparse(
+        SparseLinkCensus.from_workload_census(built.census)
+    )
+    for field in (
+        "computation", "boundary_exchange", "ghost_updates", "collectives"
+    ):
+        errs = relative_errors(
+            np.array(getattr(dense_pred, field)),
+            np.array(getattr(sparse_pred, field)),
+        )
+        assert float(errs.max()) <= RTOL, field
+    assert sparse_pred.total == pytest.approx(dense_pred.total, rel=RTOL)
