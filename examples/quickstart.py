@@ -6,21 +6,18 @@ simulated processors with the multilevel partitioner, "measures" one
 iteration on the simulated ES-45/QsNet-like machine, and compares against
 the mesh-specific and general models.
 
+The whole pipeline is one call into the model core: a typed
+:class:`repro.core.PredictionRequest` in, a
+:class:`repro.core.PredictionResult` out — the same API the sweep
+runner, the verifier, and the ``repro serve`` HTTP service use.
+
 Run:  python examples/quickstart.py [--deck small|medium|large] [--ranks N]
 """
 
 import argparse
 
 from repro.analysis import TextTable
-from repro.hydro import build_workload_census, measure_iteration_time
-from repro.machine import es45_like_cluster
-from repro.mesh import build_deck, build_face_table
-from repro.partition import cached_partition
-from repro.perfmodel import (
-    GeneralModel,
-    MeshSpecificModel,
-    calibrate_contrived_grid,
-)
+from repro.core import PredictionRequest, measure
 
 
 def main() -> None:
@@ -29,60 +26,46 @@ def main() -> None:
     parser.add_argument("--ranks", type=int, default=16)
     args = parser.parse_args()
 
-    size = args.deck
-    if "x" in size:
-        nx, ny = size.split("x")
-        size = (int(nx), int(ny))
-    deck = build_deck(size)
-    cluster = es45_like_cluster()
-    print(f"deck: {deck.name} ({deck.num_cells} cells), cluster: {cluster.name}")
-
-    print("calibrating cost curves from contrived two-process grids ...")
-    table = calibrate_contrived_grid(cluster, sides=[1, 2, 4, 8, 16, 32, 64, 128, 256])
-
-    print(f"partitioning onto {args.ranks} ranks (multilevel) ...")
-    faces = build_face_table(deck.mesh)
-    partition = cached_partition(deck, args.ranks, seed=1, faces=faces)
-    census = build_workload_census(deck, partition, faces)
-
-    print("simulating three iterations ...")
-    measured = measure_iteration_time(
-        deck, partition, cluster=cluster, faces=faces, census=census
+    request = PredictionRequest(
+        deck=args.deck,
+        ranks=args.ranks,
+        models=("mesh-specific", "homogeneous"),
     )
-
-    mesh_specific = MeshSpecificModel(table=table, network=cluster.network).predict(
-        census
+    print("measuring and predicting (calibration + partition + simulation) ...")
+    result = measure(request)
+    print(
+        f"deck: {result.meta['deck_name']} ({result.meta['cells']} cells), "
+        f"cluster: {result.meta['cluster_name']}"
     )
-    homogeneous = GeneralModel(
-        table=table, network=cluster.network, mode="homogeneous"
-    ).predict(deck.num_cells, args.ranks)
 
     report = TextTable(
-        f"{deck.name} deck on {args.ranks} PEs: measured vs predicted",
+        f"{result.meta['deck_name']} deck on {args.ranks} PEs: "
+        "measured vs predicted",
         ["quantity", "time (ms)", "error vs measured"],
     )
-    report.add_row("measured (simulated machine)", measured.seconds * 1e3, "-")
+    report.add_row("measured (simulated machine)", result.measured * 1e3, "-")
     report.add_row(
         "mesh-specific model",
-        mesh_specific.total * 1e3,
-        f"{mesh_specific.error_vs(measured.seconds) * 100:+.1f}%",
+        result.predicted["mesh-specific"] * 1e3,
+        f"{result.error('mesh-specific') * 100:+.1f}%",
     )
     report.add_row(
         "general model (homogeneous)",
-        homogeneous.total * 1e3,
-        f"{homogeneous.error_vs(measured.seconds) * 100:+.1f}%",
+        result.predicted["homogeneous"] * 1e3,
+        f"{result.error('homogeneous') * 100:+.1f}%",
     )
     print()
     print(report.render())
 
+    phases = result.phases["mesh-specific"]
     breakdown = TextTable(
         "mesh-specific prediction breakdown",
         ["component", "time (ms)"],
     )
-    breakdown.add_row("computation (Eq. 3)", mesh_specific.computation * 1e3)
-    breakdown.add_row("boundary exchange (Eq. 5)", mesh_specific.boundary_exchange * 1e3)
-    breakdown.add_row("ghost updates (Eqs. 6-7)", mesh_specific.ghost_updates * 1e3)
-    breakdown.add_row("collectives (Eqs. 8-10)", mesh_specific.collectives * 1e3)
+    breakdown.add_row("computation (Eq. 3)", phases["computation"] * 1e3)
+    breakdown.add_row("boundary exchange (Eq. 5)", phases["boundary_exchange"] * 1e3)
+    breakdown.add_row("ghost updates (Eqs. 6-7)", phases["ghost_updates"] * 1e3)
+    breakdown.add_row("collectives (Eqs. 8-10)", phases["collectives"] * 1e3)
     print()
     print(breakdown.render())
 

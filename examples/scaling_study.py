@@ -18,9 +18,8 @@ Run:  python examples/scaling_study.py [--deck medium] [--max-ranks 256] [--jobs
 import argparse
 
 from repro.analysis import TextTable, scaling_sweep, sweep_store
-from repro.machine import es45_like_cluster
-from repro.mesh import build_deck
-from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
+from repro.core import ClusterSpec, calibration_table, parse_deck
+from repro.perfmodel import default_sample_sides
 
 
 def main() -> None:
@@ -33,15 +32,11 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    size = args.deck
-    if "x" in size:
-        nx, ny = size.split("x")
-        size = (int(nx), int(ny))
-    deck = build_deck(size)
-    cluster = es45_like_cluster()
+    deck = parse_deck(args.deck)
+    cluster = ClusterSpec().build()
 
     print("calibrating cost curves ...")
-    table = calibrate_contrived_grid(cluster, sides=default_sample_sides(256))
+    table = calibration_table(cluster, default_sample_sides(256))
 
     def progress(done, total, task, point, cached):
         source = "store" if cached else "simulated"

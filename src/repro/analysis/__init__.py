@@ -26,7 +26,12 @@ from repro.analysis.runner import (
     run_sweep,
     sweep_status,
 )
-from repro.analysis.store import ResultStore, sweep_store
+from repro.analysis.store import (
+    ResultStore,
+    calibration_store,
+    prediction_store,
+    sweep_store,
+)
 from repro.analysis.sweep import DynamicSpec, validation_sweep, scaling_sweep
 
 __all__ = [
@@ -47,6 +52,8 @@ __all__ = [
     "run_sweep",
     "sweep_status",
     "ResultStore",
+    "calibration_store",
+    "prediction_store",
     "sweep_store",
     "DynamicSpec",
     "validation_sweep",

@@ -29,20 +29,17 @@ import itertools
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.hydro.driver import measure_iteration_time
-from repro.hydro.workload import build_workload_census
-from repro.machine.cluster import ClusterConfig, es45_like_cluster
-from repro.mesh.connectivity import FaceTable, build_face_table
-from repro.mesh.deck import DECK_SIZES, InputDeck, build_deck
-from repro.partition.cache import cached_partition
-from repro.perfmodel.calibrate import calibrate_contrived_grid, default_sample_sides
-from repro.perfmodel.costcurves import CostCurve, CostTable
-from repro.perfmodel.general import GeneralModel
-from repro.perfmodel.mesh_specific import MeshSpecificModel
+from repro.core.assemble import calibration_table as _core_calibration_table
+from repro.core.assemble import faces_for as _core_faces_for
+from repro.core.parsing import as_deck_size
+from repro.core.pipeline import run_point
+from repro.core.request import ClusterSpec
+from repro.machine.cluster import ClusterConfig
+from repro.mesh.connectivity import FaceTable
+from repro.mesh.deck import InputDeck, build_deck
+from repro.perfmodel.calibrate import default_sample_sides
+from repro.perfmodel.costcurves import CostTable
 from repro.analysis.store import ResultStore
-from repro.util.artifacts import stable_hash
 
 #: Model labels understood by :func:`evaluate_point`.
 KNOWN_MODELS = ("mesh-specific", "homogeneous", "heterogeneous")
@@ -161,86 +158,29 @@ def evaluate_point(
     optimises against this point's own census — while model predictions
     keep the flat network, quantifying what placement does to their error.
     """
-    if models and table is None:
-        raise ValueError("a cost table is required when models are requested")
-    if faces is None:
-        faces = build_face_table(deck.mesh)
-    partition = cached_partition(
-        deck, num_ranks, method=partition_method, seed=seed, faces=faces
+    measured, predictions = run_point(
+        deck,
+        num_ranks,
+        cluster,
+        table,
+        models=models,
+        seed=seed,
+        partition_method=partition_method,
+        faces=faces,
+        dynamic=dynamic,
+        placement=placement,
     )
-    census = build_workload_census(deck, partition, faces)
-    if placement is not None:
-        if cluster.hierarchy is None:
-            raise ValueError(
-                "a placement requires an SMP cluster (enable the hierarchy)"
-            )
-        from repro.placement import make_placement
-
-        cluster = cluster.with_placement(
-            make_placement(
-                placement,
-                num_ranks=num_ranks,
-                ranks_per_node=cluster.hierarchy.ranks_per_node,
-                census=census,
-                cluster=cluster,
-                seed=seed,
-            )
-        )
-    if dynamic is None:
-        measured = measure_iteration_time(
-            deck, partition, cluster=cluster, faces=faces, census=census
-        ).seconds
-    else:
-        measured = measure_iteration_time(
-            deck,
-            partition,
-            cluster=cluster,
-            iterations=dynamic.iterations,
-            warmup=dynamic.warmup,
-            faces=faces,
-            census=census,
-            dynamic=dynamic.build(),
-        ).seconds
-
-    predicted = {}
-    for model in models:
-        if model == "mesh-specific":
-            pred = MeshSpecificModel(table=table, network=cluster.network).predict(
-                census
-            )
-        elif model in ("homogeneous", "heterogeneous"):
-            pred = GeneralModel(
-                table=table, network=cluster.network, mode=model
-            ).predict(deck.num_cells, num_ranks)
-        else:
-            raise ValueError(f"unknown model {model!r}")
-        predicted[model] = pred.total
     return ValidationPoint(
         deck_name=deck.name,
         num_ranks=num_ranks,
         measured=measured,
-        predicted=predicted,
+        predicted={model: pred.total for model, pred in predictions.items()},
     )
 
 
-#: Per-process face-table memo: face tables depend only on the mesh
-#: topology, and one worker typically evaluates many points of one deck.
-_FACES_MEMO: dict = {}
-
-
 def _faces_for(deck: InputDeck) -> FaceTable:
-    mesh = deck.mesh
-    if mesh.nx > 0 and mesh.ny > 0:
-        # Structured meshes are fully determined by their logical extents.
-        key = ("structured", mesh.nx, mesh.ny)
-    else:
-        # Genuinely unstructured meshes (nx = ny = 0) must be keyed by their
-        # actual topology or two same-sized meshes would share faces.
-        key = ("unstructured", stable_hash(mesh.cell_nodes))
-    faces = _FACES_MEMO.get(key)
-    if faces is None:
-        faces = _FACES_MEMO[key] = build_face_table(mesh)
-    return faces
+    """Per-process face-table memo (see :func:`repro.core.assemble.faces_for`)."""
+    return _core_faces_for(deck)
 
 
 def _run_task(task: SweepTask) -> ValidationPoint:
@@ -351,69 +291,12 @@ def calibrated_table(cluster: ClusterConfig, sides, store: ResultStore | None = 
     """
     if store is None:
         store = ResultStore(namespace="calibrations")
-    key = ResultStore.key_for(
-        {"kind": "calibration", "version": 1, "cluster": cluster, "sides": tuple(sides)}
-    )
-    payload = store.get(key)
-    if payload is not None:
-        return CostTable(
-            curves=tuple(
-                tuple(
-                    CostCurve(
-                        cells=np.array(curve["cells"], dtype=np.float64),
-                        per_cell=np.array(curve["per_cell"], dtype=np.float64),
-                    )
-                    for curve in row
-                )
-                for row in payload["curves"]
-            )
-        )
-    table = calibrate_contrived_grid(cluster, sides=sides)
-    store.put(
-        key,
-        {
-            "curves": [
-                [
-                    {"cells": curve.cells.tolist(), "per_cell": curve.per_cell.tolist()}
-                    for curve in row
-                ]
-                for row in table.curves
-            ]
-        },
-    )
-    return table
-
-
-@dataclass(frozen=True)
-class ClusterSpec:
-    """Declarative cluster axis of a sweep grid (CLI-expressible subset)."""
-
-    speed: float = 1.0
-    smp: bool = False
-
-    def build(self) -> ClusterConfig:
-        """Materialise the simulated machine."""
-        cluster = es45_like_cluster(speed=self.speed)
-        return cluster.with_smp() if self.smp else cluster
-
-    @property
-    def label(self) -> str:
-        """Short human-readable tag for tables and progress lines."""
-        tag = f"x{self.speed:g}"
-        return f"es45{tag}+smp" if self.smp else f"es45{tag}"
+    return _core_calibration_table(cluster, sides, store=store)
 
 
 def _as_deck_size(deck) -> str | tuple:
     """Normalise a deck axis entry to ``build_deck``'s size argument."""
-    if isinstance(deck, str):
-        if deck in DECK_SIZES:
-            return deck
-        if "x" in deck:
-            nx, ny = deck.split("x")
-            return (int(nx), int(ny))
-        raise ValueError(f"unknown deck {deck!r}; options: {sorted(DECK_SIZES)} or NXxNY")
-    nx, ny = deck
-    return (int(nx), int(ny))
+    return as_deck_size(deck)
 
 
 def powers_of_two(max_ranks: int) -> tuple:

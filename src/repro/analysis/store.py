@@ -21,7 +21,13 @@ from pathlib import Path
 
 from repro.util.artifacts import cache_root, stable_hash
 
-__all__ = ["ResultStore", "sweep_store", "stable_hash"]
+__all__ = [
+    "ResultStore",
+    "calibration_store",
+    "prediction_store",
+    "sweep_store",
+    "stable_hash",
+]
 
 
 class ResultStore:
@@ -109,3 +115,19 @@ class ResultStore:
 def sweep_store(root: Path | None = None) -> ResultStore:
     """The default store for validation-sweep points."""
     return ResultStore(namespace="sweeps", root=root)
+
+
+def calibration_store(root: Path | None = None) -> ResultStore:
+    """The default store for calibrated cost tables."""
+    return ResultStore(namespace="calibrations", root=root)
+
+
+def prediction_store(root: Path | None = None) -> ResultStore:
+    """The default store for core prediction/measurement results.
+
+    Keys come from :func:`repro.core.pipeline.request_key`; values are
+    :meth:`repro.core.request.PredictionResult.to_payload` dicts.  The
+    prediction service fronts this namespace with an in-process
+    :class:`repro.core.cache.LRUResultCache`.
+    """
+    return ResultStore(namespace="predictions", root=root)

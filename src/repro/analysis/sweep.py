@@ -14,8 +14,6 @@ counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.analysis.runner import (
     SweepTask,
     ValidationPoint,
@@ -24,10 +22,9 @@ from repro.analysis.runner import (
     run_points,
 )
 from repro.analysis.store import ResultStore
-from repro.hydro.dynamic import DynamicConfig
+from repro.core.request import DynamicSpec
 from repro.machine.cluster import ClusterConfig
 from repro.mesh.deck import InputDeck
-from repro.partition.dynamic import parse_policy
 from repro.perfmodel.costcurves import CostTable
 
 __all__ = [
@@ -37,48 +34,6 @@ __all__ = [
     "validation_sweep",
     "scaling_sweep",
 ]
-
-
-@dataclass(frozen=True)
-class DynamicSpec:
-    """Declarative (CLI-expressible, hashable) form of a dynamic workload.
-
-    This is the sweep-grid axis value for time-evolving runs: it carries the
-    repartition policy as a string spec (``never`` / ``every:N`` /
-    ``imbalance:X``) plus the scalar knobs, and materialises into a
-    :class:`~repro.hydro.dynamic.DynamicConfig` via :meth:`build`.  Being a
-    plain dataclass of primitives it hashes stably into
-    :meth:`~repro.analysis.runner.SweepTask.store_key`, so dynamic sweep
-    points are resumable like static ones.
-    """
-
-    policy: str = "never"
-    burn_multiplier: float = 4.0
-    dt: float = 1.0e-5
-    migration_bytes_per_cell: int = 256
-    iterations: int = 12
-    warmup: int = 1
-    partition_seed: int = 0
-
-    def __post_init__(self) -> None:
-        parse_policy(self.policy)  # fail fast on typos
-        if not 0 <= self.warmup < self.iterations:
-            raise ValueError("need 0 <= warmup < iterations")
-
-    def build(self) -> DynamicConfig:
-        """Materialise the simulation-side configuration."""
-        return DynamicConfig(
-            policy=parse_policy(self.policy),
-            burn_multiplier=self.burn_multiplier,
-            dt=self.dt,
-            migration_bytes_per_cell=self.migration_bytes_per_cell,
-            partition_seed=self.partition_seed,
-        )
-
-    @property
-    def label(self) -> str:
-        """Short human-readable tag for tables and progress lines."""
-        return f"dyn[{self.policy},x{self.burn_multiplier:g}]"
 
 
 def validation_sweep(

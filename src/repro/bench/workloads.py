@@ -26,27 +26,27 @@ def _memo(key, build):
 
 
 def _cluster():
-    from repro.machine import es45_like_cluster
+    from repro.core import ClusterSpec
 
-    return _memo("cluster", es45_like_cluster)
+    return _memo("cluster", ClusterSpec().build)
 
 
 def _smp_cluster():
-    from repro.machine import es45_like_cluster
+    from repro.core import ClusterSpec
 
-    return _memo("smp", lambda: es45_like_cluster().with_smp())
+    return _memo("smp", ClusterSpec(smp=True).build)
 
 
 def _deck(name):
-    from repro.mesh import build_deck
+    from repro.core import parse_deck
 
-    return _memo(("deck", name), lambda: build_deck(name))
+    return _memo(("deck", name), lambda: parse_deck(name))
 
 
 def _faces(name):
-    from repro.mesh import build_face_table
+    from repro.core import faces_for
 
-    return _memo(("faces", name), lambda: build_face_table(_deck(name).mesh))
+    return _memo(("faces", name), lambda: faces_for(_deck(name)))
 
 
 def _partition(deck_name, num_ranks, method="multilevel", seed=1):
@@ -77,12 +77,11 @@ COARSE_SIDES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
 
 
 def _cost_table(kind):
-    from repro.perfmodel import calibrate_contrived_grid, default_sample_sides
+    from repro.core import calibration_table
+    from repro.perfmodel import default_sample_sides
 
     sides = COARSE_SIDES if kind == "coarse" else default_sample_sides(512)
-    return _memo(
-        ("table", kind), lambda: calibrate_contrived_grid(_cluster(), sides=sides)
-    )
+    return _memo(("table", kind), lambda: calibration_table(_cluster(), sides))
 
 
 # ------------------------------------------------------------------- micro.*
@@ -914,6 +913,69 @@ register(Benchmark(
     invariants=lambda ctx, result: {
         "scenarios": int(result.num_seeds),
         "failures": int(len(result.failures)),
+    },
+    repeats=3,
+))
+
+
+# ------------------------------------------------------------------ service.*
+
+def _setup_query_storm(size):
+    from repro.core import PredictionRequest, predict
+
+    request = PredictionRequest(deck="16x8", ranks=4, max_side=16)
+    # Pre-warm the in-process calibration memo so the timed region measures
+    # service overhead (HTTP, coalescing, cache tiers), not the one-off
+    # calibration cost.
+    predict(request)
+    return {"request": request, "queries": 8 if size == "smoke" else 32}
+
+
+def _run_query_storm(ctx):
+    import asyncio
+    import threading
+
+    from repro.core import LRUResultCache
+    from repro.service import PredictionServer, ServiceClient, run_storm
+
+    server = PredictionServer(
+        host="127.0.0.1", port=0, cache=LRUResultCache(store=None)
+    )
+    started = threading.Event()
+
+    def serve():
+        async def main():
+            await server.start()
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("prediction server did not start")
+    client = ServiceClient(host="127.0.0.1", port=server.port)
+    storm = run_storm(client, [ctx["request"]] * ctx["queries"], mode="predict")
+    client.shutdown()
+    thread.join(timeout=30)
+    return storm
+
+
+register(Benchmark(
+    name="service.query_storm",
+    group="service",
+    description="prediction service under a concurrent identical-query storm",
+    source="src/repro/service/server.py",
+    setup=_setup_query_storm,
+    run=_run_query_storm,
+    # The computed/cached split is the service's load-bearing guarantee:
+    # an identical-query storm simulates exactly once, answers once each.
+    invariants=lambda ctx, storm: {
+        "computed": int(storm.num_computed),
+        "cached": int(storm.num_cached),
+        "distinct_payloads": int(storm.distinct_payloads()),
+        "total_s": float(storm.results[0].predicted["heterogeneous"]),
     },
     repeats=3,
 ))

@@ -1,0 +1,65 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One thin module per subcommand group, every one a shell over the model
+core (:mod:`repro.core`) or a subsystem driver:
+
+``info`` / ``calibrate`` / ``validate``
+    Single-configuration facts, cost curves, and measured-vs-predicted
+    tables (:mod:`repro.cli.info`).
+``scale``
+    Sparse O(P log P) weak-scaled predictions over a ``--ranks`` axis,
+    cached point-by-point in the prediction store
+    (:mod:`repro.cli.scale`).
+``sweep``
+    Legacy strong-scaling table plus the declarative grid subcommands
+    ``run``/``status``/``clear`` (:mod:`repro.cli.sweep`).
+``place``
+    Topology-aware rank placement: ``compare``/``optimize``/``scale``
+    (:mod:`repro.cli.place`).
+``verify``
+    Differential verification vs the reference oracle: ``fuzz``/``diff``
+    (:mod:`repro.cli.verify`).
+``bench``
+    Machine-readable benchmarks: ``list``/``run``/``compare``
+    (:mod:`repro.cli.bench`).
+``serve``
+    HTTP/JSON prediction service over the core pipeline
+    (:mod:`repro.cli.serve`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import bench, info, place, scale, serve, sweep, verify
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Krak performance-model reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    # Registration order fixes `repro --help`'s command listing; keep the
+    # pre-split order with `serve` appended.
+    info.register(sub)
+    scale.register(sub)
+    sweep.register(sub)
+    place.register(sub)
+    verify.register(sub)
+    bench.register(sub)
+    serve.register(sub)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""``bench`` — the machine-readable benchmark subsystem."""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.cli.common import csv_strings
+
+__all__ = ["cmd_bench_compare", "cmd_bench_list", "cmd_bench_run", "register"]
+
+
+def cmd_bench_list(args) -> int:
+    """Print the registered benchmarks."""
+    from repro.bench import all_benchmarks
+
+    out = TextTable("registered benchmarks", ["name", "group", "description"])
+    for name, bench in all_benchmarks().items():
+        if args.group and bench.group != args.group:
+            continue
+        out.add_row(name, bench.group, bench.description)
+    print(out.render())
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    """Run a benchmark suite and emit the JSON report."""
+    from repro.bench import build_report, load_report, run_suite, write_report
+
+    names = list(csv_strings(args.names)) if args.names else None
+
+    def progress(done, total, timing):
+        stats = timing.stats
+        print(
+            f"[{done}/{total}] {timing.bench.name}: median "
+            f"{stats['median'] * 1e3:.2f} ms over {len(timing.wall_s)} repeats",
+            flush=True,
+        )
+
+    timings = run_suite(
+        args.suite,
+        names=names,
+        repeats=args.repeats,
+        progress=None if args.quiet else progress,
+    )
+    output = args.output or f"BENCH_{args.suite}.json"
+    # Overwriting an existing report must not destroy its curated `extra`
+    # block (e.g. the committed trajectory's before/after record) — even
+    # when the old file no longer validates against the current schema.
+    extra = None
+    try:
+        extra = load_report(output).get("extra")
+    except OSError:
+        pass
+    except ValueError:
+        try:
+            import json as _json
+            from pathlib import Path as _Path
+
+            extra = _json.loads(_Path(output).read_text()).get("extra")
+            print(f"note: {output} failed schema validation; salvaged its 'extra' block")
+        except (OSError, ValueError):
+            print(f"warning: {output} is unreadable; any 'extra' block will be lost")
+    path = write_report(build_report(args.suite, timings, extra=extra), output)
+    if extra:
+        print(f"preserved the existing report's 'extra' block ({len(extra)} keys)")
+    print(f"wrote {path} ({len(timings)} benchmarks)")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Diff two reports; non-zero exit on regression or invariant drift."""
+    from repro.bench import compare_reports, load_report
+
+    old = load_report(args.baseline)
+    new = load_report(args.candidate)
+    result = compare_reports(
+        old, new, threshold=args.threshold, stat=args.stat,
+        assume_same_env=args.assume_same_env,
+    )
+    if not result.same_env:
+        print(
+            "note: reports come from different environments — wall-time "
+            "exceedances are warnings; invariant drift still fails "
+            "(--assume-same-env to gate wall time anyway)"
+        )
+    out = TextTable(
+        f"bench compare ({args.stat}): {args.baseline} -> {args.candidate}",
+        ["benchmark", "old (ms)", "new (ms)", "status", "detail"],
+    )
+    for e in result.entries:
+        out.add_row(
+            e.name,
+            "-" if e.old_s is None else f"{e.old_s * 1e3:.2f}",
+            "-" if e.new_s is None else f"{e.new_s * 1e3:.2f}",
+            e.status.upper(),
+            e.detail,
+        )
+    print(out.render())
+    print(
+        f"{result.num_compared}/{len(result.entries)} compared: "
+        f"{len(result.failures)} fail, {len(result.warnings)} warn"
+    )
+    if not result.failures and result.num_compared == 0:
+        print("error: no benchmark overlaps between the two reports")
+    return 0 if result.ok else 1
+
+
+def register(sub) -> None:
+    """Attach the ``bench`` subparser tree."""
+    p_bench = sub.add_parser(
+        "bench",
+        help="machine-readable benchmarks: list|run|compare",
+        description=(
+            "Declarative benchmark registry over the table/figure workloads "
+            "and hot-path micro-benchmarks.  `run` emits BENCH_<suite>.json; "
+            "`compare` gates two reports against per-bench thresholds."
+        ),
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_list = bench_sub.add_parser("list", help="show registered benchmarks")
+    b_list.add_argument("--group", default="", help="restrict to one group")
+    b_list.set_defaults(func=cmd_bench_list)
+
+    b_run = bench_sub.add_parser("run", help="time a suite, emit JSON report")
+    b_run.add_argument(
+        "--suite", default="smoke", choices=["smoke", "full"],
+        help="sized variant to run",
+    )
+    b_run.add_argument(
+        "--names", default="", help="comma list of benchmark names (default: all)"
+    )
+    b_run.add_argument(
+        "--repeats", type=int, default=None, help="override per-bench repeats"
+    )
+    b_run.add_argument(
+        "--output", default="", help="report path (default BENCH_<suite>.json)"
+    )
+    b_run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    b_run.set_defaults(func=cmd_bench_run)
+
+    b_cmp = bench_sub.add_parser(
+        "compare", help="diff two reports against regression thresholds"
+    )
+    b_cmp.add_argument("baseline", help="baseline BENCH_*.json")
+    b_cmp.add_argument("candidate", help="candidate BENCH_*.json")
+    b_cmp.add_argument(
+        "--threshold", type=float, default=None,
+        help="override every per-bench threshold (e.g. 0.30 = ±30%%)",
+    )
+    b_cmp.add_argument(
+        "--stat", default="median", choices=["best", "median", "mean"],
+        help="wall-time statistic to compare",
+    )
+    b_cmp.add_argument(
+        "--assume-same-env", action="store_true",
+        help=(
+            "gate wall time even when the environment fingerprints differ "
+            "(default: cross-environment slowdowns only warn; invariant "
+            "drift always fails)"
+        ),
+    )
+    b_cmp.set_defaults(func=cmd_bench_compare)

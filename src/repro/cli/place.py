@@ -1,0 +1,250 @@
+"""``place`` — topology-aware rank-placement studies.
+
+``compare`` and ``optimize`` build their configuration (deck, partition,
+census, SMP cluster) through the core constructors; ``scale`` costs
+placements on synthetic weak-scaled meshes through the CSR sparse path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.cli.common import add_place_arguments, csv_strings, parse_deck
+from repro.core import ClusterSpec, faces_for
+from repro.hydro import build_workload_census, measure_iteration_time
+from repro.partition import cached_partition
+
+__all__ = ["cmd_place_compare", "cmd_place_optimize", "cmd_place_scale",
+           "register"]
+
+
+def _place_setup(args):
+    """Shared deck/partition/census/SMP-cluster construction for ``place``."""
+    deck = parse_deck(args.deck)
+    faces = faces_for(deck)
+    part = cached_partition(
+        deck, args.ranks, method=args.method, seed=args.seed, faces=faces
+    )
+    census = build_workload_census(deck, part, faces)
+    cluster = ClusterSpec(
+        speed=args.speed,
+        smp=True,
+        ranks_per_node=args.ranks_per_node,
+        intra_send_overhead=args.intra_send_us * 1e-6,
+        intra_recv_overhead=args.intra_recv_us * 1e-6,
+    ).build()
+    return deck, faces, part, census, cluster
+
+
+def cmd_place_compare(args) -> int:
+    """Measure one configuration under each placement strategy."""
+    from repro.placement import (
+        inter_node_bytes,
+        make_placement,
+        rank_comm_bytes,
+        total_pair_bytes,
+    )
+
+    deck, faces, part, census, cluster = _place_setup(args)
+    graph = rank_comm_bytes(census)
+    total = total_pair_bytes(graph)
+
+    block = make_placement("block", args.ranks, args.ranks_per_node)
+    t_block = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(block), faces=faces,
+        census=census,
+    ).seconds
+
+    out = TextTable(
+        f"rank placement, {deck.name} deck, {args.ranks} ranks on {cluster.name}",
+        ["strategy", "nodes", "inter-node KB", "share", "measured (ms)", "vs block"],
+    )
+    for strategy in csv_strings(args.strategies):
+        placement = make_placement(
+            strategy,
+            num_ranks=args.ranks,
+            ranks_per_node=args.ranks_per_node,
+            census=census,
+            cluster=cluster,
+            seed=args.seed,
+        )
+        seconds = (
+            t_block
+            if strategy == "block"
+            else measure_iteration_time(
+                deck, part, cluster=cluster.with_placement(placement),
+                faces=faces, census=census,
+            ).seconds
+        )
+        inter = inter_node_bytes(placement, graph)
+        out.add_row(
+            placement.name,
+            placement.num_nodes,
+            inter / 1e3,
+            f"{inter / total * 100:.0f}%" if total else "-",
+            seconds * 1e3,
+            f"{(t_block - seconds) / t_block * 100:+.2f}%",
+        )
+    print(out.render())
+    return 0
+
+
+def cmd_place_optimize(args) -> int:
+    """Run the communication-aware optimizer and report its margin."""
+    from repro.placement import (
+        block_placement,
+        inter_node_bytes,
+        optimize_placement,
+        placement_comm_cost,
+        rank_comm_bytes,
+        rank_pair_times,
+    )
+
+    deck, faces, part, census, cluster = _place_setup(args)
+    graph = rank_comm_bytes(census)
+    block = block_placement(args.ranks, args.ranks_per_node)
+    optimized = optimize_placement(census, cluster)
+    t_intra, t_inter = rank_pair_times(census, cluster)
+
+    t_block = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(block), faces=faces,
+        census=census,
+    ).seconds
+    t_opt = measure_iteration_time(
+        deck, part, cluster=cluster.with_placement(optimized), faces=faces,
+        census=census,
+    ).seconds
+
+    out = TextTable(
+        f"comm-aware optimization, {deck.name} deck, {args.ranks} ranks "
+        f"on {cluster.name}",
+        ["quantity", "block", "comm-aware", "change"],
+    )
+    rows = [
+        ("inter-node KB", inter_node_bytes(block, graph) / 1e3,
+         inter_node_bytes(optimized, graph) / 1e3),
+        ("max per-rank p2p (ms)",
+         placement_comm_cost(block.node_of_rank, t_intra, t_inter)[0] * 1e3,
+         placement_comm_cost(optimized.node_of_rank, t_intra, t_inter)[0] * 1e3),
+        ("measured iteration (ms)", t_block * 1e3, t_opt * 1e3),
+    ]
+    for label, before, after in rows:
+        change = (before - after) / before * 100 if before else 0.0
+        out.add_row(label, before, after, f"{change:+.2f}%")
+    print(out.render())
+    if args.show_map:
+        print()
+        for node in range(optimized.num_nodes):
+            ranks = ", ".join(str(r) for r in optimized.ranks_on_node(node))
+            print(f"node {node:3d}: ranks {ranks}")
+    return 0
+
+
+def cmd_place_scale(args) -> int:
+    """Cost placements on a synthetic weak-scaled mesh at extreme scale."""
+    import time
+
+    from repro.perfmodel import weak_scaled_census
+    from repro.placement import (
+        block_placement,
+        comm_aware_placement_sparse,
+        inter_node_bytes_sparse,
+        round_robin_placement,
+        sparse_comm_bytes,
+        total_pair_bytes_sparse,
+    )
+
+    begin = time.perf_counter()
+    census = weak_scaled_census(args.ranks, cells_per_rank=args.cells_per_rank)
+    graph = sparse_comm_bytes(census)
+    build = time.perf_counter() - begin
+    total = total_pair_bytes_sparse(graph)
+
+    strategies = ["block", "round-robin"]
+    if args.optimize:
+        strategies.append("comm-aware")
+    out = TextTable(
+        f"sparse placement costing, {args.ranks} ranks, "
+        f"{graph.num_entries // 2} comm edges (built in {build:.2f}s)",
+        ["strategy", "nodes", "inter-node MB", "share", "wall (s)"],
+    )
+    for strategy in strategies:
+        begin = time.perf_counter()
+        if strategy == "block":
+            placement = block_placement(args.ranks, args.ranks_per_node)
+        elif strategy == "round-robin":
+            placement = round_robin_placement(args.ranks, args.ranks_per_node)
+        else:
+            placement = comm_aware_placement_sparse(graph, args.ranks_per_node)
+        inter = inter_node_bytes_sparse(placement, graph)
+        wall = time.perf_counter() - begin
+        out.add_row(
+            placement.name,
+            placement.num_nodes,
+            inter / 1e6,
+            f"{inter / total * 100:.0f}%" if total else "-",
+            f"{wall:.2f}",
+        )
+    print(out.render())
+    return 0
+
+
+def register(sub, place_common=add_place_arguments) -> None:
+    """Attach the ``place`` subparser tree."""
+    p_place = sub.add_parser(
+        "place",
+        help="topology-aware rank placement: compare|optimize",
+        description=(
+            "Rank→node placement studies on the SMP machine: `compare` "
+            "measures one configuration under each placement strategy; "
+            "`optimize` runs the communication-aware optimizer and reports "
+            "its margin over block placement.  Both default to a "
+            "shared-memory transport with cheaper on-node host overheads "
+            "(tune with --intra-send-us/--intra-recv-us)."
+        ),
+    )
+    place_sub = p_place.add_subparsers(dest="place_command", required=True)
+
+    p_pc = place_sub.add_parser(
+        "compare", help="measure every placement strategy on one configuration"
+    )
+    place_common(p_pc)
+    p_pc.add_argument(
+        "--strategies", default="block,round-robin,random:1,comm-aware",
+        help="comma list: block|round-robin|random[:seed]|comm-aware",
+    )
+    p_pc.set_defaults(func=cmd_place_compare)
+
+    p_po = place_sub.add_parser(
+        "optimize", help="run the comm-aware optimizer, report margin vs block"
+    )
+    place_common(p_po)
+    p_po.add_argument(
+        "--show-map", action="store_true", help="print the optimized rank→node map"
+    )
+    p_po.set_defaults(func=cmd_place_optimize)
+
+    p_ps = place_sub.add_parser(
+        "scale",
+        help="cost placements on a weak-scaled mesh via the sparse path",
+        description=(
+            "Build a synthetic weak-scaled mesh census, extract its CSR "
+            "communication graph, and cost block / round-robin (and, with "
+            "--optimize, the comm-aware optimizer) by sparse inter-node "
+            "bytes — no (P, P) structures, so it works at 10^5-10^6 ranks."
+        ),
+    )
+    p_ps.add_argument(
+        "--ranks", type=int, default=100000, help="rank count to cost"
+    )
+    p_ps.add_argument(
+        "--ranks-per-node", type=int, default=4, help="SMP node capacity"
+    )
+    p_ps.add_argument(
+        "--cells-per-rank", type=float, default=8192.0,
+        help="weak-scaling workload per rank",
+    )
+    p_ps.add_argument(
+        "--optimize", action="store_true",
+        help="also run the sparse comm-aware optimizer (moderate ranks)",
+    )
+    p_ps.set_defaults(func=cmd_place_scale)

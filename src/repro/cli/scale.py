@@ -1,0 +1,126 @@
+"""``scale`` — sparse weak-scaled predictions over a ranks axis.
+
+Each rank count is one :class:`~repro.core.request.PredictionRequest`
+(``deck="weak:<cells>"``, ``models=("sparse",)``) evaluated through the
+same :func:`repro.core.predict` pipeline the service exposes, with the
+``--ranks`` axis cached point-by-point in the content-addressed
+prediction store: re-running a sweep with extra rank counts only prices
+the new points.  ``--memory`` bypasses the cache so ``tracemalloc``
+meters the genuine footprint of a fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import TextTable, prediction_store
+from repro.cli.common import add_common_arguments, csv_ints, make_cluster
+from repro.core import (
+    ClusterSpec,
+    LRUResultCache,
+    PredictionRequest,
+    PredictionResult,
+    predict,
+    request_key,
+)
+
+__all__ = ["cmd_scale", "register"]
+
+
+def _evaluate(request: PredictionRequest, cache) -> tuple:
+    """``(result, cached)`` for one weak-scaled point."""
+    if cache is None:
+        return predict(request), False
+    key = request_key(request, mode="predict")
+    payload = cache.get(key)
+    if payload is not None:
+        return PredictionResult.from_payload(payload), True
+    result = predict(request)
+    cache.put(key, result.to_payload())
+    return result, False
+
+
+def cmd_scale(args) -> int:
+    """Price extreme-scale machines through the sparse O(P log P) path."""
+    cluster = make_cluster(args)
+    spec = ClusterSpec(speed=args.speed, smp=getattr(args, "smp", False))
+    cache = None
+    if not (args.memory or args.no_cache):
+        cache = LRUResultCache(store=prediction_store())
+
+    columns = [
+        "ranks", "links", "compute (ms)", "boundary (ms)", "ghost (ms)",
+        "collectives (ms)", "total (ms)", "wall (s)",
+    ]
+    if args.memory:
+        columns.append("peak MB")
+    out = TextTable(
+        f"sparse weak-scaled prediction on {cluster.name} "
+        f"({args.cells_per_rank:g} cells/rank)",
+        columns,
+    )
+    for ranks in csv_ints(args.ranks):
+        request = PredictionRequest(
+            deck=f"weak:{args.cells_per_rank!r}",
+            ranks=ranks,
+            cluster=spec,
+            models=("sparse",),
+            max_side=args.max_side,
+        )
+        if args.memory:
+            import tracemalloc
+
+            tracemalloc.start()
+        begin = time.perf_counter()
+        result, _ = _evaluate(request, cache)
+        wall = time.perf_counter() - begin
+        phases = result.phases["sparse"]
+        row = [
+            ranks,
+            result.meta["links"],
+            phases["computation"] * 1e3,
+            phases["boundary_exchange"] * 1e3,
+            phases["ghost_updates"] * 1e3,
+            phases["collectives"] * 1e3,
+            phases["total"] * 1e3,
+            f"{wall:.2f}",
+        ]
+        if args.memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            row.append(f"{peak / 1e6:.1f}")
+        out.add_row(*row)
+    print(out.render())
+    return 0
+
+
+def register(sub, common=add_common_arguments) -> None:
+    """Attach the ``scale`` subparser."""
+    p_scale = sub.add_parser(
+        "scale",
+        help="extreme-scaling predictions on the sparse O(P log P) path",
+        description=(
+            "Sweep a --ranks axis over synthetic weak-scaled meshes and "
+            "price each machine with the sparse mesh-specific model: "
+            "O(edges) memory and time, so a 10^6-rank prediction finishes "
+            "in seconds with no (P, P) array."
+        ),
+    )
+    common(p_scale)
+    p_scale.add_argument(
+        "--ranks", default="1000,10000,100000,1000000",
+        help="comma list of rank counts to price",
+    )
+    p_scale.add_argument(
+        "--cells-per-rank", type=float, default=8192.0,
+        help="weak-scaling workload per rank",
+    )
+    p_scale.add_argument(
+        "--memory", action="store_true",
+        help="report tracemalloc peak memory per point (slower)",
+    )
+    p_scale.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-evaluate instead of consulting the prediction store",
+    )
+    p_scale.set_defaults(func=cmd_scale)

@@ -1,0 +1,122 @@
+"""``verify`` — differential verification against the reference oracle."""
+
+from __future__ import annotations
+
+__all__ = ["cmd_verify_diff", "cmd_verify_fuzz", "register"]
+
+
+def cmd_verify_fuzz(args) -> int:
+    """Fuzz the optimized stack against the reference oracle."""
+    from pathlib import Path
+
+    from repro.verify import fuzz
+    from repro.verify.scenarios import save_scenario
+
+    def progress(done, total, outcome):
+        status = "ok" if outcome.ok else "FAIL"
+        print(
+            f"[{done}/{total}] {outcome.scenario.label()}: {status} "
+            f"(max rel err {outcome.diff.max_rel_err:.1e})",
+            flush=True,
+        )
+
+    result = fuzz(
+        args.seeds,
+        base_seed=args.base_seed,
+        rtol=args.rtol,
+        properties=not args.no_properties,
+        progress=None if args.quiet else progress,
+    )
+    print(
+        f"{result.num_seeds} scenarios (seeds {result.base_seed}.."
+        f"{result.base_seed + result.num_seeds - 1}): "
+        f"{result.num_seeds - len(result.failures)} ok, "
+        f"{len(result.failures)} failed; max rel err {result.max_rel_err:.3e}"
+    )
+    if not result.failures:
+        return 0
+    outdir = Path(args.save_failures)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for failure in result.failures:
+        path = save_scenario(failure.shrunk, outdir / f"seed{failure.seed}.json")
+        print(f"\nseed {failure.seed} (shrunk to {failure.shrunk.label()}):")
+        if failure.outcome is not None:
+            print(failure.outcome.describe())
+        if failure.error:
+            print("verification crashed:")
+            print(failure.error.rstrip())
+        print(
+            f"saved minimal repro to {path} — replay with: "
+            f"python -m repro verify diff {path}"
+        )
+        # The shrunk scenario is NOT derivable from the seed (only the
+        # original is), so echo the full JSON: a CI log is often all that
+        # survives the runner.
+        print(path.read_text().rstrip())
+    return 1
+
+
+def cmd_verify_diff(args) -> int:
+    """Replay one saved scenario through the full verification."""
+    from repro.verify import verify_scenario
+    from repro.verify.scenarios import load_scenario
+
+    scenario = load_scenario(args.scenario)
+    outcome = verify_scenario(
+        scenario, rtol=args.rtol, properties=not args.no_properties
+    )
+    print(f"scenario: {scenario.label()}")
+    print(f"makespan: {outcome.diff.makespan * 1e3:.4f} ms (optimized engine)")
+    print(outcome.describe())
+    return 0 if outcome.ok else 1
+
+
+def register(sub) -> None:
+    """Attach the ``verify`` subparser tree."""
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential verification vs the reference oracle: fuzz|diff",
+        description=(
+            "Verify the optimized simulator against the naive reference "
+            "oracle (src/repro/verify/): `fuzz` sweeps seeded random "
+            "scenarios through the phase-by-phase differential and the "
+            "metamorphic property checks, shrinking any failure to a "
+            "minimal replayable scenario file; `diff` replays one such "
+            "file."
+        ),
+    )
+    verify_sub = p_verify.add_subparsers(dest="verify_command", required=True)
+
+    def verify_common(p):
+        p.add_argument(
+            "--rtol", type=float, default=1e-12,
+            help="relative tolerance for optimized-vs-oracle agreement",
+        )
+        p.add_argument(
+            "--no-properties", action="store_true",
+            help="skip the metamorphic property checks (differential only)",
+        )
+
+    v_fuzz = verify_sub.add_parser(
+        "fuzz", help="sweep seeded random scenarios through the differential"
+    )
+    v_fuzz.add_argument(
+        "--seeds", type=int, default=25, help="number of scenarios to generate"
+    )
+    v_fuzz.add_argument(
+        "--base-seed", type=int, default=0, help="first scenario seed"
+    )
+    v_fuzz.add_argument(
+        "--save-failures", default="verify-failures",
+        help="directory for shrunk failing-scenario JSON files",
+    )
+    v_fuzz.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    verify_common(v_fuzz)
+    v_fuzz.set_defaults(func=cmd_verify_fuzz)
+
+    v_diff = verify_sub.add_parser(
+        "diff", help="replay one saved scenario file through the verification"
+    )
+    v_diff.add_argument("scenario", help="scenario JSON (from fuzz --save-failures)")
+    verify_common(v_diff)
+    v_diff.set_defaults(func=cmd_verify_diff)

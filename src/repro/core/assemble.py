@@ -1,0 +1,231 @@
+"""Materialise a :class:`~repro.core.request.PredictionRequest` into live
+model objects.
+
+This is the single assembly seam of the reproduction: deck construction,
+face tables, partitions, workload censuses, calibrated cost tables, and
+explicit rank→node placements are all built here, so the CLI, the sweep
+orchestrator, the verification scenario builder, the benchmark workloads,
+and the prediction service cannot drift apart on how a request becomes a
+simulation.  Everything is deterministic in the request, which is what
+makes the request's content hash a sound cache key.
+
+The module is store-agnostic: calibration results can be persisted through
+any object with ``get(key)``/``put(key, value)`` (the content-addressed
+:class:`~repro.analysis.store.ResultStore` in practice), but nothing here
+imports the analysis layer — the dependency points the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parsing import as_deck_size, is_weak_deck, weak_cells_per_rank
+from repro.core.request import PredictionRequest
+from repro.hydro.workload import WorkloadCensus, build_workload_census
+from repro.machine.cluster import ClusterConfig
+from repro.mesh.connectivity import FaceTable, build_face_table
+from repro.mesh.deck import InputDeck, build_deck
+from repro.partition.base import Partition
+from repro.partition.cache import cached_partition
+from repro.perfmodel.calibrate import calibrate_contrived_grid, default_sample_sides
+from repro.perfmodel.costcurves import CostCurve, CostTable
+from repro.util.artifacts import stable_hash
+
+__all__ = [
+    "Assembled",
+    "apply_placement",
+    "assemble",
+    "calibration_key",
+    "calibration_table",
+    "faces_for",
+]
+
+
+#: Per-process face-table memo: face tables depend only on the mesh
+#: topology, and one process typically evaluates many points of one deck.
+_FACES_MEMO: dict = {}
+
+
+def faces_for(deck: InputDeck) -> FaceTable:
+    """The deck's face table, memoised per process by mesh topology."""
+    mesh = deck.mesh
+    if mesh.nx > 0 and mesh.ny > 0:
+        # Structured meshes are fully determined by their logical extents.
+        key = ("structured", mesh.nx, mesh.ny)
+    else:
+        # Genuinely unstructured meshes (nx = ny = 0) must be keyed by their
+        # actual topology or two same-sized meshes would share faces.
+        key = ("unstructured", stable_hash(mesh.cell_nodes))
+    faces = _FACES_MEMO.get(key)
+    if faces is None:
+        faces = _FACES_MEMO[key] = build_face_table(mesh)
+    return faces
+
+
+def apply_placement(
+    cluster: ClusterConfig,
+    strategy: str,
+    num_ranks: int,
+    census: WorkloadCensus,
+    seed: int = 0,
+) -> ClusterConfig:
+    """The cluster with an explicit rank→node map installed.
+
+    ``strategy`` is a :func:`repro.placement.make_placement` name; the
+    comm-aware strategy optimises against ``census``.  Requires the SMP
+    hierarchy — placements are meaningless on a flat machine.
+    """
+    if cluster.hierarchy is None:
+        raise ValueError(
+            "a placement requires an SMP cluster (enable the hierarchy)"
+        )
+    from repro.placement import make_placement
+
+    return cluster.with_placement(
+        make_placement(
+            strategy,
+            num_ranks=num_ranks,
+            ranks_per_node=cluster.hierarchy.ranks_per_node,
+            census=census,
+            cluster=cluster,
+            seed=seed,
+        )
+    )
+
+
+def calibration_key(cluster: ClusterConfig, sides) -> str:
+    """Content hash of a calibration's full parameter set.
+
+    Identical to the key the sweep layer has always stored calibrations
+    under, so existing on-disk ``calibrations`` artifacts keep hitting.
+    """
+    return stable_hash(
+        {"kind": "calibration", "version": 1, "cluster": cluster, "sides": tuple(sides)}
+    )
+
+
+#: Per-process calibration memo (key → CostTable).  Calibration is the
+#: dominant setup cost of any request, and one process (a sweep parent, the
+#: prediction service) prices many requests against few machines.
+_TABLE_MEMO: dict = {}
+
+
+def _table_from_payload(payload: dict) -> CostTable:
+    return CostTable(
+        curves=tuple(
+            tuple(
+                CostCurve(
+                    cells=np.array(curve["cells"], dtype=np.float64),
+                    per_cell=np.array(curve["per_cell"], dtype=np.float64),
+                )
+                for curve in row
+            )
+            for row in payload["curves"]
+        )
+    )
+
+
+def _table_to_payload(table: CostTable) -> dict:
+    return {
+        "curves": [
+            [
+                {"cells": curve.cells.tolist(), "per_cell": curve.per_cell.tolist()}
+                for curve in row
+            ]
+            for row in table.curves
+        ]
+    }
+
+
+def calibration_table(cluster: ClusterConfig, sides, store=None) -> CostTable:
+    """Contrived-grid calibration, memoised in process and optionally to
+    ``store`` (any ``get``/``put`` mapping of JSON payloads, e.g. the
+    ``calibrations`` namespace of the result store).
+
+    Calibration is a deterministic function of (cluster, sides), and the
+    store round trip is exact — JSON round-trips IEEE doubles via ``repr``
+    — so a hit reproduces the freshly calibrated table bit for bit.
+    """
+    key = calibration_key(cluster, sides)
+    table = _TABLE_MEMO.get(key)
+    if table is not None:
+        return table
+    if store is not None:
+        payload = store.get(key)
+        if payload is not None:
+            table = _TABLE_MEMO[key] = _table_from_payload(payload)
+            return table
+    table = calibrate_contrived_grid(cluster, sides=tuple(sides))
+    if store is not None:
+        store.put(key, _table_to_payload(table))
+    _TABLE_MEMO[key] = table
+    return table
+
+
+@dataclass(frozen=True)
+class Assembled:
+    """Live objects for one request (the inputs every pipeline stage needs).
+
+    For weak-scaled decks only ``cluster`` and ``table`` are populated —
+    there is no real mesh to build; the sparse model synthesises its own
+    columnar census at prediction time.
+    """
+
+    request: PredictionRequest
+    cluster: ClusterConfig
+    table: CostTable | None
+    deck: InputDeck | None = None
+    faces: FaceTable | None = None
+    partition: Partition | None = None
+    census: WorkloadCensus | None = None
+
+    @property
+    def weak_cells_per_rank(self) -> float | None:
+        """Per-rank workload for ``weak:`` requests, else ``None``."""
+        if is_weak_deck(self.request.deck):
+            return weak_cells_per_rank(self.request.deck)
+        return None
+
+
+def assemble(request: PredictionRequest, store=None) -> Assembled:
+    """Build every live object ``request`` describes.
+
+    ``store`` optionally persists the calibration (see
+    :func:`calibration_table`).  The construction order and arguments are
+    exactly the historical sweep-runner path, so results downstream are
+    bit-identical to what `evaluate_point` always produced.
+    """
+    cluster = request.cluster.build()
+    table = (
+        calibration_table(cluster, default_sample_sides(request.max_side), store=store)
+        if request.models
+        else None
+    )
+    if is_weak_deck(request.deck):
+        return Assembled(request=request, cluster=cluster, table=table)
+
+    deck = build_deck(as_deck_size(request.deck))
+    faces = faces_for(deck)
+    partition = cached_partition(
+        deck,
+        request.ranks,
+        method=request.partition_method,
+        seed=request.seed,
+        faces=faces,
+    )
+    census = build_workload_census(deck, partition, faces)
+    if request.placement is not None:
+        cluster = apply_placement(
+            cluster, request.placement, request.ranks, census, seed=request.seed
+        )
+    return Assembled(
+        request=request,
+        cluster=cluster,
+        table=table,
+        deck=deck,
+        faces=faces,
+        partition=partition,
+        census=census,
+    )

@@ -1,0 +1,292 @@
+"""Typed request/result dataclasses of the model-core API.
+
+A :class:`PredictionRequest` is the declarative, JSON-round-trippable unit
+of work every surface shares: the CLI subcommands, the declarative sweep
+grids, and the asyncio prediction service all describe "this deck, on this
+machine, at P ranks, with this placement → predicted time + phase
+breakdown" with the same object, and the content hash of that object is
+the cache key under which the result store memoises the answer.
+
+Everything here is pure data: scalars, strings, and nested frozen
+dataclasses — no filesystem, no live model objects.  Materialisation into
+decks/partitions/clusters happens in :mod:`repro.core.assemble`, and the
+number-producing pipeline lives in :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from repro.core.parsing import is_weak_deck, weak_cells_per_rank
+from repro.hydro.dynamic import DynamicConfig
+from repro.machine.cluster import ClusterConfig, es45_like_cluster
+from repro.partition.cache import PARTITION_METHODS
+from repro.partition.dynamic import parse_policy
+
+__all__ = [
+    "KNOWN_MODELS",
+    "ClusterSpec",
+    "DynamicSpec",
+    "PredictionRequest",
+    "PredictionResult",
+]
+
+#: Model labels the core pipeline can price.  The first three are the
+#: sweep-grid models (measured vs predicted tables); ``transition`` is the
+#: deck-aware variant the ``validate`` command adds; ``sparse`` is the
+#: O(P log P) path for ``weak:`` decks at extreme rank counts.
+KNOWN_MODELS = (
+    "mesh-specific",
+    "homogeneous",
+    "heterogeneous",
+    "transition",
+    "sparse",
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative simulated-machine axis (CLI/JSON-expressible subset).
+
+    The default spec materialises the paper's ES-45/QsNet-like validation
+    box; ``smp`` enables the two-level hierarchy, and the ``intra_*``
+    knobs mirror :meth:`repro.machine.cluster.ClusterConfig.with_smp` —
+    their defaults build a machine bit-identical to the historical
+    ``es45_like_cluster(speed).with_smp()`` path.
+    """
+
+    speed: float = 1.0
+    smp: bool = False
+    ranks_per_node: int = 4
+    intra_latency: float = 3e-6
+    intra_bandwidth: float = 1.2e9
+    intra_send_overhead: float | None = None
+    intra_recv_overhead: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+
+    def build(self) -> ClusterConfig:
+        """Materialise the simulated machine."""
+        cluster = es45_like_cluster(speed=self.speed)
+        if not self.smp:
+            return cluster
+        return cluster.with_smp(
+            ranks_per_node=self.ranks_per_node,
+            intra_latency=self.intra_latency,
+            intra_bandwidth=self.intra_bandwidth,
+            intra_send_overhead=self.intra_send_overhead,
+            intra_recv_overhead=self.intra_recv_overhead,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag for tables and progress lines."""
+        tag = f"x{self.speed:g}"
+        return f"es45{tag}+smp" if self.smp else f"es45{tag}"
+
+
+@dataclass(frozen=True)
+class DynamicSpec:
+    """Declarative (CLI-expressible, hashable) form of a dynamic workload.
+
+    This is the sweep-grid axis value for time-evolving runs: it carries the
+    repartition policy as a string spec (``never`` / ``every:N`` /
+    ``imbalance:X``) plus the scalar knobs, and materialises into a
+    :class:`~repro.hydro.dynamic.DynamicConfig` via :meth:`build`.  Being a
+    plain dataclass of primitives it hashes stably into
+    :meth:`~repro.analysis.runner.SweepTask.store_key`, so dynamic sweep
+    points are resumable like static ones.
+    """
+
+    policy: str = "never"
+    burn_multiplier: float = 4.0
+    dt: float = 1.0e-5
+    migration_bytes_per_cell: int = 256
+    iterations: int = 12
+    warmup: int = 1
+    partition_seed: int = 0
+
+    def __post_init__(self) -> None:
+        parse_policy(self.policy)  # fail fast on typos
+        if not 0 <= self.warmup < self.iterations:
+            raise ValueError("need 0 <= warmup < iterations")
+
+    def build(self) -> DynamicConfig:
+        """Materialise the simulation-side configuration."""
+        return DynamicConfig(
+            policy=parse_policy(self.policy),
+            burn_multiplier=self.burn_multiplier,
+            dt=self.dt,
+            migration_bytes_per_cell=self.migration_bytes_per_cell,
+            partition_seed=self.partition_seed,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag for tables and progress lines."""
+        return f"dyn[{self.policy},x{self.burn_multiplier:g}]"
+
+
+def _from_dict(cls, data: dict):
+    """Rebuild a frozen dataclass, rejecting unknown keys loudly."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One fully specified what-if question.
+
+    ``deck`` accepts every spec of :mod:`repro.core.parsing` — named sizes,
+    ``NXxNY`` extents, or ``weak:<cells_per_rank>`` synthetic weak-scaled
+    meshes (the first-class ``--ranks`` scaling axis; only the ``sparse``
+    model can price those, and they cannot be measured).  ``iterations`` /
+    ``warmup`` configure the simulated measurement window of
+    :func:`repro.core.pipeline.measure`; when ``dynamic`` is set, the
+    dynamic spec's own window wins, exactly as the sweep runner always
+    behaved.
+    """
+
+    deck: str = "small"
+    ranks: int = 16
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    partition_method: str = "multilevel"
+    seed: int = 1
+    placement: str | None = None
+    dynamic: DynamicSpec | None = None
+    models: tuple = ("homogeneous", "heterogeneous")
+    max_side: int = 256
+    iterations: int = 3
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+        if self.ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        if self.partition_method not in PARTITION_METHODS:
+            raise ValueError(
+                f"unknown partition method {self.partition_method!r}; "
+                f"options: {PARTITION_METHODS}"
+            )
+        for model in self.models:
+            if model not in KNOWN_MODELS:
+                raise ValueError(f"unknown model {model!r}")
+        if self.max_side < 1:
+            raise ValueError("max_side must be >= 1")
+        if not 0 <= self.warmup < self.iterations:
+            raise ValueError("need 0 <= warmup < iterations")
+        if self.placement is not None and not self.cluster.smp:
+            raise ValueError("a placement requires an SMP cluster spec")
+        if is_weak_deck(self.deck):
+            weak_cells_per_rank(self.deck)  # validate the suffix eagerly
+            if self.placement is not None or self.dynamic is not None:
+                raise ValueError(
+                    "weak-scaled decks take no placement/dynamic axes"
+                )
+            for model in self.models:
+                if model != "sparse":
+                    raise ValueError(
+                        "weak-scaled decks are priced by the 'sparse' model only"
+                    )
+
+    # ------------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (nested dataclasses become dicts)."""
+        data = dataclasses.asdict(self)
+        data["models"] = list(self.models)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictionRequest":
+        """Rebuild a request, rejecting unknown keys loudly."""
+        data = dict(data)
+        if isinstance(data.get("cluster"), dict):
+            data["cluster"] = _from_dict(ClusterSpec, data["cluster"])
+        if isinstance(data.get("dynamic"), dict):
+            data["dynamic"] = _from_dict(DynamicSpec, data["dynamic"])
+        if "models" in data:
+            data["models"] = tuple(data["models"])
+        return _from_dict(cls, data)
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, exact float round trip)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PredictionRequest":
+        return cls.from_dict(json.loads(text))
+
+    def label(self) -> str:
+        """Compact one-line description for logs and progress output."""
+        bits = [self.deck, f"p={self.ranks}", self.cluster.label]
+        if self.partition_method != "multilevel":
+            bits.append(self.partition_method)
+        if self.placement is not None:
+            bits.append(f"place={self.placement}")
+        if self.dynamic is not None:
+            bits.append(self.dynamic.label)
+        bits.append("+".join(self.models))
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """The answer to one request: totals plus per-component breakdowns.
+
+    ``predicted`` maps each requested model to its total per-iteration
+    seconds; ``phases`` carries the paper's decomposition (computation,
+    boundary exchange, ghost updates, collectives) per model.  ``measured``
+    is ``None`` for pure model predictions and the simulated per-iteration
+    seconds for :func:`repro.core.pipeline.measure`.  ``meta`` holds
+    request-level facts (cell counts, link counts) the table renderers
+    want without re-assembling anything.
+    """
+
+    request: PredictionRequest
+    measured: float | None
+    #: model label → predicted total seconds.
+    predicted: dict
+    #: model label → {component → seconds} (includes ``"total"``).
+    phases: dict
+    meta: dict = field(default_factory=dict)
+
+    def error(self, model: str) -> float:
+        """Signed relative error of ``model`` (paper's convention)."""
+        if self.measured is None:
+            raise ValueError("no measurement to compare against")
+        return (self.measured - self.predicted[model]) / self.measured
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form for stores and the service wire format."""
+        return {
+            "request": self.to_request_payload(),
+            "measured": self.measured,
+            "predicted": dict(self.predicted),
+            "phases": {m: dict(p) for m, p in self.phases.items()},
+            "meta": dict(self.meta),
+        }
+
+    def to_request_payload(self) -> dict:
+        return self.request.to_dict()
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PredictionResult":
+        """Rebuild a result from :meth:`to_payload` output (exact: JSON
+        round-trips IEEE doubles via ``repr``)."""
+        return cls(
+            request=PredictionRequest.from_dict(payload["request"]),
+            measured=payload["measured"],
+            predicted=dict(payload["predicted"]),
+            phases={m: dict(p) for m, p in payload["phases"].items()},
+            meta=dict(payload.get("meta", {})),
+        )

@@ -20,7 +20,7 @@ from repro.partition.metrics import (
     imbalance,
     partition_quality,
 )
-from repro.partition.cache import cached_partition
+from repro.partition.cache import PARTITION_METHODS, cached_partition, make_partition
 from repro.partition.dynamic import (
     EveryNPolicy,
     ImbalanceThresholdPolicy,
@@ -52,4 +52,6 @@ __all__ = [
     "imbalance",
     "partition_quality",
     "cached_partition",
+    "make_partition",
+    "PARTITION_METHODS",
 ]

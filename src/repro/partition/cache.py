@@ -42,6 +42,36 @@ def _cache_key(deck: InputDeck, num_ranks: int, method: str, seed: int) -> str:
     )
 
 
+#: Method names understood by :func:`make_partition` / :func:`cached_partition`.
+PARTITION_METHODS = ("multilevel", "rcb", "block", "structured-block")
+
+
+def make_partition(
+    mesh,
+    num_ranks: int,
+    method: str = "multilevel",
+    seed: int = 0,
+    faces: FaceTable | None = None,
+) -> Partition:
+    """Dispatch to the named partitioner — the single assembly seam.
+
+    Every construction site (sweep tasks, the model-core pipeline, the
+    verification scenario builder) routes through this dispatch, so the
+    optimized stack and the reference oracle can never disagree on what a
+    ``method`` string means.  Only ``multilevel`` consumes ``seed`` and
+    ``faces``; the regular baselines are fully determined by the mesh.
+    """
+    if method == "multilevel":
+        return multilevel_partition(mesh, num_ranks, faces=faces, seed=seed)
+    if method == "rcb":
+        return rcb_partition(mesh, num_ranks)
+    if method == "block":
+        return block_partition(mesh.num_cells, num_ranks)
+    if method == "structured-block":
+        return structured_block_partition(mesh, num_ranks)
+    raise ValueError(f"unknown partition method {method!r}")
+
+
 def cached_partition(
     deck: InputDeck,
     num_ranks: int,
@@ -67,16 +97,7 @@ def cached_partition(
             num_ranks=num_ranks, cell_rank=data["cell_rank"], method=str(data["method"])
         )
 
-    if method == "multilevel":
-        part = multilevel_partition(deck.mesh, num_ranks, faces=faces, seed=seed)
-    elif method == "rcb":
-        part = rcb_partition(deck.mesh, num_ranks)
-    elif method == "block":
-        part = block_partition(deck.mesh.num_cells, num_ranks)
-    elif method == "structured-block":
-        part = structured_block_partition(deck.mesh, num_ranks)
-    else:
-        raise ValueError(f"unknown partition method {method!r}")
+    part = make_partition(deck.mesh, num_ranks, method=method, seed=seed, faces=faces)
 
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")

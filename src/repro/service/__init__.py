@@ -1,0 +1,22 @@
+"""Prediction-as-a-service: HTTP/JSON front end over the model core.
+
+``repro serve`` runs :class:`PredictionServer` — a stdlib-only asyncio
+server that answers :class:`~repro.core.request.PredictionRequest` JSON
+with :class:`~repro.core.request.PredictionResult` payloads, coalescing
+identical concurrent queries onto one computation and caching results
+through an in-process LRU over the content-addressed result store.
+:class:`ServiceClient` is the blocking client; :func:`run_storm` drives
+concurrent load and verifies the exactly-one-simulation guarantee.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import PredictionServer
+from repro.service.storm import StormResult, run_storm
+
+__all__ = [
+    "PredictionServer",
+    "ServiceClient",
+    "ServiceError",
+    "StormResult",
+    "run_storm",
+]

@@ -1,0 +1,91 @@
+"""Blocking stdlib client for the prediction service.
+
+Thin ``http.client`` wrapper speaking the wire format of
+:mod:`repro.service.server`: JSON in, JSON out, one request per
+connection.  Threads may share one :class:`ServiceClient` — every call
+opens its own connection, matching the server's ``Connection: close``
+discipline — which is exactly what the storm driver does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.core.request import PredictionRequest, PredictionResult
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service (carries status and body)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"service returned {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Client for one server address.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bind address.
+    timeout:
+        Per-request socket timeout in seconds (measurements of large
+        decks take a while on first miss).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status != 200:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    def healthz(self) -> bool:
+        """Whether the server answers (raises on connection failure)."""
+        return bool(self._call("GET", "/healthz").get("ok"))
+
+    def stats(self) -> dict:
+        """The server's counter snapshot (service + cache tiers)."""
+        return self._call("GET", "/stats")
+
+    def shutdown(self) -> None:
+        """Ask the server to exit cleanly."""
+        self._call("POST", "/shutdown")
+
+    def _query(self, path: str, request: PredictionRequest) -> tuple:
+        data = self._call("POST", path, request.to_dict())
+        return PredictionResult.from_payload(data["result"]), bool(data["cached"])
+
+    def predict(self, request: PredictionRequest) -> PredictionResult:
+        """Model predictions for ``request`` (no simulation)."""
+        return self._query("/predict", request)[0]
+
+    def measure(self, request: PredictionRequest) -> PredictionResult:
+        """Simulated measurement + model predictions for ``request``."""
+        return self._query("/measure", request)[0]
+
+    def predict_detailed(self, request: PredictionRequest) -> tuple:
+        """``(result, cached)`` for a prediction query."""
+        return self._query("/predict", request)
+
+    def measure_detailed(self, request: PredictionRequest) -> tuple:
+        """``(result, cached)`` for a measurement query."""
+        return self._query("/measure", request)

@@ -25,6 +25,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.assemble import apply_placement
+from repro.core.request import DynamicSpec
 from repro.hydro.dynamic import DynamicConfig
 from repro.hydro.workload import build_workload_census
 from repro.machine.cluster import ClusterConfig
@@ -33,16 +35,7 @@ from repro.machine.network import QSNET_LIKE, NetworkModel, make_network
 from repro.machine.node import NodeModel
 from repro.mesh.connectivity import build_face_table
 from repro.mesh.deck import build_deck
-from repro.partition import (
-    block_partition,
-    multilevel_partition,
-    parse_policy,
-    rcb_partition,
-    structured_block_partition,
-)
-
-#: Partition methods the generator may pick (all deterministic given a seed).
-PARTITION_METHODS = ("multilevel", "rcb", "block", "structured-block")
+from repro.partition import PARTITION_METHODS, make_partition
 
 #: Edge-case archetypes, rotated by seed so every small sweep covers all.
 ARCHETYPES = (
@@ -196,17 +189,14 @@ def _build_node(scenario: Scenario) -> NodeModel:
 
 
 def _build_partition(scenario: Scenario, mesh, faces):
-    """Dispatch to the configured partitioner."""
-    method = scenario.partition_method
-    if method == "multilevel":
-        return multilevel_partition(
-            mesh, scenario.num_ranks, faces=faces, seed=scenario.partition_seed
-        )
-    if method == "rcb":
-        return rcb_partition(mesh, scenario.num_ranks)
-    if method == "block":
-        return block_partition(mesh.num_cells, scenario.num_ranks)
-    return structured_block_partition(mesh, scenario.num_ranks)
+    """Dispatch to the configured partitioner (the shared assembly seam)."""
+    return make_partition(
+        mesh,
+        scenario.num_ranks,
+        method=scenario.partition_method,
+        seed=scenario.partition_seed,
+        faces=faces,
+    )
 
 
 def build_scenario(scenario: Scenario) -> BuiltScenario:
@@ -233,27 +223,24 @@ def build_scenario(scenario: Scenario) -> BuiltScenario:
             intra_recv_overhead=scenario.intra_recv_overhead,
         )
         if scenario.placement is not None:
-            from repro.placement import make_placement
-
-            placement = make_placement(
-                scenario.placement,
-                num_ranks=scenario.num_ranks,
-                ranks_per_node=scenario.ranks_per_node,
-                census=census,
-                cluster=cluster,
+            # The same constructor path core.predict() runs (strategy name →
+            # make_placement on the SMP hierarchy, default seed).
+            cluster = apply_placement(
+                cluster, scenario.placement, scenario.num_ranks, census
             )
-            cluster = cluster.with_placement(placement)
 
     dynamic = None
     if scenario.dynamic is not None:
         spec = scenario.dynamic
-        dynamic = DynamicConfig(
-            policy=parse_policy(spec["policy"]),
+        # Materialise through the shared DynamicSpec constructor so the
+        # oracle and core.predict() can never disagree on the defaults.
+        dynamic = DynamicSpec(
+            policy=spec["policy"],
             burn_multiplier=float(spec.get("burn_multiplier", 4.0)),
             dt=float(spec.get("dt", 1.0e-5)),
             migration_bytes_per_cell=int(spec.get("migration_bytes_per_cell", 256)),
             partition_seed=int(spec.get("partition_seed", 0)),
-        )
+        ).build()
 
     return BuiltScenario(
         scenario=scenario,

@@ -1,0 +1,263 @@
+"""The CLI-free core API: requests, assembly, pipeline, LRU cache.
+
+The load-bearing contracts:
+
+* ``PredictionRequest`` round-trips through JSON losslessly and rejects
+  malformed payloads (the service's wire format depends on both).
+* ``core.measure``/``core.predict`` reproduce the legacy construction
+  path (``analysis.runner.evaluate_point``) bit-for-bit.
+* ``request_key`` is stable across processes (content-addressed store
+  keys must never drift) and mode-separated.
+* ``LRUResultCache`` counts hits/misses/evictions correctly across its
+  two tiers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import ValidationPoint
+from repro.analysis.runner import SweepTask, run_points
+from repro.core import (
+    ClusterSpec,
+    DynamicSpec,
+    LRUResultCache,
+    PredictionRequest,
+    PredictionResult,
+    assemble,
+    as_deck_size,
+    csv_floats,
+    csv_ints,
+    csv_strings,
+    is_weak_deck,
+    measure,
+    parse_deck,
+    predict,
+    request_key,
+    weak_cells_per_rank,
+)
+
+# ------------------------------------------------------------------- parsing
+
+
+def test_csv_helpers():
+    assert csv_strings(" a, b ,,c ") == ("a", "b", "c")
+    assert csv_ints("1, 2,4") == (1, 2, 4)
+    assert csv_floats("0.5,2") == (0.5, 2.0)
+
+
+def test_weak_deck_spec():
+    assert is_weak_deck("weak:8192")
+    assert not is_weak_deck("small")
+    assert weak_cells_per_rank("weak:8192.0") == 8192.0
+    with pytest.raises(ValueError):
+        weak_cells_per_rank("weak:nope")
+
+
+def test_as_deck_size_rejects_unknown():
+    assert as_deck_size("16x8") == (16, 8)
+    with pytest.raises(ValueError, match="unknown deck"):
+        as_deck_size("enormous")
+
+
+def test_parse_deck_named_and_custom():
+    assert parse_deck("small").name == "small"
+    deck = parse_deck("16x8")
+    assert (deck.mesh.nx, deck.mesh.ny) == (16, 8)
+
+
+# ------------------------------------------------------------------ requests
+
+
+def test_request_json_round_trip():
+    request = PredictionRequest(
+        deck="16x8",
+        ranks=8,
+        cluster=ClusterSpec(speed=1.5, smp=True, intra_send_overhead=5e-7),
+        partition_method="rcb",
+        seed=3,
+        placement="round-robin",
+        dynamic=DynamicSpec(policy="every:4", burn_multiplier=2.0),
+        models=("mesh-specific", "homogeneous"),
+        max_side=32,
+        iterations=5,
+        warmup=2,
+    )
+    clone = PredictionRequest.from_json(request.to_json())
+    assert clone == request
+    # Canonical JSON identity too, not just equality.
+    assert clone.to_json() == request.to_json()
+
+
+def test_request_dict_round_trip_defaults():
+    request = PredictionRequest()
+    assert PredictionRequest.from_dict(request.to_dict()) == request
+
+
+def test_request_rejects_unknown_keys():
+    payload = PredictionRequest().to_dict()
+    payload["typo"] = 1
+    with pytest.raises(ValueError, match="unknown"):
+        PredictionRequest.from_dict(payload)
+
+
+def test_request_rejects_unknown_model():
+    with pytest.raises(ValueError, match="unknown model"):
+        PredictionRequest(models=("nope",))
+
+
+def test_request_placement_requires_smp():
+    with pytest.raises(ValueError, match="SMP"):
+        PredictionRequest(placement="round-robin")
+
+
+def test_weak_request_constraints():
+    with pytest.raises(ValueError):
+        PredictionRequest(deck="weak:64", models=("homogeneous",))
+    ok = PredictionRequest(deck="weak:64", ranks=64, models=("sparse",))
+    assert is_weak_deck(ok.deck)
+    with pytest.raises(ValueError, match="cannot be measured"):
+        measure(ok)
+
+
+def test_result_payload_round_trip():
+    request = PredictionRequest(deck="16x8", ranks=4, max_side=16)
+    result = predict(request)
+    clone = PredictionResult.from_payload(result.to_payload())
+    assert clone.request == request
+    assert clone.predicted == result.predicted
+    assert clone.phases == result.phases
+    # IEEE doubles survive the JSON wire format exactly.
+    wire = json.loads(json.dumps(result.to_payload()))
+    assert PredictionResult.from_payload(wire).predicted == result.predicted
+
+
+# ---------------------------------------------------------------------- keys
+
+
+def test_request_key_stable_and_mode_separated():
+    request = PredictionRequest(deck="16x8", ranks=4, max_side=16)
+    assert request_key(request) == request_key(
+        PredictionRequest.from_json(request.to_json())
+    )
+    assert request_key(request, mode="predict") != request_key(
+        request, mode="measure"
+    )
+    assert request_key(request) != request_key(
+        PredictionRequest(deck="16x8", ranks=8, max_side=16)
+    )
+
+
+# ------------------------------------------------------------------ pipeline
+
+
+def test_measure_matches_legacy_runner_bitwise():
+    request = PredictionRequest(
+        deck="16x8",
+        ranks=4,
+        models=("mesh-specific", "homogeneous", "heterogeneous"),
+        max_side=16,
+    )
+    result = measure(request)
+
+    from repro.core import calibration_table
+    from repro.perfmodel import default_sample_sides
+
+    cluster = ClusterSpec().build()
+    task = SweepTask(
+        deck=parse_deck("16x8"),
+        num_ranks=4,
+        cluster=cluster,
+        table=calibration_table(cluster, default_sample_sides(16)),
+        models=("mesh-specific", "homogeneous", "heterogeneous"),
+        partition_method="multilevel",
+        seed=1,
+    )
+    [legacy] = run_points([task])
+    assert isinstance(legacy, ValidationPoint)
+    assert result.measured == legacy.measured
+    assert result.predicted == legacy.predicted
+
+
+def test_predict_smp_placement_runs():
+    request = PredictionRequest(
+        deck="16x8",
+        ranks=4,
+        cluster=ClusterSpec(smp=True),
+        placement="round-robin",
+        max_side=16,
+    )
+    result = predict(request)
+    assert set(result.predicted) == {"homogeneous", "heterogeneous"}
+    assert all(v > 0 for v in result.predicted.values())
+
+
+def test_weak_predict_sparse_only():
+    result = predict(
+        PredictionRequest(deck="weak:64", ranks=256, models=("sparse",))
+    )
+    assert result.measured is None
+    assert result.predicted["sparse"] > 0
+    assert result.meta["links"] > 0
+
+
+def test_assemble_exposes_built_objects():
+    asm = assemble(PredictionRequest(deck="16x8", ranks=4, max_side=16))
+    assert asm.deck.num_cells == 16 * 8
+    assert asm.census is not None
+    assert asm.table is not None
+
+
+# ----------------------------------------------------------------- LRU cache
+
+
+class _DictStore:
+    """Duck-typed stand-in for the on-disk result store."""
+
+    def __init__(self):
+        self.data = {}
+
+    def get(self, key, default=None):
+        return self.data.get(key, default)
+
+    def put(self, key, payload):
+        self.data[key] = payload
+        return key
+
+
+def test_lru_counts_hits_and_misses():
+    cache = LRUResultCache(store=None, max_entries=2)
+    assert cache.get("a") is None
+    cache.put("a", {"v": 1})
+    assert cache.get("a") == {"v": 1}
+    stats = cache.stats()
+    assert stats["hits_memory"] == 1
+    assert stats["misses"] == 1
+    assert stats["lookups"] == 2
+
+
+def test_lru_evicts_least_recently_used():
+    cache = LRUResultCache(store=None, max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"
+    cache.put("c", 3)  # evicts "b"
+    assert "b" not in cache
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.stats()["evictions"] == 1
+
+
+def test_lru_store_tier_write_through_and_promotion():
+    store = _DictStore()
+    cache = LRUResultCache(store=store, max_entries=4)
+    cache.put("k", {"v": 7})
+    assert store.data["k"] == {"v": 7}  # write-through
+
+    fresh = LRUResultCache(store=store, max_entries=4)
+    assert fresh.get("k") == {"v": 7}  # store tier
+    assert fresh.stats()["hits_store"] == 1
+    assert fresh.get("k") == {"v": 7}  # promoted to memory
+    assert fresh.stats()["hits_memory"] == 1

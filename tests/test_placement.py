@@ -480,6 +480,6 @@ class TestPlaceCli:
             "sweep", "status", "--decks", "16x8", "--ranks", "4", "--smp",
             "--placements", "default,comm-aware",
         ])
-        from repro.cli import _placements_from_args
+        from repro.cli.common import placements_from_args
 
-        assert _placements_from_args(args) == (None, "comm-aware")
+        assert placements_from_args(args) == (None, "comm-aware")

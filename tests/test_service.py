@@ -1,0 +1,168 @@
+"""The prediction service: wire format, coalescing, caching, shutdown.
+
+Each test runs a real :class:`~repro.service.PredictionServer` on an
+ephemeral port in a background thread and talks to it over HTTP — the
+same path ``repro serve`` exposes.  The two guarantees the subsystem
+advertises are asserted directly: a storm of identical queries simulates
+exactly once, and every served number matches :func:`repro.core.measure`
+/ :func:`repro.core.predict` within 1e-12 (they are in fact identical —
+the payload round-trips IEEE doubles through ``repr``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core import (
+    LRUResultCache,
+    PredictionRequest,
+    measure,
+    predict,
+)
+from repro.service import PredictionServer, ServiceClient, ServiceError, run_storm
+
+REQUEST = PredictionRequest(deck="16x8", ranks=4, max_side=16)
+
+
+@pytest.fixture()
+def server():
+    """A running ephemeral-port server; torn down via /shutdown."""
+    srv = PredictionServer(host="127.0.0.1", port=0, cache=LRUResultCache())
+    started = threading.Event()
+
+    def serve():
+        async def main():
+            await srv.start()
+            started.set()
+            await srv.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "server did not start"
+    yield srv
+    if thread.is_alive():
+        try:
+            ServiceClient(host=srv.host, port=srv.port).shutdown()
+        except OSError:
+            pass
+        thread.join(timeout=30)
+    assert not thread.is_alive(), "server did not shut down cleanly"
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(host=server.host, port=server.port)
+
+
+def test_healthz_and_stats(client):
+    assert client.healthz()
+    stats = client.stats()
+    assert stats["service"]["requests"] >= 1
+    assert "cache" in stats and "inflight" in stats
+
+
+def test_served_measurement_matches_core_exactly(client):
+    direct = measure(REQUEST)
+    served, cached = client.measure_detailed(REQUEST)
+    assert not cached
+    assert served.measured == pytest.approx(direct.measured, rel=1e-12)
+    for model, total in direct.predicted.items():
+        assert served.predicted[model] == pytest.approx(total, rel=1e-12)
+    # Not merely close: the JSON wire format is exact for IEEE doubles.
+    assert served.measured == direct.measured
+    assert served.predicted == direct.predicted
+
+
+def test_served_prediction_matches_core_exactly(client):
+    direct = predict(REQUEST)
+    served = client.predict(REQUEST)
+    assert served.measured is None
+    assert served.predicted == direct.predicted
+    assert served.phases == direct.phases
+
+
+def test_repeat_query_is_cached(client):
+    _, first = client.measure_detailed(REQUEST)
+    _, second = client.measure_detailed(REQUEST)
+    assert not first
+    assert second
+
+
+def test_identical_storm_simulates_exactly_once(client):
+    storm = run_storm(client, [REQUEST] * 12, mode="measure", concurrency=12)
+    assert storm.num_computed == 1
+    assert storm.num_cached == 11
+    assert storm.distinct_payloads() == 1
+    assert storm.counters["errors"] == 0
+
+
+def test_distinct_storm_simulates_each_once(client):
+    requests = [
+        PredictionRequest(deck="16x8", ranks=ranks, max_side=16)
+        for ranks in (2, 4, 8)
+    ]
+    storm = run_storm(client, requests * 2, mode="predict", concurrency=6)
+    assert storm.num_computed == 3
+    assert storm.num_cached == 3
+    assert storm.distinct_payloads() == 3
+
+
+def test_predict_and_measure_are_distinct_cache_entries(client):
+    predicted, cached_p = client.predict_detailed(REQUEST)
+    measured, cached_m = client.measure_detailed(REQUEST)
+    assert not cached_p and not cached_m
+    assert predicted.measured is None
+    assert measured.measured is not None
+
+
+def test_invalid_request_is_a_400(client):
+    with pytest.raises(ServiceError) as err:
+        client._call("POST", "/predict", {"deck": "small", "typo": 1})
+    assert err.value.status == 400
+
+
+def test_unknown_route_is_a_404(client):
+    with pytest.raises(ServiceError) as err:
+        client._call("GET", "/nope")
+    assert err.value.status == 404
+
+
+def test_store_backed_cache_survives_server_restart(tmp_path):
+    from repro.analysis.store import ResultStore
+
+    store = ResultStore(namespace="predictions", root=tmp_path)
+
+    def one_server_round() -> tuple:
+        srv = PredictionServer(
+            host="127.0.0.1", port=0, cache=LRUResultCache(store=store)
+        )
+        started = threading.Event()
+
+        def serve():
+            async def main():
+                await srv.start()
+                started.set()
+                await srv.serve_until_shutdown()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        client = ServiceClient(host=srv.host, port=srv.port)
+        result, cached = client.predict_detailed(REQUEST)
+        client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        return result, cached
+
+    first, first_cached = one_server_round()
+    second, second_cached = one_server_round()
+    assert not first_cached
+    assert second_cached  # answered from the on-disk store, no recompute
+    assert second.predicted == first.predicted

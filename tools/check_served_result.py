@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Check a served prediction against an in-process ``core.predict()``.
+
+Usage: python tools/check_served_result.py <response.json> [rtol]
+
+``<response.json>`` is the body of a ``POST /predict`` answer from the
+prediction service.  The script replays the echoed request through
+:func:`repro.core.predict` locally and requires every served number to
+match within ``rtol`` (default 1e-12 — in practice they are identical,
+because the wire format round-trips IEEE doubles exactly).  The CI
+service-smoke lane runs this to pin served == computed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core import PredictionResult, predict
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    rtol = float(argv[2]) if len(argv) > 2 else 1e-12
+    with open(argv[1]) as handle:
+        served = PredictionResult.from_payload(json.load(handle)["result"])
+    local = predict(served.request)
+    failures = []
+    for model, total in local.predicted.items():
+        got = served.predicted.get(model)
+        if got is None or abs(got - total) > rtol * abs(total):
+            failures.append(f"{model}: served {got!r} != local {total!r}")
+    for model, phases in local.phases.items():
+        for phase, value in phases.items():
+            got = served.phases.get(model, {}).get(phase)
+            if got is None or abs(got - value) > rtol * max(abs(value), 1e-300):
+                failures.append(
+                    f"{model}.{phase}: served {got!r} != local {value!r}"
+                )
+    if failures:
+        print("served result drifted from core.predict():")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"served result matches core.predict() within {rtol:g} "
+        f"({len(local.predicted)} models, "
+        f"{sum(len(p) for p in local.phases.values())} phase values)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
