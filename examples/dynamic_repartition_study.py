@@ -17,7 +17,8 @@ Run:  python examples/dynamic_repartition_study.py [--deck small]
 import argparse
 
 from repro.analysis import TextTable, format_series
-from repro.hydro import DynamicConfig, run_krak
+from repro.api import run_krak
+from repro.hydro import DynamicConfig
 from repro.machine import es45_like_cluster
 from repro.mesh import build_deck, build_face_table
 from repro.partition import cached_partition, parse_policy

@@ -6,9 +6,9 @@ simulated processors with the multilevel partitioner, "measures" one
 iteration on the simulated ES-45/QsNet-like machine, and compares against
 the mesh-specific and general models.
 
-The whole pipeline is one call into the model core: a typed
-:class:`repro.core.PredictionRequest` in, a
-:class:`repro.core.PredictionResult` out — the same API the sweep
+The whole pipeline is one call into the public facade: a typed
+:class:`repro.api.PredictionRequest` in, a
+:class:`repro.api.PredictionResult` out — the same API the sweep
 runner, the verifier, and the ``repro serve`` HTTP service use.
 
 Run:  python examples/quickstart.py [--deck small|medium|large] [--ranks N]
@@ -17,7 +17,7 @@ Run:  python examples/quickstart.py [--deck small|medium|large] [--ranks N]
 import argparse
 
 from repro.analysis import TextTable
-from repro.core import PredictionRequest, measure
+from repro.api import PredictionRequest, measure
 
 
 def main() -> None:

@@ -22,6 +22,7 @@ from repro.machine.costdb import NUM_PHASES
 from repro.mesh.connectivity import FaceTable, build_face_table
 from repro.mesh.deck import InputDeck
 from repro.partition.base import Partition
+from repro.simmpi.compile import ProgramWriter, lower_programs
 from repro.simmpi.engine import Engine, SimResult
 
 
@@ -70,6 +71,7 @@ def run_krak(
     faces: FaceTable | None = None,
     census: WorkloadCensus | None = None,
     dynamic: DynamicConfig | None = None,
+    engine: str = "auto",
 ) -> KrakRun:
     """Run MiniKrak on the simulated cluster.
 
@@ -93,6 +95,13 @@ def run_krak(
         and the configured policy may repartition mid-run, paying the
         modelled allgather + cell-migration cost.  ``dynamic=None`` is the
         static path, bit-for-bit identical to previous behaviour.
+    engine:
+        ``"auto"`` (default) lowers census-mode programs to the batch
+        engine and falls back to the scalar event loop otherwise;
+        ``"scalar"`` forces the event loop; ``"batch"`` forces the compiled
+        path and raises if the program cannot be lowered (functional mode).
+        All three produce bitwise-identical clocks and traces (see
+        ``docs/engine.md``).
     """
     if cluster is None:
         cluster = es45_like_cluster()
@@ -116,8 +125,19 @@ def run_krak(
         num_phases = NUM_PHASES + 1
         fixed_dt = {"fixed_dt": dynamic.dt}
 
-    programs = [
-        KrakProgram(
+    if engine not in ("auto", "scalar", "batch"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'auto', 'scalar', or 'batch'"
+        )
+
+    # Program construction must be repeatable: batch lowering consumes one
+    # set of generators, and a scalar (fallback or forced) run consumes a
+    # fresh one.  ``made`` keeps the instances that actually executed so
+    # their diagnostics can be reported.
+    made: dict[int, KrakProgram] = {}
+
+    def make_program(r: int):
+        program = KrakProgram(
             rank=r,
             census=census,
             node_model=cluster.node,
@@ -126,10 +146,52 @@ def run_krak(
             dynamic=controller,
             **fixed_dt,
         )
-        for r in range(partition.num_ranks)
-    ]
-    engine = Engine(cluster, partition.num_ranks, num_phases)
-    result = engine.run(lambda r: programs[r]())
+        made[r] = program
+        return program()
+
+    def compile_direct():
+        # Census-mode fast path: KrakProgram knows its own op stream is
+        # deterministic and emits it column-wise without allocating request
+        # objects or running the generator (op-for-op identical to the
+        # generator stream — see tests/test_batch_engine.py).
+        compiled = []
+        for r in range(partition.num_ranks):
+            program = KrakProgram(
+                rank=r,
+                census=census,
+                node_model=cluster.node,
+                state=None,
+                iterations=iterations,
+                dynamic=controller,
+                **fixed_dt,
+            )
+            writer = ProgramWriter()
+            if not program.lower_into(writer):
+                return None
+            made[r] = program
+            compiled.append(writer.finish())
+        return compiled
+
+    sim = Engine(cluster, partition.num_ranks, num_phases)
+    if engine == "scalar" or (engine == "auto" and functional):
+        # Functional payloads never lower; skip the doomed compile attempt.
+        result = sim.run(make_program)
+    elif engine == "batch":
+        compiled = compile_direct() if not functional else None
+        if compiled is None:
+            compiled = lower_programs(make_program, partition.num_ranks)
+        if compiled is None:
+            raise ValueError(
+                "program cannot be lowered to the batch engine "
+                "(functional payloads?); use engine='auto' or 'scalar'"
+            )
+        result = sim.run_compiled(compiled)
+    else:
+        compiled = compile_direct()
+        if compiled is not None:
+            result = sim.run_compiled(compiled)
+        else:
+            result = sim.run_auto(make_program)
 
     return KrakRun(
         deck=deck,
@@ -138,7 +200,7 @@ def run_krak(
         cluster=cluster,
         result=result,
         iterations=iterations,
-        diagnostics=dict(programs[0].diagnostics),
+        diagnostics=dict(made[0].diagnostics),
         states=states,
         dynamic=controller.run_info() if controller is not None else None,
     )

@@ -223,6 +223,191 @@ class KrakProgram:
             for i in range(BOUNDARY_MSGS_PER_STEP):
                 yield Recv(bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i))
 
+    # ------------------------------------------------- batch compilation
+
+    def lower_into(self, writer) -> bool:
+        """Emit this rank's census-mode op stream straight into ``writer``.
+
+        The census op stream is fully deterministic — every receive carries
+        no payload and every collective result is analytic (zero totals,
+        ``min`` of identical timesteps) — so it can be written column-wise
+        without allocating a single request object or running the
+        generator.  The emitted stream is **op-for-op identical** to what
+        :meth:`__call__` yields (guarded by an equivalence test), and
+        ``time``/``dt``/``diagnostics`` are updated to the exact values the
+        generator would compute.  Returns ``False`` in functional mode,
+        which must run on the scalar engine.
+        """
+        if self.state is not None:
+            return False
+        phase_time = self.node_model.phase_time
+        rank = self.rank
+        for it in range(self.iterations):
+            writer.mark(it)
+            if self.dynamic is not None:
+                self._lower_dynamic_update(it, writer)
+
+            # Phase charge + collective schedule, phase by phase, mirroring
+            # __call__ (Table 1 / Table 4).  Census-mode collective values
+            # are analytic: sums of zeros stay 0.0 and the dt "min" over
+            # identical fixed timesteps is the fixed timestep.
+            writer.set_phase(0)
+            writer.compute(phase_time(0, self.work, rank, it))
+            writer.allreduce(4)
+            writer.allreduce(8)
+            self.dt = self.fixed_dt
+            writer.bcast(0, 4)
+            writer.bcast(0, 8)
+
+            writer.set_phase(1)
+            writer.compute(phase_time(1, self.work, rank, it))
+            writer.bcast(0, 4)
+            writer.bcast(0, 8)
+            self._lower_boundary_exchange(1, writer)
+            writer.gather(0, 32)
+            writer.allreduce(8)
+
+            writer.set_phase(2)
+            writer.compute(phase_time(2, self.work, rank, it))
+            writer.allreduce(4)
+            writer.allreduce(4)
+            writer.allreduce(8)
+
+            writer.set_phase(3)
+            writer.compute(phase_time(3, self.work, rank, it))
+            self._lower_ghost_exchange(3, 8, writer)
+            writer.allreduce(8)
+
+            writer.set_phase(4)
+            writer.compute(phase_time(4, self.work, rank, it))
+            self._lower_ghost_exchange(4, 16, writer)
+            writer.allreduce(4)
+
+            writer.set_phase(5)
+            writer.compute(phase_time(5, self.work, rank, it))
+            writer.allreduce(4)
+            writer.allreduce(8)
+            writer.allreduce(8)
+
+            writer.set_phase(6)
+            writer.compute(phase_time(6, self.work, rank, it))
+            self._lower_ghost_exchange(6, 16, writer)
+            writer.allreduce(8)
+
+            writer.set_phase(7)
+            writer.compute(phase_time(7, self.work, rank, it))
+            writer.allreduce(4)
+
+            writer.set_phase(8)
+            writer.compute(phase_time(8, self.work, rank, it))
+            writer.allreduce(8)
+
+            writer.set_phase(9)
+            writer.compute(phase_time(9, self.work, rank, it))
+            writer.allreduce(8)
+
+            writer.set_phase(10)
+            writer.compute(phase_time(10, self.work, rank, it))
+            writer.allreduce(4)
+            writer.allreduce(8)
+
+            writer.set_phase(11)
+            writer.compute(phase_time(11, self.work, rank, it))
+            writer.allreduce(8)
+
+            writer.set_phase(12)
+            writer.compute(phase_time(12, self.work, rank, it))
+            writer.allreduce(4)
+
+            writer.set_phase(13)
+            writer.compute(phase_time(13, self.work, rank, it))
+            writer.allreduce(8)
+
+            writer.set_phase(14)
+            writer.compute(phase_time(14, self.work, rank, it))
+            writer.allreduce(4)
+            writer.allreduce(8)
+            writer.bcast(0, 4)
+            writer.bcast(0, 8)
+
+            self.time += self.dt
+            self.diagnostics = {
+                "total_mass": 0.0,
+                "total_ke": 0.0,
+                "total_ie": 0.0,
+                "total_momentum_x": 0.0,
+                "total_energy": 0.0,
+                "dt": self.dt,
+                "time": self.time,
+            }
+
+        writer.mark(self.iterations)
+        return True
+
+    def _lower_ghost_exchange(self, phase: int, bytes_per_node: int, writer) -> None:
+        """Column form of :meth:`_ghost_exchange` (census mode)."""
+        for gl in self.ghost_links:
+            writer.isend(gl.nbr_rank, _tag(phase, 0), bytes_per_node * gl.owned_by_me)
+            writer.isend(
+                gl.nbr_rank, _tag(phase, 1), bytes_per_node * gl.not_owned_by_me
+            )
+        writer.wait_sends()
+        for gl in self.ghost_links:
+            writer.recv(gl.nbr_rank, _tag(phase, 0))
+            writer.recv(gl.nbr_rank, _tag(phase, 1))
+
+    def _lower_boundary_exchange(self, phase: int, writer) -> None:
+        """Column form of :meth:`_boundary_exchange`."""
+        fb = BOUNDARY_BYTES_PER_FACE
+        mb = BOUNDARY_BYTES_PER_MULTI_NODE
+        for bl in self.boundary_links:
+            for (group, faces, multi) in bl.mine.groups:
+                big = fb * faces + mb * multi
+                small = fb * faces
+                for i in range(BOUNDARY_MSGS_PER_STEP):
+                    writer.isend(
+                        bl.nbr_rank, _tag(phase, group * 16 + i),
+                        big if i < 2 else small,
+                    )
+            total = fb * bl.mine.total_faces
+            for i in range(BOUNDARY_MSGS_PER_STEP):
+                writer.isend(
+                    bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i), total
+                )
+        writer.wait_sends()
+        for bl in self.boundary_links:
+            for (group, faces, multi) in bl.theirs.groups:
+                for i in range(BOUNDARY_MSGS_PER_STEP):
+                    writer.recv(bl.nbr_rank, _tag(phase, group * 16 + i))
+            for i in range(BOUNDARY_MSGS_PER_STEP):
+                writer.recv(bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i))
+
+    def _lower_dynamic_update(self, it: int, writer) -> None:
+        """Column form of :meth:`_dynamic_update` (census mode)."""
+        step = self.dynamic.step(it)
+        plan = step.migration
+        if plan is not None:
+            writer.set_phase(REPARTITION_PHASE)
+            writer.gather(0, plan.gather_bytes)
+            writer.bcast(0, plan.bcast_bytes)
+            sends = plan.matrix[self.rank]
+            for dst in range(self.census.num_ranks):
+                if sends[dst]:
+                    writer.isend(
+                        dst,
+                        _tag(REPARTITION_PHASE, 0),
+                        int(sends[dst]) * plan.bytes_per_cell,
+                    )
+            writer.wait_sends()
+            recvs = plan.matrix[:, self.rank]
+            for src in range(self.census.num_ranks):
+                if recvs[src]:
+                    writer.recv(src, _tag(REPARTITION_PHASE, 0))
+        self.census = step.census
+        self.boundary_links = step.census.boundary_links[self.rank]
+        self.ghost_links = step.census.ghost_links[self.rank]
+        self.work = step.census.work_vector(self.rank)
+
     # ------------------------------------------------------------- program
 
     def __call__(self):

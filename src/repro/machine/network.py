@@ -126,6 +126,18 @@ class NetworkModel:
             )
         return cached
 
+    def send_times_many(self, sizes: np.ndarray) -> tuple:
+        """Batched :meth:`send_times`: ``(L(S), S · TB(S))`` arrays.
+
+        One ``searchsorted`` sweep prices every message of a compiled
+        program at once — the batch engine's counterpart of the per-size
+        memoised scalar path.  Each element pair is bitwise identical to
+        ``send_times`` of the same size.  Like :meth:`tmsg_many`, this is a
+        no-validation hot path: ``sizes`` must be non-negative float64.
+        """
+        seg = self.breakpoints.searchsorted(sizes, side="left")
+        return self.latency[seg], sizes * self.per_byte[seg]
+
     def bandwidth_time(self, size) -> float:
         """Only the ``S · TB(S)`` term — the NIC-serialised component."""
         size_arr = np.asarray(size, dtype=np.float64)

@@ -5,6 +5,13 @@ implementation is the classic single-move-with-rollback FM: vertices are
 moved one at a time in best-gain order subject to a balance constraint, and
 the pass is rolled back to the best prefix seen.  Only boundary vertices
 enter the priority queue, so a pass costs O(boundary · degree · log n).
+
+The move loops run over plain Python lists rather than NumPy arrays: every
+quantity involved (gains, weights, cuts) is an integer, and single-element
+list access is an order of magnitude cheaper than NumPy scalar indexing.
+Heap contents, tie-break draws, and move order are unchanged, so the
+refined bisection is identical to the array-based implementation — this is
+the repartition-dominated hot path of dynamic runs.
 """
 
 from __future__ import annotations
@@ -79,24 +86,34 @@ def fm_refine(
     max_vw = int(graph.vweights.max()) if n else 1
     slack = max(max_vw, int(np.ceil(imbalance_tol * total)))
 
-    internal, external = _internal_external(graph, side)
+    internal_a, external_a = _internal_external(graph, side)
     cut = compute_cut(graph, side)
     w0, _ = compute_side_weights(graph, side)
 
-    stamp = np.zeros(n, dtype=np.int64)
+    # List-backed working state: all integers, identical arithmetic.
+    side_l = side.tolist()
+    internal = internal_a.tolist()
+    external = external_a.tolist()
+    vweights = graph.vweights.tolist()
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    eweights = graph.eweights.tolist()
+    stamp = [0] * n
 
     for _ in range(max_passes):
-        locked = np.zeros(n, dtype=bool)
+        locked = [False] * n
         heap: list = []
-        tiebreak = rng.permutation(n)
+        tiebreak = rng.permutation(n).tolist()
+
+        heappush = heapq.heappush
 
         def push(v: int) -> None:
-            gain = int(external[v] - internal[v])
+            gain = external[v] - internal[v]
             stamp[v] += 1
-            heapq.heappush(heap, (-gain, int(tiebreak[v]), int(v), int(stamp[v])))
+            heappush(heap, (-gain, tiebreak[v], v, stamp[v]))
 
-        for v in np.flatnonzero(external > 0):
-            push(int(v))
+        for v in np.flatnonzero(external_a > 0).tolist():
+            push(v)
 
         moves: list[int] = []
         best_prefix = 0
@@ -107,17 +124,14 @@ def fm_refine(
         # Classic FM early exit: abandon the pass once the hill-climb has
         # gone this long without finding a new best prefix.
         stall_limit = max(48, len(heap) // 8)
-        indptr = graph.indptr
-        indices = graph.indices
-        eweights = graph.eweights
 
         while heap and len(moves) < move_limit:
             neg_gain, _, v, st = heapq.heappop(heap)
             if locked[v] or st != stamp[v]:
                 continue
             gain = -neg_gain
-            vw = int(graph.vweights[v])
-            new_w0 = w0_now - vw if side[v] == 0 else w0_now + vw
+            vw = vweights[v]
+            new_w0 = w0_now - vw if side_l[v] == 0 else w0_now + vw
             # Balance gate: allow the move if it keeps side 0 within the
             # slack band, or strictly improves distance to the target.
             if abs(new_w0 - target0) > slack and abs(new_w0 - target0) >= abs(
@@ -127,17 +141,16 @@ def fm_refine(
                 continue
 
             # Apply the move.
-            old_side = int(side[v])
-            side[v] = 1 - old_side
+            new_side = 1 - side_l[v]
+            side_l[v] = new_side
             locked[v] = True
             w0_now = new_w0
             cut_now -= gain
             internal[v], external[v] = external[v], internal[v]
-            lo, hi = indptr[v], indptr[v + 1]
-            nbrs = indices[lo:hi]
-            wts = eweights[lo:hi]
-            for u, w in zip(nbrs.tolist(), wts.tolist()):
-                if side[u] == side[v]:
+            for e in range(indptr[v], indptr[v + 1]):
+                u = indices[e]
+                w = eweights[e]
+                if side_l[u] == new_side:
                     internal[u] += w
                     external[u] -= w
                 else:
@@ -156,24 +169,27 @@ def fm_refine(
 
         # Roll back to the best prefix.
         for v in moves[best_prefix:]:
-            old_side = int(side[v])
-            side[v] = 1 - old_side
+            new_side = 1 - side_l[v]
+            side_l[v] = new_side
             internal[v], external[v] = external[v], internal[v]
-            for u, w in zip(
-                graph.neighbors(v).tolist(), graph.edge_weights_of(v).tolist()
-            ):
-                if side[u] == side[v]:
+            for e in range(indptr[v], indptr[v + 1]):
+                u = indices[e]
+                w = eweights[e]
+                if side_l[u] == new_side:
                     internal[u] += w
                     external[u] -= w
                 else:
                     internal[u] -= w
                     external[u] += w
+        side[:] = side_l
+        external_a = np.asarray(external, dtype=np.int64)
         w0, _ = compute_side_weights(graph, side)
         improved = best_cut < cut
         cut = best_cut
         if not improved:
             break
 
+    side[:] = side_l
     return cut
 
 
@@ -192,20 +208,27 @@ def greedy_grow_bisection(
     total = graph.total_vweight
     target0 = target_frac0 * total
 
+    vweights = graph.vweights.tolist()
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    eweights = graph.eweights.tolist()
+
     best_side: np.ndarray | None = None
     best_cut = np.iinfo(np.int64).max
     for _ in range(max(1, trials)):
-        side = np.ones(n, dtype=np.int64)
+        side = [1] * n
         grown = 0
         # Connectivity of each frontier vertex to the growing region.
-        conn = np.zeros(n, dtype=np.int64)
+        conn = [0] * n
         heap: list = []
-        stamp = np.zeros(n, dtype=np.int64)
-        in_region = np.zeros(n, dtype=bool)
+        stamp = [0] * n
+        in_region = [False] * n
+
+        heappush = heapq.heappush
 
         def push(v: int) -> None:
             stamp[v] += 1
-            heapq.heappush(heap, (-int(conn[v]), int(rng.integers(n + 1)), int(v), int(stamp[v])))
+            heappush(heap, (-conn[v], int(rng.integers(n + 1)), v, stamp[v]))
 
         start = int(rng.integers(n))
         push(start)
@@ -216,22 +239,22 @@ def greedy_grow_bisection(
                     break
             else:
                 # Disconnected remainder: restart from any vertex outside.
-                outside = np.flatnonzero(~in_region)
-                if outside.size == 0:
+                try:
+                    v = in_region.index(False)
+                except ValueError:
                     break
-                v = int(outside[0])
             in_region[v] = True
             side[v] = 0
-            grown += int(graph.vweights[v])
-            for u, w in zip(
-                graph.neighbors(v).tolist(), graph.edge_weights_of(v).tolist()
-            ):
+            grown += vweights[v]
+            for e in range(indptr[v], indptr[v + 1]):
+                u = indices[e]
                 if not in_region[u]:
-                    conn[u] += w
+                    conn[u] += eweights[e]
                     push(u)
-        cut = compute_cut(graph, side)
+        side_arr = np.asarray(side, dtype=np.int64)
+        cut = compute_cut(graph, side_arr)
         if cut < best_cut:
             best_cut = cut
-            best_side = side
+            best_side = side_arr
     assert best_side is not None
     return best_side

@@ -17,6 +17,7 @@ Virtual time is exact and bit-reproducible; no wall clocks anywhere.
 """
 
 from repro.simmpi.api import (
+    OP_REGISTRY,
     Allreduce,
     Barrier,
     Bcast,
@@ -24,9 +25,13 @@ from repro.simmpi.api import (
     Gather,
     Isend,
     MarkIteration,
+    MessageKey,
+    NotLowerable,
+    Op,
     Recv,
     SetPhase,
     WaitSends,
+    as_message_key,
 )
 from repro.simmpi.engine import DeadlockError, Engine, SimResult
 from repro.simmpi.collectives import (
@@ -38,6 +43,7 @@ from repro.simmpi.collectives import (
 from repro.simmpi.tracing import PhaseTrace
 
 __all__ = [
+    "OP_REGISTRY",
     "Allreduce",
     "Barrier",
     "Bcast",
@@ -45,9 +51,13 @@ __all__ = [
     "Gather",
     "Isend",
     "MarkIteration",
+    "MessageKey",
+    "NotLowerable",
+    "Op",
     "Recv",
     "SetPhase",
     "WaitSends",
+    "as_message_key",
     "DeadlockError",
     "Engine",
     "SimResult",

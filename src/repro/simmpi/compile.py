@@ -1,0 +1,278 @@
+"""Lowering simmpi programs to columnar event tables (batch compilation).
+
+The batch engine prices a whole run array-at-a-time instead of one request
+object per Python-level event.  The bridge is this module: a
+:class:`ProgramWriter` accumulates one rank's op stream into flat columns
+(opcode, float argument, two integer arguments), a :class:`CompiledProgram`
+freezes them as NumPy arrays, and :func:`lower_programs` turns generator
+programs into compiled ones by *structural pre-execution* — running the
+generators cooperatively with exact value semantics (message payload
+delivery, collective combines) but no clocks, recording each op through its
+:meth:`~repro.simmpi.api.Op.lower` hook.
+
+Programs whose ops cannot be lowered (payload-carrying sends, unknown op
+types) make :func:`lower_programs` return ``None``, and the engine falls
+back to the scalar event loop — the fallback contract documented in
+``docs/engine.md``.  Value semantics never depend on simulated time, so a
+program that lowers at all lowers *exactly*: the compiled stream is the
+same op sequence the scalar engine would consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.simmpi import api
+from repro.simmpi.collectives import combine
+
+# Opcodes of the columnar event table (column ``opcode``).
+OP_COMPUTE = 0
+OP_SETPHASE = 1
+OP_MARK = 2
+OP_ISEND = 3
+OP_RECV = 4
+OP_WAITSENDS = 5
+OP_COLL = 6
+
+# Collective sub-kinds (column ``b`` of an ``OP_COLL`` row).
+COLL_ALLREDUCE = 0
+COLL_BCAST = 1
+COLL_GATHER = 2
+COLL_BARRIER = 3
+
+#: Sub-kind → op class, for collective timing/mismatch reporting.
+COLL_CLASSES = (api.Allreduce, api.Bcast, api.Gather, api.Barrier)
+
+
+class ProgramWriter:
+    """Append-only builder of one rank's columnar op stream.
+
+    Each method appends one row: ``opcode`` selects the handler, ``farg``
+    carries the float argument (seconds or bytes), ``a``/``b`` carry the
+    integer arguments (peer rank / phase / index / root, tag / collective
+    sub-kind).  :meth:`finish` freezes the columns into a
+    :class:`CompiledProgram`.
+    """
+
+    __slots__ = ("opcode", "farg", "a", "b")
+
+    def __init__(self) -> None:
+        self.opcode: list[int] = []
+        self.farg: list[float] = []
+        self.a: list[int] = []
+        self.b: list[int] = []
+
+    def _row(self, opcode: int, farg: float, a: int, b: int) -> None:
+        self.opcode.append(opcode)
+        self.farg.append(farg)
+        self.a.append(a)
+        self.b.append(b)
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of computation."""
+        self._row(OP_COMPUTE, seconds, 0, 0)
+
+    def set_phase(self, phase: int) -> None:
+        """Attribute subsequent time to ``phase``."""
+        self._row(OP_SETPHASE, 0.0, phase, 0)
+
+    def mark(self, index: int) -> None:
+        """Record the clock at the start of iteration ``index``."""
+        self._row(OP_MARK, 0.0, index, 0)
+
+    def isend(self, dst: int, tag: int, nbytes: float) -> None:
+        """Post an asynchronous ``nbytes`` send to ``dst``."""
+        self._row(OP_ISEND, nbytes, dst, tag)
+
+    def recv(self, src: int, tag: int) -> None:
+        """Block for the matching message from ``src``."""
+        self._row(OP_RECV, 0.0, src, tag)
+
+    def wait_sends(self) -> None:
+        """Drain this rank's NIC."""
+        self._row(OP_WAITSENDS, 0.0, 0, 0)
+
+    def allreduce(self, nbytes: float) -> None:
+        """Enter an allreduce of ``nbytes`` per tree message."""
+        self._row(OP_COLL, nbytes, 0, COLL_ALLREDUCE)
+
+    def bcast(self, root: int, nbytes: float) -> None:
+        """Enter a broadcast from ``root``."""
+        self._row(OP_COLL, nbytes, root, COLL_BCAST)
+
+    def gather(self, root: int, nbytes: float) -> None:
+        """Enter a gather to ``root``."""
+        self._row(OP_COLL, nbytes, root, COLL_GATHER)
+
+    def barrier(self) -> None:
+        """Enter a barrier (zero-payload allreduce)."""
+        self._row(OP_COLL, 0.0, 0, COLL_BARRIER)
+
+    def finish(self) -> "CompiledProgram":
+        """Freeze the accumulated rows."""
+        return CompiledProgram(
+            opcode=np.asarray(self.opcode, dtype=np.int64),
+            farg=np.asarray(self.farg, dtype=np.float64),
+            a=np.asarray(self.a, dtype=np.int64),
+            b=np.asarray(self.b, dtype=np.int64),
+        )
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """One rank's op stream as flat columns (see :class:`ProgramWriter`)."""
+
+    opcode: np.ndarray
+    farg: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def num_ops(self) -> int:
+        """Total rows in this rank's stream."""
+        return int(self.opcode.shape[0])
+
+
+def lower_ops(ops: Sequence[api.Op]) -> CompiledProgram:
+    """Compile a static op sequence; raises :class:`api.NotLowerable`."""
+    writer = ProgramWriter()
+    for op in ops:
+        lower = getattr(op, "lower", None)
+        if lower is None:
+            raise api.NotLowerable(f"unknown request {op!r}")
+        lower(writer)
+    return writer.finish()
+
+
+def lower_programs(
+    make_program: Callable[[int], Iterator], num_ranks: int
+) -> list[CompiledProgram] | None:
+    """Lower generator programs by structural pre-execution.
+
+    Runs ``make_program(rank)`` for every rank cooperatively — delivering
+    ``(nbytes, payload)`` receive results and combining collectives exactly
+    as the engine would — while recording every yielded op through its
+    ``lower()`` hook.  Returns ``None`` when any op refuses to lower
+    (payload-carrying sends, unknown requests) or when the programs cannot
+    make progress without timing (a deadlock is left to the scalar engine
+    to diagnose).
+    """
+    programs = [make_program(r) for r in range(num_ranks)]
+    writers = [ProgramWriter() for _ in range(num_ranks)]
+    pending_value: list = [None] * num_ranks
+    finished = [False] * num_ranks
+    waiting_recv: list = [None] * num_ranks
+    mailboxes: dict[api.MessageKey, deque] = {}
+    recv_waiters: dict[api.MessageKey, int] = {}
+    coll_entered = [0] * num_ranks
+    coll_pending: dict[int, dict[int, api.Op]] = {}
+    runnable = deque(range(num_ranks))
+
+    def deliver(rank: int, key: api.MessageKey) -> bool:
+        box = mailboxes.get(key)
+        if not box:
+            return False
+        pending_value[rank] = box.popleft()
+        return True
+
+    try:
+        while runnable:
+            rank = runnable.popleft()
+            if finished[rank]:
+                continue
+            if waiting_recv[rank] is not None:
+                if not deliver(rank, waiting_recv[rank]):
+                    continue  # spurious wake-up: stay parked
+                waiting_recv[rank] = None
+            program = programs[rank]
+            writer = writers[rank]
+            while True:
+                try:
+                    op = program.send(pending_value[rank])
+                except StopIteration:
+                    finished[rank] = True
+                    break
+                pending_value[rank] = None
+                lower = getattr(op, "lower", None)
+                if lower is None:
+                    # Foreign request object: not lowerable — the scalar
+                    # fallback will produce the canonical TypeError.
+                    raise api.NotLowerable(f"unknown request {op!r}")
+                lower(writer)  # may raise NotLowerable
+                if op.collective:
+                    seq = coll_entered[rank]
+                    coll_entered[rank] += 1
+                    pend = coll_pending.setdefault(seq, {})
+                    pend[rank] = op
+                    if len(pend) == num_ranks:
+                        _resolve_collective(
+                            coll_pending.pop(seq), num_ranks, pending_value, runnable
+                        )
+                    break
+                if type(op) is api.Isend:
+                    key = op.message_key(rank)
+                    mailboxes.setdefault(key, deque()).append(
+                        (op.nbytes, op.payload)
+                    )
+                    waiter = recv_waiters.pop(key, None)
+                    if waiter is not None:
+                        runnable.append(waiter)
+                elif type(op) is api.Recv:
+                    key = op.message_key(rank)
+                    if not deliver(rank, key):
+                        waiting_recv[rank] = key
+                        recv_waiters[key] = rank
+                        break
+    except api.NotLowerable:
+        return None
+
+    if not all(finished):
+        return None  # structural deadlock: let the scalar engine report it
+    return [writer.finish() for writer in writers]
+
+
+def _resolve_collective(
+    pend: dict[int, api.Op], num_ranks: int, pending_value: list, runnable: deque
+) -> None:
+    """Compute collective results (value semantics only, no timing)."""
+    ops = [pend[r] for r in range(num_ranks)]
+    kind = type(ops[0])
+    if any(type(q) is not kind for q in ops):
+        raise api.NotLowerable("collective mismatch during lowering")
+    if kind is api.Allreduce:
+        result = combine(ops[0].op, [q.value for q in ops])
+        results: list = [result] * num_ranks
+    elif kind is api.Bcast:
+        results = [ops[ops[0].root].value] * num_ranks
+    elif kind is api.Gather:
+        gathered = [q.value for q in ops]
+        results = [gathered if r == ops[0].root else None for r in range(num_ranks)]
+    else:  # Barrier
+        results = [None] * num_ranks
+    for r in range(num_ranks):
+        pending_value[r] = results[r]
+        runnable.append(r)
+
+
+__all__ = [
+    "OP_COMPUTE",
+    "OP_SETPHASE",
+    "OP_MARK",
+    "OP_ISEND",
+    "OP_RECV",
+    "OP_WAITSENDS",
+    "OP_COLL",
+    "COLL_ALLREDUCE",
+    "COLL_BCAST",
+    "COLL_GATHER",
+    "COLL_BARRIER",
+    "COLL_CLASSES",
+    "ProgramWriter",
+    "CompiledProgram",
+    "lower_ops",
+    "lower_programs",
+]

@@ -79,6 +79,34 @@ class PhaseTrace:
             rank
         ] = self._comm_rows[rank]
 
+    def load_batch(self, compute_rows, comm_rows, marks) -> None:
+        """Bulk-load accumulation rows and mark snapshots from the batch engine.
+
+        ``compute_rows``/``comm_rows`` are ``(num_ranks, num_phases)``
+        row containers (lists or arrays) holding the *final* per-bucket
+        sums; ``marks`` is an iterable of
+        ``(rank, index, clock, compute_row, comm_row)`` tuples whose rows
+        are the cumulative snapshots taken *at* each ``MarkIteration`` —
+        the batch counterpart of calling :meth:`add_compute` /
+        :meth:`add_comm` / :meth:`mark_iteration` per event.  Values are
+        charged by the kernel in execution order, so the loaded trace is
+        bitwise identical to the scalar engine's.
+        """
+        self._compute_rows = [[float(v) for v in row] for row in compute_rows]
+        self._comm_rows = [[float(v) for v in row] for row in comm_rows]
+        shape = (self.num_ranks, self.num_phases)
+        for rank, index, clock, comp_row, comm_row in marks:
+            starts = self.iteration_starts.setdefault(
+                index, np.full(self.num_ranks, np.nan)
+            )
+            starts[rank] = clock
+            self._compute_at_mark.setdefault(index, np.full(shape, np.nan))[
+                rank
+            ] = comp_row
+            self._comm_at_mark.setdefault(index, np.full(shape, np.nan))[
+                rank
+            ] = comm_row
+
     # ---- summaries ---------------------------------------------------------
 
     def phase_compute_max(self) -> np.ndarray:

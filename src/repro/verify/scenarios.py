@@ -49,6 +49,7 @@ ARCHETYPES = (
     "smp_overheads",
     # Appended last so seeds 0..7 keep their historical archetypes.
     "large_sparse_mesh",
+    "batch_lowering",
 )
 
 
@@ -89,6 +90,12 @@ class Scenario:
     #: ``None`` → static run; else ``{"policy", "burn_multiplier", "dt",
     #: "migration_bytes_per_cell", "partition_seed"}``.
     dynamic: dict | None = None
+    # --- engine selection --------------------------------------------------
+    #: ``run_krak`` engine for the production run: ``"auto"`` (default),
+    #: ``"scalar"`` (force the event loop), or ``"batch"`` (force the
+    #: compiled path).  The differential additionally cross-checks the
+    #: *other* engine against whichever one ran (see ``verify/diff.py``).
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nx < NUM_MATERIALS:
@@ -103,6 +110,8 @@ class Scenario:
             raise ValueError("iterations must be >= 1")
         if self.placement is not None and not self.smp:
             raise ValueError("a placement requires the SMP hierarchy")
+        if self.engine not in ("auto", "scalar", "batch"):
+            raise ValueError(f"unknown engine {self.engine!r}")
 
     def label(self) -> str:
         """Compact one-line description for progress output."""
@@ -131,6 +140,8 @@ class Scenario:
             policy = self.dynamic["policy"]
             mult = float(self.dynamic.get("burn_multiplier", 4.0))
             bits.append(f"dyn={policy}x{mult:g}")
+        if self.engine != "auto":
+            bits.append(f"eng={self.engine}")
         return " ".join(bits)
 
 
@@ -379,6 +390,21 @@ def random_scenario(seed: int) -> Scenario:
             fields["ranks_per_node"] = rng.choice([4, 8])
             if rng.random() < 0.5:
                 fields["placement"] = _random_placement(rng)
+    elif archetype == "batch_lowering":
+        # Head-on batch-vs-scalar stress: force a specific engine (the
+        # differential cross-checks the other one against it), run longer
+        # with repartition bursts so the op stream mixes migration
+        # point-to-points with the phase schedule, and sprinkle SMP so the
+        # split inter/intra send sweep is exercised too.
+        fields["engine"] = rng.choice(["batch", "scalar", "auto"])
+        fields["iterations"] = rng.randrange(3, 6)
+        if rng.random() < 0.7:
+            fields["dynamic"] = _random_dynamic(rng, burst=True)
+        if rng.random() < 0.4:
+            fields["smp"] = True
+            fields["ranks_per_node"] = rng.choice([2, 4])
+            fields["intra_send_overhead"] = rng.choice([None, 0.5e-6])
+            fields["intra_recv_overhead"] = rng.choice([None, 0.7e-6])
     elif archetype == "smp_overheads":
         fields["smp"] = True
         fields["ranks_per_node"] = rng.choice([2, 3, 4])

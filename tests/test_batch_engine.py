@@ -1,0 +1,562 @@
+"""The batch-compiled engine core: lowering, bitwise agreement, fallback.
+
+The contract under test (docs/engine.md): every program that lowers prices
+bitwise identically on the batch path and the scalar event loop — clocks,
+traces, marks, and error messages — and every program that does not lower
+falls back to the event loop with no observable difference.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.hydro import DynamicConfig, run_krak
+from repro.hydro.phases import KrakProgram
+from repro.machine.cluster import es45_like_cluster
+from repro.mesh.deck import build_deck
+from repro.mesh.connectivity import build_face_table
+from repro.partition import make_partition
+from repro.simmpi import (
+    OP_REGISTRY,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    DeadlockError,
+    Engine,
+    Gather,
+    Isend,
+    MarkIteration,
+    MessageKey,
+    Recv,
+    SetPhase,
+    WaitSends,
+    as_message_key,
+)
+from repro.simmpi import _kernels
+from repro.simmpi import compile as simc
+from repro.simmpi.compile import ProgramWriter, lower_ops, lower_programs
+
+
+def flat_cluster():
+    return es45_like_cluster()
+
+
+def smp_cluster():
+    return es45_like_cluster().with_smp(
+        ranks_per_node=2,
+        intra_latency=3e-6,
+        intra_bandwidth=1.2e9,
+        intra_send_overhead=0.5e-6,
+        intra_recv_overhead=0.7e-6,
+    )
+
+
+def mixed_program(ranks, iters=3):
+    """Sends, recvs, NIC waits, all four collectives, phases, marks."""
+
+    def make(rank):
+        right = (rank + 1) % ranks
+        left = (rank - 1) % ranks
+        for it in range(iters):
+            yield MarkIteration(it)
+            yield SetPhase(0)
+            yield Compute(1e-6 * (rank + 1))
+            yield Isend(right, tag=it, nbytes=256.0 * (rank + 1))
+            yield Isend(right, tag=100 + it, nbytes=64.0)
+            yield WaitSends()
+            yield Recv(left, tag=it)
+            yield Recv(left, tag=100 + it)
+            yield SetPhase(1)
+            yield Allreduce(float(rank), "sum", 8)
+            yield Bcast(it if rank == 0 else None, 0, 4)
+            yield Gather(float(rank), 0, 32)
+            yield Barrier()
+        yield MarkIteration(iters)
+
+    return make
+
+
+def run_both(cluster, ranks, make, num_phases=2):
+    scalar = Engine(cluster, ranks, num_phases).run(make)
+    batch_engine = Engine(cluster, ranks, num_phases)
+    batch = batch_engine.run_auto(make)
+    return scalar, batch
+
+
+def assert_bitwise_equal(a, b):
+    assert np.array_equal(a.final_clocks, b.final_clocks)
+    assert np.array_equal(a.trace.compute, b.trace.compute)
+    assert np.array_equal(a.trace.comm, b.trace.comm)
+    assert set(a.trace.iteration_starts) == set(b.trace.iteration_starts)
+    for i in a.trace.iteration_starts:
+        assert np.array_equal(
+            a.trace.iteration_starts[i],
+            b.trace.iteration_starts[i],
+            equal_nan=True,
+        )
+
+
+class TestBitwiseAgreement:
+    def test_flat_cluster(self):
+        scalar, batch = run_both(flat_cluster(), 4, mixed_program(4))
+        assert_bitwise_equal(scalar, batch)
+
+    def test_smp_cluster_with_intra_overheads(self):
+        scalar, batch = run_both(smp_cluster(), 6, mixed_program(6))
+        assert_bitwise_equal(scalar, batch)
+
+    def test_window_summaries_agree(self):
+        scalar, batch = run_both(flat_cluster(), 4, mixed_program(4, iters=4))
+        assert np.array_equal(
+            scalar.trace.window_compute_max(1, 4),
+            batch.trace.window_compute_max(1, 4),
+        )
+        assert np.array_equal(
+            scalar.trace.window_comm_max(1, 4),
+            batch.trace.window_comm_max(1, 4),
+        )
+        assert scalar.trace.mean_iteration_time(1, 4) == (
+            batch.trace.mean_iteration_time(1, 4)
+        )
+
+    def test_forced_batch_engine_on_compiled_program(self):
+        make = mixed_program(4)
+        compiled = lower_programs(make, 4)
+        assert compiled is not None
+        batch = Engine(flat_cluster(), 4, 2).run_compiled(compiled)
+        scalar = Engine(flat_cluster(), 4, 2).run(make)
+        assert_bitwise_equal(scalar, batch)
+
+
+class TestScalarFallback:
+    def test_payload_send_is_not_lowerable(self):
+        def make(rank):
+            if rank == 0:
+                yield Isend(1, tag=0, nbytes=8.0, payload=np.ones(2))
+                yield WaitSends()
+            else:
+                yield Recv(0, tag=0)
+
+        assert lower_programs(make, 2) is None
+
+    def test_run_auto_falls_back_and_matches_scalar(self):
+        def make(rank):
+            yield SetPhase(0)
+            if rank == 0:
+                yield Isend(1, tag=0, nbytes=8.0, payload=np.arange(3.0))
+                yield WaitSends()
+            else:
+                yield Recv(0, tag=0)
+            yield Allreduce(1.0, "sum", 8)
+
+        scalar = Engine(flat_cluster(), 2, 1).run(make)
+        auto = Engine(flat_cluster(), 2, 1).run_auto(make)
+        assert_bitwise_equal(scalar, auto)
+
+    def test_mixed_lowerable_then_not(self):
+        # The non-lowerable op appears mid-stream: everything recorded up
+        # to it must be discarded and the whole run re-executed scalar.
+        def make(rank):
+            yield SetPhase(0)
+            yield Compute(1e-6)
+            yield Barrier()
+            if rank == 1:
+                yield Isend(0, tag=7, nbytes=16.0, payload=(1, 2))
+                yield WaitSends()
+            else:
+                yield Recv(1, tag=7)
+
+        assert lower_programs(make, 2) is None
+        scalar = Engine(flat_cluster(), 2, 1).run(make)
+        auto = Engine(flat_cluster(), 2, 1).run_auto(make)
+        assert_bitwise_equal(scalar, auto)
+
+
+class TestCompile:
+    def test_lower_ops_columns(self):
+        compiled = lower_ops(
+            [
+                SetPhase(1),
+                Compute(2.5e-6),
+                Isend(3, tag=9, nbytes=128.0),
+                Recv(2, tag=4),
+                WaitSends(),
+                MarkIteration(0),
+                Allreduce(0.0, "max", 8),
+                Bcast(None, 1, 4),
+                Gather(0.0, 2, 32),
+                Barrier(),
+            ]
+        )
+        assert compiled.num_ops == 10
+        assert compiled.opcode.tolist() == [
+            simc.OP_SETPHASE,
+            simc.OP_COMPUTE,
+            simc.OP_ISEND,
+            simc.OP_RECV,
+            simc.OP_WAITSENDS,
+            simc.OP_MARK,
+            simc.OP_COLL,
+            simc.OP_COLL,
+            simc.OP_COLL,
+            simc.OP_COLL,
+        ]
+        assert compiled.b[6:].tolist() == [
+            simc.COLL_ALLREDUCE,
+            simc.COLL_BCAST,
+            simc.COLL_GATHER,
+            simc.COLL_BARRIER,
+        ]
+        assert compiled.farg[1] == 2.5e-6
+        assert compiled.a[2] == 3 and compiled.b[2] == 9
+        assert compiled.a[3] == 2 and compiled.b[3] == 4
+
+    def test_structural_deadlock_returns_none(self):
+        def make(rank):
+            # Both ranks park on a recv nobody sends.
+            yield Recv(1 - rank, tag=0)
+
+        assert lower_programs(make, 2) is None
+
+    def test_collective_mismatch_during_lowering_returns_none(self):
+        def make(rank):
+            if rank == 0:
+                yield Allreduce(1.0, "sum", 8)
+            else:
+                yield Barrier()
+
+        assert lower_programs(make, 2) is None
+
+    def test_kernel_opcodes_match_compile_constants(self):
+        # _kernels duplicates the opcode table as plain literals so numba
+        # sees compile-time constants; this is the guard the duplication
+        # relies on.
+        assert _kernels._OP_COMPUTE == simc.OP_COMPUTE
+        assert _kernels._OP_SETPHASE == simc.OP_SETPHASE
+        assert _kernels._OP_MARK == simc.OP_MARK
+        assert _kernels._OP_ISEND == simc.OP_ISEND
+        assert _kernels._OP_RECV == simc.OP_RECV
+        assert _kernels._OP_WAITSENDS == simc.OP_WAITSENDS
+        assert _kernels._OP_COLL == simc.OP_COLL
+
+
+class TestOpProtocol:
+    def test_registry_covers_all_ops(self):
+        kinds = set(OP_REGISTRY)
+        assert kinds == {
+            "compute",
+            "set_phase",
+            "mark_iteration",
+            "isend",
+            "recv",
+            "wait_sends",
+            "allreduce",
+            "bcast",
+            "gather",
+            "barrier",
+        }
+
+    def test_message_key_is_tuple_compatible(self):
+        key = MessageKey(0, 1, 7)
+        assert key == (0, 1, 7)
+        assert hash(key) == hash((0, 1, 7))
+        assert key.src == 0 and key.dst == 1 and key.tag == 7
+        assert Isend(1, tag=7, nbytes=8.0).message_key(0) == key
+        assert Recv(0, tag=7).message_key(1) == key
+
+    def test_as_message_key_warns_on_positional_tuple(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            key = as_message_key((0, 1, 7))
+        assert key == MessageKey(0, 1, 7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert as_message_key(MessageKey(2, 3, 4)) == MessageKey(2, 3, 4)
+
+    def test_unknown_request_rejected_by_both_paths(self):
+        class Bogus:
+            collective = False
+
+        def make(rank):
+            yield Bogus()
+
+        with pytest.raises(TypeError, match="unknown request"):
+            Engine(flat_cluster(), 1, 1).run(make)
+        # Lowering refuses it too (no lower() hook) → scalar fallback →
+        # the same TypeError.
+        with pytest.raises(TypeError, match="unknown request"):
+            Engine(flat_cluster(), 1, 1).run_auto(make)
+
+
+class TestValidationParity:
+    """Batch validation errors must match the scalar messages exactly."""
+
+    @pytest.mark.parametrize(
+        "op, message",
+        [
+            (Isend(7, tag=0, nbytes=8.0), "Isend to invalid rank 7"),
+            (Isend(0, tag=0, nbytes=8.0), "self-sends are not supported"),
+            (SetPhase(9), "phase 9 out of range"),
+        ],
+    )
+    def test_error_messages(self, op, message):
+        def make(rank):
+            yield op
+
+        with pytest.raises(ValueError) as scalar_err:
+            Engine(flat_cluster(), 2, 2).run(make)
+        with pytest.raises(ValueError) as batch_err:
+            Engine(flat_cluster(), 2, 2).run_compiled(lower_programs(make, 2))
+        assert str(scalar_err.value) == message
+        assert str(batch_err.value) == message
+
+    def test_collective_mismatch_message(self):
+        compiled = [
+            lower_ops([Allreduce(0.0, "sum", 8)]),
+            lower_ops([Barrier()]),
+        ]
+        with pytest.raises(RuntimeError, match="collective mismatch at sequence 0"):
+            Engine(flat_cluster(), 2, 1).run_compiled(compiled)
+
+
+class TestDeadlockReport:
+    def make_deadlocked(self):
+        # Rank 0 posts tag 5 but rank 1 waits on tag 6: a tag mismatch,
+        # the classic bug the enriched report exists to expose.
+        def make(rank):
+            if rank == 0:
+                yield Isend(1, tag=5, nbytes=64.0)
+                yield Recv(1, tag=0)
+            else:
+                yield Recv(0, tag=6)
+
+        return make
+
+    def test_scalar_report_contents(self):
+        with pytest.raises(DeadlockError) as err:
+            Engine(flat_cluster(), 2, 1).run(self.make_deadlocked())
+        text = str(err.value)
+        assert "2 ranks blocked forever" in text
+        assert "rank 1: parked on recv MessageKey(src=0, dst=1, tag=6)" in text
+        assert "rank 0 pending sends: MessageKey(src=0, dst=1, tag=5) (64 B)" in text
+        assert "rank 1 has no pending sends" in text
+
+    def test_structurally_deadlocked_programs_refuse_to_lower(self):
+        # run_auto leaves deadlock diagnosis to the scalar engine.
+        assert lower_programs(self.make_deadlocked(), 2) is None
+
+    def test_batch_report_identical_to_scalar(self):
+        # Hand-compile the same op streams (lower_programs would refuse)
+        # so the batch deadlock reporter runs; its text must match the
+        # scalar engine's exactly.
+        compiled = [
+            lower_ops([Isend(1, tag=5, nbytes=64.0), Recv(1, tag=0)]),
+            lower_ops([Recv(0, tag=6)]),
+        ]
+        with pytest.raises(DeadlockError) as scalar_err:
+            Engine(flat_cluster(), 2, 1).run(self.make_deadlocked())
+        with pytest.raises(DeadlockError) as batch_err:
+            Engine(flat_cluster(), 2, 1).run_compiled(compiled)
+        assert str(scalar_err.value) == str(batch_err.value)
+
+
+class TestKrakLowering:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        deck = build_deck((8, 4))
+        faces = build_face_table(deck.mesh)
+        partition = make_partition(deck.mesh, 4, method="block", faces=faces)
+        return deck, faces, partition
+
+    def test_direct_emission_matches_generator_lowering(self, problem):
+        deck, faces, partition = problem
+        from repro.hydro.workload import build_workload_census
+        from repro.machine.costdb import NUM_PHASES
+
+        census = build_workload_census(deck, partition, faces)
+        cluster = es45_like_cluster()
+
+        def make(r):
+            return KrakProgram(
+                rank=r,
+                census=census,
+                node_model=cluster.node,
+                state=None,
+                iterations=2,
+            )()
+
+        via_generator = lower_programs(make, partition.num_ranks)
+        assert via_generator is not None
+        for r in range(partition.num_ranks):
+            program = KrakProgram(
+                rank=r,
+                census=census,
+                node_model=cluster.node,
+                state=None,
+                iterations=2,
+            )
+            writer = ProgramWriter()
+            assert program.lower_into(writer)
+            direct = writer.finish()
+            for col in ("opcode", "farg", "a", "b"):
+                assert np.array_equal(
+                    getattr(direct, col), getattr(via_generator[r], col)
+                ), (r, col)
+
+    def test_functional_mode_refuses_direct_emission(self, problem):
+        deck, faces, partition = problem
+        from repro.hydro.state import build_rank_states
+        from repro.hydro.workload import build_workload_census
+
+        census = build_workload_census(deck, partition, faces)
+        states = build_rank_states(deck, partition)
+        program = KrakProgram(
+            rank=0,
+            census=census,
+            node_model=es45_like_cluster().node,
+            state=states[0],
+            iterations=1,
+        )
+        assert not program.lower_into(ProgramWriter())
+
+    def test_run_krak_engines_agree(self, problem):
+        deck, faces, partition = problem
+        runs = {
+            eng: run_krak(
+                deck, partition, iterations=2, faces=faces, engine=eng
+            )
+            for eng in ("auto", "scalar", "batch")
+        }
+        base = runs["scalar"]
+        for eng in ("auto", "batch"):
+            assert_bitwise_equal(base.result, runs[eng].result)
+            assert runs[eng].diagnostics == base.diagnostics
+
+    def test_run_krak_dynamic_engines_agree(self, problem):
+        deck, faces, partition = problem
+        from repro.partition import ImbalanceThresholdPolicy
+
+        config = DynamicConfig(
+            policy=ImbalanceThresholdPolicy(threshold=1.1), burn_multiplier=8.0
+        )
+        runs = {
+            eng: run_krak(
+                deck,
+                partition,
+                iterations=4,
+                faces=faces,
+                dynamic=config,
+                engine=eng,
+            )
+            for eng in ("auto", "scalar", "batch")
+        }
+        base = runs["scalar"]
+        for eng in ("auto", "batch"):
+            assert_bitwise_equal(base.result, runs[eng].result)
+            assert runs[eng].dynamic.num_repartitions == (
+                base.dynamic.num_repartitions
+            )
+
+    def test_unknown_engine_rejected(self, problem):
+        deck, faces, partition = problem
+        with pytest.raises(ValueError, match="unknown engine 'vector'"):
+            run_krak(deck, partition, faces=faces, engine="vector")
+
+    def test_batch_engine_rejects_functional_mode(self, problem):
+        deck, faces, partition = problem
+        with pytest.raises(ValueError, match="cannot be lowered"):
+            run_krak(
+                deck,
+                partition,
+                iterations=1,
+                faces=faces,
+                functional=True,
+                engine="batch",
+            )
+
+
+class TestKernelContainers:
+    """The kernel is one source run over lists (fallback) or arrays (JIT)."""
+
+    def run_kernel(self, as_arrays):
+        compiled = lower_ops(
+            [
+                SetPhase(0),
+                Compute(3e-6),
+                MarkIteration(0),
+                Compute(2e-6),
+                WaitSends(),
+            ]
+        )
+        n = compiled.num_ops
+        num_phases = 1
+
+        def box(values, dtype):
+            arr = np.asarray(values, dtype=dtype)
+            return arr if as_arrays else arr.tolist()
+
+        pcs = box([0], np.int64)
+        clocks = box([0.0], np.float64)
+        nics = box([0.0], np.float64)
+        off = box([0, n], np.int64)
+        opcode = box(compiled.opcode, np.int64)
+        farg = box(compiled.farg, np.float64)
+        phase = box([0] * n, np.int64)
+        startup = box([0.0] * n, np.float64)
+        bw = box([0.0] * n, np.float64)
+        soh = box([0.0] * n, np.float64)
+        roh = box([0.0] * n, np.float64)
+        match = box([-1] * n, np.int64)
+        mark_slot = box([0, -1, -1, -1, -1], np.int64)
+        arrival = box([0.0] * n, np.float64)
+        done = box([0] * n, np.int64)
+        comp_rows = [box([0.0], np.float64)]
+        if as_arrays:
+            comp_rows = np.zeros((1, 1))
+        comm_rows = np.zeros((1, 1)) if as_arrays else [[0.0]]
+        mark_clock = box([0.0], np.float64)
+        mark_comp = np.zeros((1, 1, 1)) if as_arrays else [[[0.0]]]
+        mark_comm = np.zeros((1, 1, 1)) if as_arrays else [[[0.0]]]
+        status, blocker = _kernels.advance_rank(
+            0, pcs, clocks, nics, off, opcode, farg, phase,
+            startup, bw, soh, roh, match, mark_slot, arrival, done,
+            comp_rows, comm_rows, mark_clock, mark_comp, mark_comm,
+            num_phases,
+        )
+        return status, float(clocks[0]), float(comp_rows[0][0]), float(
+            mark_clock[0]
+        )
+
+    def test_list_and_array_containers_agree(self):
+        as_lists = self.run_kernel(as_arrays=False)
+        as_arrays = self.run_kernel(as_arrays=True)
+        assert as_lists == as_arrays
+        status, clock, comp, mark = as_lists
+        assert status == _kernels.ST_FINISHED
+        assert clock == 3e-6 + 2e-6
+        assert comp == 3e-6 + 2e-6
+        assert mark == 3e-6  # snapshot taken after the first compute
+
+
+class TestJitLane:
+    def test_kernel_mode_matches_ci_lane_expectation(self):
+        # CI exports REPRO_EXPECT_JIT per matrix lane; a lane that claims
+        # numba but silently fell back to pure Python (or vice versa) must
+        # fail loudly instead of testing the wrong mode.
+        expect = os.environ.get("REPRO_EXPECT_JIT")
+        if expect is None:
+            pytest.skip("REPRO_EXPECT_JIT not set (not a CI jit lane)")
+        assert _kernels.JIT_ENABLED == (expect == "1")
+
+    def test_jit_disabled_without_numba_or_with_optout(self):
+        if _kernels.HAVE_NUMBA:
+            assert _kernels.advance_rank_jit is not _kernels.advance_rank or (
+                os.environ.get("REPRO_JIT") == "0"
+            )
+        else:
+            assert not _kernels.JIT_ENABLED
+            assert _kernels.advance_rank_jit is _kernels.advance_rank

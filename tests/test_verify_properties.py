@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.verify.properties import check_properties
@@ -61,6 +62,7 @@ class TestViolationsDetected:
         built = build_scenario(scenario)
 
         original = hierarchy_module.HierarchicalNetwork.node_of
+        original_mask = hierarchy_module.HierarchicalNetwork.same_node_mask
 
         def scattered(self, rank):
             # Explicit placements scatter every rank onto its own node, so
@@ -69,8 +71,18 @@ class TestViolationsDetected:
                 return rank
             return original(self, rank)
 
+        def scattered_mask(self, a_ranks, b_ranks):
+            # The batch engine prices placement through the vectorized
+            # lookup, so the mutant must corrupt both entry points.
+            if self.placement is not None:
+                return np.asarray(a_ranks) == np.asarray(b_ranks)
+            return original_mask(self, a_ranks, b_ranks)
+
         monkeypatch.setattr(
             hierarchy_module.HierarchicalNetwork, "node_of", scattered
+        )
+        monkeypatch.setattr(
+            hierarchy_module.HierarchicalNetwork, "same_node_mask", scattered_mask
         )
         violations = check_properties(built)
         names = {v.name for v in violations}
