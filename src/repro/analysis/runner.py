@@ -106,6 +106,9 @@ class SweepTask:
     #: ``"round-robin"``, ``"random[:seed]"``, ``"comm-aware"``); requires
     #: an SMP cluster.  ``None`` keeps the implicit block map.
     placement: str | None = None
+    #: Optional :class:`~repro.perturb.PerturbSpec` — seeded noise injected
+    #: into the measurement only; ``None`` is the clean path.
+    perturb: object = None
 
     def store_key(self) -> str:
         """Content hash of every input that determines this point's result."""
@@ -128,6 +131,10 @@ class SweepTask:
             # Same contract as the dynamic axis: default-placement keys are
             # byte-identical to what they were before the axis existed.
             params["placement"] = self.placement
+        if self.perturb is not None:
+            # And again: unperturbed keys (every sweep result stored before
+            # the perturbation axis existed) are byte-identical.
+            params["perturb"] = self.perturb
         return ResultStore.key_for(params)
 
 
@@ -142,6 +149,7 @@ def evaluate_point(
     faces: FaceTable | None = None,
     dynamic=None,
     placement: str | None = None,
+    perturb=None,
 ) -> ValidationPoint:
     """Measure ``deck`` at ``num_ranks`` on the simulated machine and
     predict it with each requested model (``models=()`` measures only).
@@ -157,6 +165,11 @@ def evaluate_point(
     under that explicit map on the SMP hierarchy — the comm-aware strategy
     optimises against this point's own census — while model predictions
     keep the flat network, quantifying what placement does to their error.
+
+    ``perturb`` is an optional :class:`~repro.perturb.PerturbSpec`: the
+    measurement then runs under seeded noise (stragglers, degraded links,
+    failures, churn) while model predictions stay clean, quantifying how
+    far a perturbed machine drifts from the model.
     """
     measured, predictions = run_point(
         deck,
@@ -169,6 +182,7 @@ def evaluate_point(
         faces=faces,
         dynamic=dynamic,
         placement=placement,
+        perturb=perturb,
     )
     return ValidationPoint(
         deck_name=deck.name,
@@ -196,6 +210,7 @@ def _run_task(task: SweepTask) -> ValidationPoint:
         faces=_faces_for(task.deck),
         dynamic=task.dynamic,
         placement=task.placement,
+        perturb=task.perturb,
     )
 
 
@@ -314,8 +329,8 @@ class SweepSpec:
     """A declarative sweep grid: the cartesian product of its axes.
 
     Points are enumerated deck-major (deck → cluster → partition method →
-    seed → workload → placement → rank count), matching the paper's table
-    layout.
+    seed → workload → placement → perturbation → rank count), matching the
+    paper's table layout.
     """
 
     decks: tuple = ("small",)
@@ -333,6 +348,10 @@ class SweepSpec:
     #: ``"comm-aware"``) run under that explicit rank→node map and require
     #: an SMP cluster spec.
     placements: tuple = (None,)
+    #: Perturbation axis: ``None`` is the clean machine; a
+    #: :class:`~repro.perturb.PerturbSpec` injects seeded stragglers /
+    #: degraded links / failures / churn into the measurement only.
+    perturbs: tuple = (None,)
     #: Calibration range for the contrived-grid cost table.
     max_side: int = 256
 
@@ -346,6 +365,7 @@ class SweepSpec:
             "seeds",
             "dynamics",
             "placements",
+            "perturbs",
         ):
             value = getattr(self, name)
             if isinstance(value, (str, int)) or value is None:
@@ -379,6 +399,7 @@ class SweepSpec:
             * len(self.seeds)
             * len(self.dynamics)
             * len(self.placements)
+            * len(self.perturbs)
         )
 
     def tasks(self) -> list:
@@ -399,7 +420,7 @@ class SweepSpec:
             )
             built.append((cluster, table))
         out = []
-        for deck, (cluster, table), method, seed, dynamic, placement, ranks in (
+        for deck, (cluster, table), method, seed, dynamic, placement, perturb, ranks in (
             itertools.product(
                 decks,
                 built,
@@ -407,6 +428,7 @@ class SweepSpec:
                 self.seeds,
                 self.dynamics,
                 self.placements,
+                self.perturbs,
                 self.rank_counts,
             )
         ):
@@ -421,6 +443,7 @@ class SweepSpec:
                     seed=seed,
                     dynamic=dynamic,
                     placement=placement,
+                    perturb=perturb,
                 )
             )
         return out

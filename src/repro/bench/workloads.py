@@ -932,6 +932,77 @@ register(Benchmark(
 ))
 
 
+# ------------------------------------------------------------------ perturb.*
+
+def _setup_perturb(size):
+    return {
+        "deck": _deck("small"), "part": _partition("small", 16),
+        "faces": _faces("small"), "cluster": _cluster(),
+        "iters": 4 if size == "smoke" else 6,
+        "amplitudes": (0.0, 0.05, 0.2) if size == "smoke"
+        else (0.0, 0.02, 0.05, 0.1, 0.2),
+    }
+
+
+def _run_perturb_straggler(ctx):
+    from repro.hydro import run_krak
+    from repro.perturb import PerturbSpec
+
+    def result_of(perturb):
+        return run_krak(
+            ctx["deck"], ctx["part"], cluster=ctx["cluster"],
+            iterations=ctx["iters"], faces=ctx["faces"], perturb=perturb,
+        ).result
+
+    baseline = result_of(None)
+    # One seed across the sweep: common random numbers, so every amplitude
+    # scales the *same* exponential draws and hits the same stragglers —
+    # which is what makes the makespan provably monotone in amplitude.
+    sweep = [
+        result_of(PerturbSpec(
+            seed=7,
+            compute_noise=amp,
+            straggler_prob=0.25 if amp else 0.0,
+            straggler_factor=4.0,
+        ))
+        for amp in ctx["amplitudes"]
+    ]
+    return baseline, sweep
+
+
+def _perturb_invariants(ctx, result):
+    import numpy as np
+
+    baseline, sweep = result
+    zero = sweep[0]
+    makespans = [r.makespan for r in sweep]
+    return {
+        # The null spec must be bitwise free, not merely close.
+        "zero_noise_identity": bool(
+            np.array_equal(zero.trace.compute, baseline.trace.compute)
+            and np.array_equal(zero.trace.comm, baseline.trace.comm)
+            and np.array_equal(zero.final_clocks, baseline.final_clocks)
+        ),
+        "monotone_slowdown": bool(
+            all(b >= a for a, b in zip(makespans, makespans[1:]))
+        ),
+        "baseline_s": float(baseline.makespan),
+        "max_noise_s": float(makespans[-1]),
+    }
+
+
+register(Benchmark(
+    name="perturb.straggler_sweep",
+    group="perturb",
+    description="straggler/OS-noise amplitude sweep: zero-noise identity + monotone slowdown",
+    source="src/repro/perturb/model.py",
+    setup=_setup_perturb,
+    run=_run_perturb_straggler,
+    invariants=_perturb_invariants,
+    repeats=2,
+))
+
+
 # ------------------------------------------------------------------- verify.*
 
 def _setup_verify_fuzz(size):

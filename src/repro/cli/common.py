@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.analysis import ClusterSpec, DynamicSpec, SweepSpec, powers_of_two
 from repro.core import csv_ints, csv_strings, deck_label, parse_deck
+from repro.perturb import parse_perturb
 
 __all__ = [
     "add_common_arguments",
@@ -23,6 +24,8 @@ __all__ = [
     "dynamics_from_args",
     "make_cluster",
     "parse_deck",
+    "perturb_label",
+    "perturbs_from_args",
     "placement_label",
     "placements_from_args",
     "spec_from_args",
@@ -71,6 +74,18 @@ def placement_label(task) -> str:
     return "default" if task.placement is None else task.placement
 
 
+def perturbs_from_args(args) -> tuple:
+    """Perturbation-axis entries: ``none`` → None (clean machine), anything
+    else a ``+``-joined clause spec for :func:`repro.perturb.parse_perturb`
+    (e.g. ``noise:0.05+straggler:0.1x4+seed:7``)."""
+    return tuple(parse_perturb(token) for token in csv_strings(args.perturb))
+
+
+def perturb_label(task) -> str:
+    """Perturbation tag of a task for progress lines and table titles."""
+    return "none" if task.perturb is None else task.perturb.label
+
+
 def spec_from_args(args) -> SweepSpec:
     """Build the declarative grid shared by ``sweep run`` and ``sweep status``."""
     ranks = csv_ints(args.ranks) if args.ranks else powers_of_two(args.max_ranks)
@@ -80,6 +95,17 @@ def spec_from_args(args) -> SweepSpec:
         raise SystemExit(
             "error: --placements (other than 'default') requires --smp"
         )
+    perturbs = perturbs_from_args(args)
+    dynamics = dynamics_from_args(args)
+    if any(p is not None and p.has_churn for p in perturbs) and any(
+        d is None for d in dynamics
+    ):
+        # The grid is a full cross product, so one static workload entry
+        # would pair with the churn perturbation mid-sweep.
+        raise SystemExit(
+            "error: --perturb churn:P requires every --dynamic entry to be "
+            "a repartition policy (churn forces repartitions)"
+        )
     return SweepSpec(
         decks=csv_strings(args.decks),
         rank_counts=ranks,
@@ -87,8 +113,9 @@ def spec_from_args(args) -> SweepSpec:
         partition_methods=csv_strings(args.methods),
         models=csv_strings(args.models),
         seeds=csv_ints(args.seeds),
-        dynamics=dynamics_from_args(args),
+        dynamics=dynamics,
         placements=placements,
+        perturbs=perturbs,
         max_side=args.max_side,
     )
 
@@ -146,6 +173,15 @@ def add_grid_arguments(p) -> None:
             "comma list of rank placements (requires --smp): default "
             "(implicit block map) or block|round-robin|random[:seed]|"
             "comm-aware"
+        ),
+    )
+    p.add_argument(
+        "--perturb", default="none",
+        help=(
+            "comma list of perturbations: none (clean machine) or "
+            "'+'-joined clauses noise:X | straggler:PxF | degrade:M | "
+            "fail:R@IxS | churn:P | seed:N "
+            "(e.g. noise:0.05+straggler:0.1x4+seed:7; churn needs --dynamic)"
         ),
     )
 

@@ -14,6 +14,7 @@ from repro.cli.common import (
     add_grid_arguments,
     deck_label,
     dynamic_label,
+    perturb_label,
     placement_label,
     spec_from_args,
 )
@@ -74,7 +75,8 @@ def cmd_sweep_run(args) -> int:
         print(
             f"[{done}/{total}] {deck_label(task.deck)} p={task.num_ranks}"
             f" {task.partition_method} seed={task.seed}"
-            f" {dynamic_label(task)} {placement_label(task)}: {source}",
+            f" {dynamic_label(task)} {placement_label(task)}"
+            f" {perturb_label(task)}: {source}",
             flush=True,
         )
 
@@ -95,14 +97,17 @@ def cmd_sweep_run(args) -> int:
             task.seed,
             dynamic_label(task),
             placement_label(task),
+            perturb_label(task),
         )
         groups.setdefault(key, []).append(outcome.point)
     for (
-        deck_name, cluster_name, method, seed, dyn_label, place_label
+        deck_name, cluster_name, method, seed, dyn_label, place_label,
+        pert_label,
     ), points in groups.items():
         out = TextTable(
             f"{deck_name} deck on {cluster_name} "
-            f"({method}, seed {seed}, {dyn_label}, place {place_label})",
+            f"({method}, seed {seed}, {dyn_label}, place {place_label}, "
+            f"perturb {pert_label})",
             ["PEs", "measured (ms)"]
             + [f"{m} (ms)" for m in spec.models]
             + [f"{m} err" for m in spec.models],

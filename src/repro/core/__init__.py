@@ -50,6 +50,7 @@ from repro.core.request import (
     KNOWN_MODELS,
     ClusterSpec,
     DynamicSpec,
+    PerturbSpec,
     PredictionRequest,
     PredictionResult,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ClusterSpec",
     "DynamicSpec",
     "LRUResultCache",
+    "PerturbSpec",
     "PredictionRequest",
     "PredictionResult",
     "apply_placement",

@@ -88,8 +88,13 @@ def predict_models(deck, census, num_ranks, cluster, table, models) -> dict:
 
 
 def _measure_seconds(deck, partition, cluster, faces, census, dynamic,
-                     iterations, warmup) -> float:
-    """One simulated measurement; a dynamic spec's window wins."""
+                     iterations, warmup, perturb=None) -> float:
+    """One simulated measurement; a dynamic spec's window wins.
+
+    ``perturb`` reaches only this measurement path: model predictions are
+    always priced on the clean machine, so perturbed results quantify how
+    far injected noise pushes "reality" away from the model.
+    """
     if dynamic is None:
         return measure_iteration_time(
             deck,
@@ -99,6 +104,7 @@ def _measure_seconds(deck, partition, cluster, faces, census, dynamic,
             warmup=warmup,
             faces=faces,
             census=census,
+            perturb=perturb,
         ).seconds
     return measure_iteration_time(
         deck,
@@ -109,6 +115,7 @@ def _measure_seconds(deck, partition, cluster, faces, census, dynamic,
         faces=faces,
         census=census,
         dynamic=dynamic.build(),
+        perturb=perturb,
     ).seconds
 
 
@@ -126,6 +133,7 @@ def run_point(
     iterations: int = 3,
     warmup: int = 1,
     with_measurement: bool = True,
+    perturb=None,
 ):
     """The pipeline body over pre-built objects.
 
@@ -135,7 +143,8 @@ def run_point(
     ``dynamic`` is a :class:`~repro.core.request.DynamicSpec` (its
     iteration window overrides ``iterations``/``warmup``); ``placement``
     is a strategy name applied to the SMP hierarchy for the measurement
-    while model predictions keep the flat network.
+    while model predictions keep the flat network; ``perturb`` is a
+    :class:`~repro.perturb.PerturbSpec` injected into the measurement only.
     """
     if models and table is None:
         raise ValueError("a cost table is required when models are requested")
@@ -150,7 +159,8 @@ def run_point(
     measured = None
     if with_measurement:
         measured = _measure_seconds(
-            deck, partition, cluster, faces, census, dynamic, iterations, warmup
+            deck, partition, cluster, faces, census, dynamic, iterations, warmup,
+            perturb=perturb,
         )
     return measured, predict_models(deck, census, num_ranks, cluster, table, models)
 
@@ -216,6 +226,7 @@ def _run(request: PredictionRequest, with_measurement: bool, store) -> Predictio
             request.dynamic,
             request.iterations,
             request.warmup,
+            perturb=request.perturb,
         )
     predictions = predict_models(
         asm.deck, asm.census, request.ranks, asm.cluster, asm.table, request.models

@@ -24,11 +24,13 @@ from repro.hydro.dynamic import DynamicConfig
 from repro.machine.cluster import ClusterConfig, es45_like_cluster
 from repro.partition.cache import PARTITION_METHODS
 from repro.partition.dynamic import parse_policy
+from repro.perturb.spec import PerturbSpec
 
 __all__ = [
     "KNOWN_MODELS",
     "ClusterSpec",
     "DynamicSpec",
+    "PerturbSpec",
     "PredictionRequest",
     "PredictionResult",
 ]
@@ -153,7 +155,10 @@ class PredictionRequest:
     ``warmup`` configure the simulated measurement window of
     :func:`repro.core.pipeline.measure`; when ``dynamic`` is set, the
     dynamic spec's own window wins, exactly as the sweep runner always
-    behaved.
+    behaved.  ``perturb`` injects seeded noise into the *measurement*
+    (stragglers, degraded links, failures, churn — see
+    :mod:`repro.perturb`); model predictions stay clean, which is exactly
+    what lets a study ask how far noise pushes reality from the model.
     """
 
     deck: str = "small"
@@ -167,6 +172,12 @@ class PredictionRequest:
     max_side: int = 256
     iterations: int = 3
     warmup: int = 1
+    perturb: PerturbSpec | None = None
+
+    #: An unperturbed request must hash to the key it had before the
+    #: ``perturb`` field existed, so every stored sweep/service result
+    #: stays addressable (see :func:`repro.util.artifacts.stable_hash`).
+    _HASH_OPTIONAL_FIELDS_ = ("perturb",)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "models", tuple(self.models))
@@ -186,11 +197,29 @@ class PredictionRequest:
             raise ValueError("need 0 <= warmup < iterations")
         if self.placement is not None and not self.cluster.smp:
             raise ValueError("a placement requires an SMP cluster spec")
+        if self.perturb is not None:
+            if self.perturb.has_churn and self.dynamic is None:
+                raise ValueError(
+                    "churn_prob requires a dynamic workload spec"
+                )
+            if (
+                self.perturb.fail_rank is not None
+                and self.perturb.fail_rank >= self.ranks
+            ):
+                raise ValueError(
+                    f"fail_rank {self.perturb.fail_rank} out of range "
+                    f"for {self.ranks} ranks"
+                )
         if is_weak_deck(self.deck):
             weak_cells_per_rank(self.deck)  # validate the suffix eagerly
             if self.placement is not None or self.dynamic is not None:
                 raise ValueError(
                     "weak-scaled decks take no placement/dynamic axes"
+                )
+            if self.perturb is not None:
+                raise ValueError(
+                    "weak-scaled decks cannot be measured, so a perturbation "
+                    "has nothing to act on"
                 )
             for model in self.models:
                 if model != "sparse":
@@ -201,9 +230,16 @@ class PredictionRequest:
     # ------------------------------------------------------------- serialization
 
     def to_dict(self) -> dict:
-        """Plain-JSON form (nested dataclasses become dicts)."""
+        """Plain-JSON form (nested dataclasses become dicts).
+
+        The ``perturb`` key is omitted while unset: unperturbed requests
+        keep the exact wire format (and golden payloads) they had before
+        the field existed.
+        """
         data = dataclasses.asdict(self)
         data["models"] = list(self.models)
+        if self.perturb is None:
+            del data["perturb"]
         return data
 
     @classmethod
@@ -214,6 +250,8 @@ class PredictionRequest:
             data["cluster"] = _from_dict(ClusterSpec, data["cluster"])
         if isinstance(data.get("dynamic"), dict):
             data["dynamic"] = _from_dict(DynamicSpec, data["dynamic"])
+        if isinstance(data.get("perturb"), dict):
+            data["perturb"] = _from_dict(PerturbSpec, data["perturb"])
         if "models" in data:
             data["models"] = tuple(data["models"])
         return _from_dict(cls, data)
@@ -235,6 +273,8 @@ class PredictionRequest:
             bits.append(f"place={self.placement}")
         if self.dynamic is not None:
             bits.append(self.dynamic.label)
+        if self.perturb is not None:
+            bits.append(f"perturb[{self.perturb.label}]")
         bits.append("+".join(self.models))
         return " ".join(bits)
 

@@ -22,6 +22,7 @@ from repro.machine.costdb import NUM_PHASES
 from repro.mesh.connectivity import FaceTable, build_face_table
 from repro.mesh.deck import InputDeck
 from repro.partition.base import Partition
+from repro.perturb import FAILURE_PHASE, Perturbation, PerturbSpec, degrade_cluster
 from repro.simmpi.compile import ProgramWriter, lower_programs
 from repro.simmpi.engine import Engine, SimResult
 
@@ -72,6 +73,7 @@ def run_krak(
     census: WorkloadCensus | None = None,
     dynamic: DynamicConfig | None = None,
     engine: str = "auto",
+    perturb: PerturbSpec | None = None,
 ) -> KrakRun:
     """Run MiniKrak on the simulated cluster.
 
@@ -102,9 +104,26 @@ def run_krak(
         path and raises if the program cannot be lowered (functional mode).
         All three produce bitwise-identical clocks and traces (see
         ``docs/engine.md``).
+    perturb:
+        Optional :class:`~repro.perturb.PerturbSpec` injecting seeded noise
+        (OS jitter/stragglers on compute, link degradation on messaging, a
+        rank failure with checkpoint/restart cost, churn-forced
+        repartitioning).  A ``None`` or null spec is bitwise-identical to
+        the clean run, including trace shape.  See ``docs/perturbations.md``.
     """
     if cluster is None:
         cluster = es45_like_cluster()
+    if perturb is not None:
+        if functional:
+            raise ValueError("perturbed runs execute in census (timing) mode only")
+        if perturb.has_churn and dynamic is None:
+            raise ValueError(
+                "churn_prob requires a dynamic workload (the repartition "
+                "machinery); pass a DynamicConfig"
+            )
+        # Link degradation is a machine transform: every consumer prices
+        # through the same degraded coefficients on every engine path.
+        cluster = degrade_cluster(cluster, perturb)
     if dynamic is not None:
         if functional:
             raise ValueError("dynamic workloads run in census (timing) mode only")
@@ -114,16 +133,30 @@ def run_krak(
         census = build_workload_census(deck, partition, faces)
     states = build_rank_states(deck, partition) if functional else None
 
+    perturbation = None
+    if perturb is not None:
+        perturbation = Perturbation(perturb, partition.num_ranks)
+
     controller = None
     num_phases = NUM_PHASES
     fixed_dt = {}
     if dynamic is not None:
         controller = DynamicController(
-            deck, partition, dynamic, faces=faces, base_census=census
+            deck, partition, dynamic, faces=faces, base_census=census,
+            force_repartition=(
+                perturbation.churn_at
+                if perturbation is not None and perturb.has_churn
+                else None
+            ),
         )
         # Repartition time gets its own trace phase past the 15 Krak phases.
         num_phases = NUM_PHASES + 1
         fixed_dt = {"fixed_dt": dynamic.dt}
+    if perturb is not None and perturb.has_failure:
+        # Checkpoint/restart time gets its own phase too; the repartition
+        # column exists (possibly unused) whenever the failure column does,
+        # so phase indices are stable across configurations.
+        num_phases = FAILURE_PHASE + 1
 
     if engine not in ("auto", "scalar", "batch"):
         raise ValueError(
@@ -144,6 +177,7 @@ def run_krak(
             state=None if states is None else states[r],
             iterations=iterations,
             dynamic=controller,
+            perturb=perturbation,
             **fixed_dt,
         )
         made[r] = program
@@ -163,6 +197,7 @@ def run_krak(
                 state=None,
                 iterations=iterations,
                 dynamic=controller,
+                perturb=perturbation,
                 **fixed_dt,
             )
             writer = ProgramWriter()
@@ -215,12 +250,14 @@ def measure_iteration_time(
     faces: FaceTable | None = None,
     census: WorkloadCensus | None = None,
     dynamic: DynamicConfig | None = None,
+    perturb: PerturbSpec | None = None,
 ) -> MeasuredIteration:
     """Produce a "measured" per-iteration time (census/timing mode).
 
     With ``dynamic``, the phase arrays gain one extra entry — the
     repartition phase — and the steady-state window includes whatever
-    repartitions the policy fired there.
+    repartitions the policy fired there.  With a failure-carrying
+    ``perturb``, they gain the checkpoint/restart phase as well.
     """
     run = run_krak(
         deck,
@@ -231,6 +268,7 @@ def measure_iteration_time(
         faces=faces,
         census=census,
         dynamic=dynamic,
+        perturb=perturb,
     )
     trace = run.result.trace
     per_iter = run.mean_iteration_time(warmup)

@@ -169,8 +169,14 @@ class DynamicController:
         config: DynamicConfig,
         faces: FaceTable | None = None,
         base_census: WorkloadCensus | None = None,
+        force_repartition=None,
     ) -> None:
         self.config = config
+        #: Optional ``iteration -> bool`` override: when it returns True the
+        #: controller repartitions regardless of the policy (node churn —
+        #: see :mod:`repro.perturb`).  The policy is still evaluated first,
+        #: so its internal state advances identically to an unforced run.
+        self._force = force_repartition
         self.num_ranks = partition.num_ranks
         self._faces = faces if faces is not None else build_face_table(deck.mesh)
         burn = ProgrammedBurn.from_deck(
@@ -212,7 +218,10 @@ class DynamicController:
         work = census.material_counts.sum(axis=1).astype(np.float64)
         imbalance_before = imbalance(work)
         migration = None
-        if self.config.policy.should_repartition(iteration, work):
+        fired = self.config.policy.should_repartition(iteration, work)
+        if self._force is not None and self._force(iteration):
+            fired = True
+        if fired:
             dyn = self._dyn
             new_partition = weighted_repartition(
                 dyn.deck.mesh,

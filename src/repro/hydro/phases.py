@@ -33,8 +33,10 @@ from repro.machine.costdb import (
     PHASE_ALLREDUCE_SIZES,
 )
 from repro.machine.node import NodeModel
+from repro.perturb.model import FAILURE_PHASE
 from repro.simmpi.api import (
     Allreduce,
+    Barrier,
     Bcast,
     Compute,
     Gather,
@@ -77,6 +79,12 @@ class KrakProgram:
         from ``dynamic.step(it)`` — charging iteration ``k`` against
         ``census_at(t_k)`` — and executes any repartition event the
         controller's policy fired.
+    perturb:
+        Optional shared perturbation (:class:`repro.perturb.Perturbation`
+        in production, its naive oracle twin under verification): per-phase
+        compute scale factors and the rank-failure event.  ``None`` — and
+        any perturbation whose factors come back ``None`` — leaves the op
+        stream untouched, bitwise.
     """
 
     def __init__(
@@ -89,9 +97,12 @@ class KrakProgram:
         fixed_dt: float = 2.0e-7,
         models=KRAK_MATERIAL_MODELS,
         dynamic: DynamicController | None = None,
+        perturb=None,
     ) -> None:
         if dynamic is not None and state is not None:
             raise ValueError("dynamic workloads run in census (timing) mode only")
+        if perturb is not None and state is not None:
+            raise ValueError("perturbed runs execute in census (timing) mode only")
         self.rank = rank
         self.census = census
         self.node_model = node_model
@@ -100,6 +111,7 @@ class KrakProgram:
         self.fixed_dt = fixed_dt
         self.models = models
         self.dynamic = dynamic
+        self.perturb = perturb
         self.boundary_links = census.boundary_links[rank]
         self.ghost_links = census.ghost_links[rank]
         self.work = census.work_vector(rank)
@@ -114,11 +126,50 @@ class KrakProgram:
 
     # ------------------------------------------------------------- helpers
 
+    def _phase_seconds(self, phase: int, iteration: int) -> float:
+        """Modelled compute seconds for ``phase``, noise-scaled if perturbed.
+
+        The one shared pricing site for both execution modes: the generator
+        (:meth:`__call__`) and the lowering path (:meth:`lower_into`) both
+        charge through here, so a perturbed batch run stays bitwise equal
+        to the scalar run by construction.
+        """
+        seconds = self.node_model.phase_time(
+            phase, self.work, self.rank, iteration
+        )
+        if self.perturb is not None:
+            factors = self.perturb.compute_factors(self.rank, iteration)
+            if factors is not None:
+                seconds = seconds * factors[phase]
+        return seconds
+
     def _charge(self, phase: int, iteration: int):
         """Compute charge for ``phase`` from the material census."""
-        return Compute(
-            self.node_model.phase_time(phase, self.work, self.rank, iteration)
-        )
+        return Compute(self._phase_seconds(phase, iteration))
+
+    def _failure_event(self, iteration: int):
+        """The perturbation's failure event for this iteration, if any."""
+        if self.perturb is None:
+            return None
+        return self.perturb.failure_event(iteration)
+
+    def _failure_update(self, iteration: int):
+        """Charge a rank failure: global stall around the restart cost.
+
+        All ranks rendezvous (failure detection), the failed rank pays its
+        checkpoint/restart compute, and all ranks rendezvous again (no one
+        proceeds until the rank is back) — everything attributed to
+        :data:`~repro.perturb.FAILURE_PHASE`.
+        """
+        event = self._failure_event(iteration)
+        if event is None:
+            return
+        fail_rank, restart_seconds = event
+        yield SetPhase(FAILURE_PHASE)
+        yield Barrier()
+        if self.rank == fail_rank:
+            yield Compute(restart_seconds)
+        yield Barrier()
 
     def _ghost_exchange(self, phase: int, bytes_per_node: int, arrays, additive: bool):
         """Two-message-per-neighbour ghost-node exchange (Section 4.2).
@@ -240,10 +291,10 @@ class KrakProgram:
         """
         if self.state is not None:
             return False
-        phase_time = self.node_model.phase_time
-        rank = self.rank
+        seconds = self._phase_seconds
         for it in range(self.iterations):
             writer.mark(it)
+            self._lower_failure_update(it, writer)
             if self.dynamic is not None:
                 self._lower_dynamic_update(it, writer)
 
@@ -252,7 +303,7 @@ class KrakProgram:
             # are analytic: sums of zeros stay 0.0 and the dt "min" over
             # identical fixed timesteps is the fixed timestep.
             writer.set_phase(0)
-            writer.compute(phase_time(0, self.work, rank, it))
+            writer.compute(seconds(0, it))
             writer.allreduce(4)
             writer.allreduce(8)
             self.dt = self.fixed_dt
@@ -260,7 +311,7 @@ class KrakProgram:
             writer.bcast(0, 8)
 
             writer.set_phase(1)
-            writer.compute(phase_time(1, self.work, rank, it))
+            writer.compute(seconds(1, it))
             writer.bcast(0, 4)
             writer.bcast(0, 8)
             self._lower_boundary_exchange(1, writer)
@@ -268,63 +319,63 @@ class KrakProgram:
             writer.allreduce(8)
 
             writer.set_phase(2)
-            writer.compute(phase_time(2, self.work, rank, it))
+            writer.compute(seconds(2, it))
             writer.allreduce(4)
             writer.allreduce(4)
             writer.allreduce(8)
 
             writer.set_phase(3)
-            writer.compute(phase_time(3, self.work, rank, it))
+            writer.compute(seconds(3, it))
             self._lower_ghost_exchange(3, 8, writer)
             writer.allreduce(8)
 
             writer.set_phase(4)
-            writer.compute(phase_time(4, self.work, rank, it))
+            writer.compute(seconds(4, it))
             self._lower_ghost_exchange(4, 16, writer)
             writer.allreduce(4)
 
             writer.set_phase(5)
-            writer.compute(phase_time(5, self.work, rank, it))
+            writer.compute(seconds(5, it))
             writer.allreduce(4)
             writer.allreduce(8)
             writer.allreduce(8)
 
             writer.set_phase(6)
-            writer.compute(phase_time(6, self.work, rank, it))
+            writer.compute(seconds(6, it))
             self._lower_ghost_exchange(6, 16, writer)
             writer.allreduce(8)
 
             writer.set_phase(7)
-            writer.compute(phase_time(7, self.work, rank, it))
+            writer.compute(seconds(7, it))
             writer.allreduce(4)
 
             writer.set_phase(8)
-            writer.compute(phase_time(8, self.work, rank, it))
+            writer.compute(seconds(8, it))
             writer.allreduce(8)
 
             writer.set_phase(9)
-            writer.compute(phase_time(9, self.work, rank, it))
+            writer.compute(seconds(9, it))
             writer.allreduce(8)
 
             writer.set_phase(10)
-            writer.compute(phase_time(10, self.work, rank, it))
+            writer.compute(seconds(10, it))
             writer.allreduce(4)
             writer.allreduce(8)
 
             writer.set_phase(11)
-            writer.compute(phase_time(11, self.work, rank, it))
+            writer.compute(seconds(11, it))
             writer.allreduce(8)
 
             writer.set_phase(12)
-            writer.compute(phase_time(12, self.work, rank, it))
+            writer.compute(seconds(12, it))
             writer.allreduce(4)
 
             writer.set_phase(13)
-            writer.compute(phase_time(13, self.work, rank, it))
+            writer.compute(seconds(13, it))
             writer.allreduce(8)
 
             writer.set_phase(14)
-            writer.compute(phase_time(14, self.work, rank, it))
+            writer.compute(seconds(14, it))
             writer.allreduce(4)
             writer.allreduce(8)
             writer.bcast(0, 4)
@@ -382,6 +433,18 @@ class KrakProgram:
             for i in range(BOUNDARY_MSGS_PER_STEP):
                 writer.recv(bl.nbr_rank, _tag(phase, _FINAL_GROUP_SLOT * 16 + i))
 
+    def _lower_failure_update(self, it: int, writer) -> None:
+        """Column form of :meth:`_failure_update`."""
+        event = self._failure_event(it)
+        if event is None:
+            return
+        fail_rank, restart_seconds = event
+        writer.set_phase(FAILURE_PHASE)
+        writer.barrier()
+        if self.rank == fail_rank:
+            writer.compute(restart_seconds)
+        writer.barrier()
+
     def _lower_dynamic_update(self, it: int, writer) -> None:
         """Column form of :meth:`_dynamic_update` (census mode)."""
         step = self.dynamic.step(it)
@@ -416,6 +479,7 @@ class KrakProgram:
         st = self.state
         for it in range(self.iterations):
             yield MarkIteration(it)
+            yield from self._failure_update(it)
             if self.dynamic is not None:
                 yield from self._dynamic_update(it)
 

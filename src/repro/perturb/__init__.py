@@ -1,0 +1,32 @@
+"""Seeded, injectable perturbations: faults, stragglers, churn.
+
+Public surface:
+
+* :class:`PerturbSpec` — the declarative, JSON-round-tripping axis.
+* :func:`parse_perturb` — CLI token → spec (``"none"`` → ``None``).
+* :class:`Perturbation` — the built, run-shaped production machinery.
+* :func:`degrade_cluster` / :func:`degrade_network` — machine transforms.
+* :data:`FAILURE_PHASE` — the checkpoint/restart trace phase.
+
+Semantics, the seeding contract, and the straggler-vs-repartition cookbook
+live in ``docs/perturbations.md``.
+"""
+
+from repro.perturb.model import (
+    FAILURE_PHASE,
+    Perturbation,
+    degrade_cluster,
+    degrade_network,
+    perturb_rng,
+)
+from repro.perturb.spec import PerturbSpec, parse_perturb
+
+__all__ = [
+    "FAILURE_PHASE",
+    "Perturbation",
+    "PerturbSpec",
+    "degrade_cluster",
+    "degrade_network",
+    "parse_perturb",
+    "perturb_rng",
+]

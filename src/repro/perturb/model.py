@@ -1,0 +1,182 @@
+"""Production perturbation machinery: seeded streams and machine transforms.
+
+This is the *optimized* implementation the engine runs — cached per-rank
+noise vectors, a vectorised network transform — and it is deliberately
+mirrored by a naive twin (``OraclePerturbation`` in
+:mod:`repro.verify.oracle`) so the differential fuzzer can catch bugs in
+either copy.  Optimisations here must never change semantics; the oracle
+twin re-derives every draw from the ``SeedSequence`` contract per call.
+
+Seeding contract (pinned by ``tests/test_property_perturb.py`` goldens):
+every draw comes from ``Generator(PCG64(SeedSequence((seed, stream, rank,
+iteration))))`` — stream 0 is per-rank compute noise, stream 1 the global
+churn decision (rank field 0).  No global ``np.random`` state is ever
+touched, so importing or running anything else cannot perturb a draw, and
+perturbing rank *k*'s stream cannot move rank *j*'s.
+
+Per-(rank, iteration) draw order on stream 0 is fixed: one uniform (the
+straggler event — always drawn, even at ``straggler_prob == 0``, to keep
+stream alignment across specs) then ``NUM_PHASES`` exponentials (the
+per-phase noise).  Scale factors are ``1 + compute_noise · Exp(1)``, times
+``straggler_factor`` when the uniform fires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.machine.cluster import ClusterConfig
+from repro.machine.costdb import NUM_PHASES
+from repro.machine.network import NetworkModel
+from repro.perturb.spec import PerturbSpec
+
+__all__ = [
+    "FAILURE_PHASE",
+    "Perturbation",
+    "degrade_cluster",
+    "degrade_network",
+    "perturb_rng",
+]
+
+#: Trace phase for checkpoint/restart time — one past the repartition phase
+#: (REPARTITION_PHASE == NUM_PHASES), so a failure-carrying trace has
+#: ``FAILURE_PHASE + 1`` phases and clean traces keep their original width.
+FAILURE_PHASE = NUM_PHASES + 1
+
+#: Stream ids in the ``(seed, stream, rank, iteration)`` key.
+_STREAM_COMPUTE = 0
+_STREAM_CHURN = 1
+
+
+def perturb_rng(
+    seed: int, stream: int, rank: int, iteration: int
+) -> np.random.Generator:
+    """The one-and-only RNG constructor for perturbation draws.
+
+    Keyed streams (not a shared sequential generator) are what make draws
+    independent of evaluation order: a sweep worker pricing rank 5 first
+    gets bitwise the same factors as the scalar loop pricing rank 0 first.
+    """
+    return np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence((seed, stream, rank, iteration)))
+    )
+
+
+class Perturbation:
+    """A built perturbation: what the rank programs and driver consume.
+
+    Separates the declarative :class:`~repro.perturb.spec.PerturbSpec` from
+    run-shaped state (cached factor vectors, the resolved failure event).
+    One instance is shared by every rank program of a run, exactly like the
+    :class:`~repro.hydro.dynamic.DynamicController`.
+    """
+
+    def __init__(self, spec: PerturbSpec, num_ranks: int) -> None:
+        if spec.fail_rank is not None and spec.fail_rank >= num_ranks:
+            raise ValueError(
+                f"fail_rank {spec.fail_rank} out of range for {num_ranks} ranks"
+            )
+        self.spec = spec
+        self.num_ranks = num_ranks
+        self._factors: dict[tuple[int, int], np.ndarray] = {}
+        self._churn: dict[int, bool] = {}
+
+    # ----------------------------------------------------------- compute
+
+    def compute_factors(self, rank: int, iteration: int) -> np.ndarray | None:
+        """Per-phase compute scale factors for one (rank, iteration).
+
+        ``None`` when the noise stream is inactive — the caller's charge
+        path must then be *untouched* (not multiplied by ones), which is
+        what keeps zero-noise runs bitwise-identical to clean ones.
+        """
+        spec = self.spec
+        if not spec.has_compute_noise:
+            return None
+        key = (rank, iteration)
+        cached = self._factors.get(key)
+        if cached is None:
+            rng = perturb_rng(spec.seed, _STREAM_COMPUTE, rank, iteration)
+            straggle = rng.random() < spec.straggler_prob
+            factors = 1.0 + spec.compute_noise * rng.standard_exponential(
+                NUM_PHASES
+            )
+            if straggle:
+                factors *= spec.straggler_factor
+            self._factors[key] = cached = factors
+        return cached
+
+    # ----------------------------------------------------------- failure
+
+    def failure_event(self, iteration: int) -> tuple[int, float] | None:
+        """``(rank, restart_seconds)`` when a failure fires this iteration."""
+        spec = self.spec
+        if spec.fail_rank is not None and iteration == spec.fail_iteration:
+            return (spec.fail_rank, spec.restart_seconds)
+        return None
+
+    # ------------------------------------------------------------- churn
+
+    def churn_at(self, iteration: int) -> bool:
+        """Whether node churn forces a repartition at ``iteration``.
+
+        One global draw per iteration (rank field 0: the event is a machine
+        event, not a rank event).  Iteration 0 never churns — the initial
+        partition has done no work yet.
+        """
+        spec = self.spec
+        if not spec.has_churn or iteration == 0:
+            return False
+        cached = self._churn.get(iteration)
+        if cached is None:
+            rng = perturb_rng(spec.seed, _STREAM_CHURN, 0, iteration)
+            cached = bool(rng.random() < spec.churn_prob)
+            self._churn[iteration] = cached
+        return cached
+
+
+# ----------------------------------------------------------------- machine
+
+
+def degrade_network(network: NetworkModel, multiplier: float) -> NetworkModel:
+    """A copy of ``network`` with latency and per-byte cost scaled.
+
+    Scaling the *parameter arrays* (not the priced result) keeps the
+    piecewise Equation-4 form intact, so every consumer — scalar pricing,
+    the batch kernel's ``send_times_many``, the analytic collectives —
+    prices through the same degraded coefficients bitwise.
+    """
+    return NetworkModel(
+        breakpoints=network.breakpoints,
+        latency=network.latency * multiplier,
+        per_byte=network.per_byte * multiplier,
+        name=f"{network.name}*{multiplier:g}",
+    )
+
+
+def degrade_cluster(cluster: ClusterConfig, spec: PerturbSpec) -> ClusterConfig:
+    """Apply ``spec.link_degrade`` to the cluster's inter-node fabric.
+
+    Flat machines degrade their one network; SMP machines degrade only the
+    ``hierarchy.inter`` component (contention lives on the fabric, not the
+    shared-memory bus) plus the matching flat ``network`` the analytic
+    models price through.  Host overheads are never scaled — they are CPU
+    time, not wire time.
+    """
+    if spec.link_degrade == 0.0:
+        return cluster
+    multiplier = 1.0 + spec.link_degrade
+    degraded = degrade_network(cluster.network, multiplier)
+    hierarchy = cluster.hierarchy
+    if hierarchy is not None:
+        hierarchy = dataclasses.replace(
+            hierarchy, inter=degrade_network(hierarchy.inter, multiplier)
+        )
+    return dataclasses.replace(
+        cluster,
+        network=degraded,
+        hierarchy=hierarchy,
+        name=f"{cluster.name}+degrade{spec.link_degrade:g}",
+    )

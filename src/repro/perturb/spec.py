@@ -1,0 +1,218 @@
+"""Declarative perturbation axis: what noise to inject, serialisably.
+
+A :class:`PerturbSpec` names everything a noisy run differs by from a clean
+one — per-rank OS-noise/straggler amplitudes, link degradation, a rank
+failure with its checkpoint/restart cost, and node-churn-forced
+repartitioning — without touching *how* any of it is computed (that lives
+in :mod:`repro.perturb.model` for production and, independently, in
+:mod:`repro.verify.oracle` for the differential twin).
+
+The spec is a first-class sweep axis: it round-trips through JSON, hangs
+off :class:`~repro.core.request.PredictionRequest` and
+:class:`~repro.analysis.runner.SweepSpec`, and is *content-hash neutral
+when absent* — an unperturbed request hashes to exactly the key it had
+before this field existed (see ``_HASH_OPTIONAL_FIELDS_`` in
+:mod:`repro.util.artifacts`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["PerturbSpec", "parse_perturb"]
+
+
+@dataclass(frozen=True)
+class PerturbSpec:
+    """Everything a perturbed run differs by from a clean one.
+
+    Attributes
+    ----------
+    seed:
+        Root of every perturbation RNG stream.  Draws are keyed
+        ``(seed, stream, rank, iteration)`` through ``SeedSequence`` so
+        no two ranks (or iterations) ever share a stream — the contract
+        pinned by ``tests/test_property_perturb.py``.
+    compute_noise:
+        OS-noise amplitude: each phase's compute time is scaled by
+        ``1 + compute_noise · Exp(1)`` (independent per rank, iteration,
+        and phase).  ``0`` disables the noise stream entirely.
+    straggler_prob, straggler_factor:
+        With probability ``straggler_prob`` per (rank, iteration), every
+        phase of that rank's iteration is further scaled by
+        ``straggler_factor`` — a transient slow node.
+    link_degrade:
+        Contention/degradation multiplier on inter-node (or flat-network)
+        message pricing: latency and per-byte cost are scaled by
+        ``1 + link_degrade``.  Intra-node links and host overheads are
+        untouched.
+    fail_rank, fail_iteration, restart_seconds:
+        When ``fail_rank`` is set, that rank fails at the start of
+        iteration ``fail_iteration`` and pays ``restart_seconds`` of
+        checkpoint/restart compute inside two global barriers, charged to
+        the dedicated failure trace phase (every other rank pays the
+        synchronisation stall).
+    churn_prob:
+        Per-iteration probability (one global draw, not per rank) that a
+        node join/leave forces a repartition regardless of the configured
+        policy.  Requires a dynamic workload (the repartition machinery).
+    """
+
+    seed: int = 0
+    compute_noise: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 3.0
+    link_degrade: float = 0.0
+    fail_rank: int | None = None
+    fail_iteration: int = 1
+    restart_seconds: float = 0.0
+    churn_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_noise < 0:
+            raise ValueError("compute_noise must be non-negative")
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.link_degrade < 0:
+            raise ValueError("link_degrade must be non-negative")
+        if self.fail_rank is not None and self.fail_rank < 0:
+            raise ValueError("fail_rank must be a rank id")
+        if self.fail_iteration < 0:
+            raise ValueError("fail_iteration must be non-negative")
+        if self.restart_seconds < 0:
+            raise ValueError("restart_seconds must be non-negative")
+        if not 0.0 <= self.churn_prob <= 1.0:
+            raise ValueError("churn_prob must be in [0, 1]")
+
+    # --------------------------------------------------------------- gates
+
+    @property
+    def has_compute_noise(self) -> bool:
+        """Whether the per-rank noise stream is active at all."""
+        return self.compute_noise > 0.0 or self.straggler_prob > 0.0
+
+    @property
+    def has_failure(self) -> bool:
+        """Whether a rank failure is configured."""
+        return self.fail_rank is not None
+
+    @property
+    def has_churn(self) -> bool:
+        """Whether churn-forced repartitioning is active."""
+        return self.churn_prob > 0.0
+
+    @property
+    def is_null(self) -> bool:
+        """True when this spec perturbs nothing at all.
+
+        A null spec must produce runs bitwise-identical to ``perturb=None``
+        — including trace shape — which is what lets ``--perturb none`` and
+        an all-defaults spec share goldens with clean runs.
+        """
+        return not (
+            self.has_compute_noise
+            or self.has_failure
+            or self.has_churn
+            or self.link_degrade != 0.0
+        )
+
+    # --------------------------------------------------------------- wire
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (all fields, explicit)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerturbSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown PerturbSpec keys: {sorted(unknown)}")
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        """Compact human tag, also the CLI token that re-parses to this spec."""
+        if self.is_null:
+            return "none"
+        parts = []
+        if self.compute_noise > 0:
+            parts.append(f"noise:{self.compute_noise:g}")
+        if self.straggler_prob > 0:
+            parts.append(
+                f"straggler:{self.straggler_prob:g}x{self.straggler_factor:g}"
+            )
+        if self.link_degrade != 0:
+            parts.append(f"degrade:{self.link_degrade:g}")
+        if self.fail_rank is not None:
+            parts.append(
+                f"fail:{self.fail_rank}@{self.fail_iteration}"
+                f"x{self.restart_seconds:g}"
+            )
+        if self.churn_prob > 0:
+            parts.append(f"churn:{self.churn_prob:g}")
+        if self.seed != 0:
+            parts.append(f"seed:{self.seed}")
+        return "+".join(parts)
+
+
+def parse_perturb(token: str) -> PerturbSpec | None:
+    """Parse one CLI perturbation token into a spec (``none`` → ``None``).
+
+    Grammar: ``+``-joined clauses, e.g.
+    ``noise:0.1+straggler:0.05x8+degrade:0.5+fail:2@1x0.01+churn:0.2+seed:7``.
+
+    >>> parse_perturb("none") is None
+    True
+    >>> parse_perturb("noise:0.1+seed:3").compute_noise
+    0.1
+    >>> parse_perturb("straggler:0.2x8").straggler_factor
+    8.0
+    """
+    token = token.strip()
+    if token in ("", "none"):
+        return None
+    fields: dict = {}
+    for clause in token.split("+"):
+        key, sep, value = clause.partition(":")
+        if not sep:
+            raise ValueError(f"malformed perturb clause {clause!r} in {token!r}")
+        try:
+            if key == "noise":
+                fields["compute_noise"] = float(value)
+            elif key == "straggler":
+                prob, sep, factor = value.partition("x")
+                fields["straggler_prob"] = float(prob)
+                if sep:
+                    fields["straggler_factor"] = float(factor)
+            elif key == "degrade":
+                fields["link_degrade"] = float(value)
+            elif key == "fail":
+                rank, sep, rest = value.partition("@")
+                fields["fail_rank"] = int(rank)
+                if sep:
+                    iteration, sep, seconds = rest.partition("x")
+                    fields["fail_iteration"] = int(iteration)
+                    if sep:
+                        fields["restart_seconds"] = float(seconds)
+            elif key == "churn":
+                fields["churn_prob"] = float(value)
+            elif key == "seed":
+                fields["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown perturb clause {key!r} in {token!r}; expected "
+                    "noise|straggler|degrade|fail|churn|seed"
+                )
+        except ValueError as exc:
+            if "perturb clause" in str(exc):
+                raise
+            raise ValueError(
+                f"malformed perturb clause {clause!r} in {token!r}"
+            ) from exc
+    spec = PerturbSpec(**fields)
+    return None if spec.is_null else spec

@@ -57,9 +57,17 @@ def _update(digest, obj) -> None:
         digest.update(b";")
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         digest.update(f"dataclass:{type(obj).__qualname__}:".encode())
+        # Fields named in _HASH_OPTIONAL_FIELDS_ are skipped while None, so
+        # a dataclass can grow a new optional axis without re-keying every
+        # artifact produced before the field existed (the byte stream is
+        # identical to the pre-field layout — field count is not hashed).
+        optional = getattr(obj, "_HASH_OPTIONAL_FIELDS_", ())
         for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if value is None and field.name in optional:
+                continue
             _update(digest, field.name)
-            _update(digest, getattr(obj, field.name))
+            _update(digest, value)
         digest.update(b";")
     elif isinstance(obj, (list, tuple)):
         digest.update(b"seq:%d:" % len(obj))

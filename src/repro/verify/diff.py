@@ -145,6 +145,7 @@ def _diff_built_with_run(built: BuiltScenario, rtol: float):
         census=built.census,
         dynamic=built.dynamic,
         engine=built.scenario.engine,
+        perturb=built.perturb,
     )
     alt_engine = "scalar" if built.scenario.engine != "scalar" else "batch"
     alt = run_krak(
@@ -156,6 +157,7 @@ def _diff_built_with_run(built: BuiltScenario, rtol: float):
         census=built.census,
         dynamic=built.dynamic,
         engine=alt_engine,
+        perturb=built.perturb,
     )
     oracle = oracle_run_krak(
         built.deck,
@@ -165,6 +167,7 @@ def _diff_built_with_run(built: BuiltScenario, rtol: float):
         faces=built.faces,
         census=built.census,
         dynamic=built.dynamic,
+        perturb=built.perturb,
     )
 
     trace = run.result.trace
@@ -326,8 +329,21 @@ def verify_scenario(
 
 def _shrink_candidates(scenario: Scenario):
     """Ordered simplification moves, biggest structural cuts first."""
+    if scenario.perturb is not None:
+        # First move: a perturbed failure that persists on the clean
+        # machine is not a perturbation bug — drop the whole axis before
+        # touching anything else.
+        yield dataclasses.replace(scenario, perturb=None)
     if scenario.dynamic is not None:
-        yield dataclasses.replace(scenario, dynamic=None)
+        candidate = dataclasses.replace(scenario, dynamic=None)
+        if scenario.perturb is not None and scenario.perturb.get("churn_prob"):
+            # Churn is meaningless without the repartition machinery.
+            perturb = dict(scenario.perturb)
+            del perturb["churn_prob"]
+            candidate = dataclasses.replace(
+                scenario, dynamic=None, perturb=perturb or None
+            )
+        yield candidate
     if scenario.placement is not None:
         yield dataclasses.replace(scenario, placement=None)
     if scenario.smp:
@@ -348,7 +364,14 @@ def _shrink_candidates(scenario: Scenario):
         yield dataclasses.replace(scenario, iterations=scenario.iterations - 1)
     if scenario.num_ranks > 1:
         fewer = max(1, scenario.num_ranks // 2)
-        yield dataclasses.replace(scenario, num_ranks=fewer, placement=None)
+        perturb = scenario.perturb
+        if perturb is not None and perturb.get("fail_rank") is not None:
+            # Keep the failing rank inside the shrunk communicator.
+            perturb = dict(perturb)
+            perturb["fail_rank"] = min(perturb["fail_rank"], fewer - 1)
+        yield dataclasses.replace(
+            scenario, num_ranks=fewer, placement=None, perturb=perturb
+        )
     if scenario.ny > 1:
         ny = max(1, scenario.ny // 2)
         if scenario.num_ranks <= scenario.nx * ny:

@@ -37,6 +37,8 @@ from repro.machine.network import NetworkModel
 from repro.mesh.connectivity import FaceTable, build_face_table
 from repro.mesh.deck import InputDeck
 from repro.partition.base import Partition
+from repro.perturb.model import FAILURE_PHASE
+from repro.perturb.spec import PerturbSpec
 from repro.simmpi import api
 
 # --------------------------------------------------------------- Equation (4)
@@ -56,22 +58,34 @@ def _oracle_segment(network: NetworkModel, size: float) -> int:
     return seg
 
 
-def oracle_tmsg(network: NetworkModel, size) -> float:
-    """Equation (4), one scalar at a time: ``L(S) + S · TB(S)``."""
+def oracle_tmsg(network: NetworkModel, size, degrade: float = 1.0) -> float:
+    """Equation (4), one scalar at a time: ``L(S) + S · TB(S)``.
+
+    ``degrade`` is the link-degradation multiplier applied to the
+    *parameters* (latency and per-byte cost each scaled, then the formula)
+    — the same association the production path gets by scaling the network
+    arrays up front, so a degraded run still diffs bitwise.
+    """
     s = float(size)
     if s < 0:
         raise ValueError("message size must be non-negative")
     seg = _oracle_segment(network, s)
-    return float(network.latency[seg]) + s * float(network.per_byte[seg])
+    latency = float(network.latency[seg]) * degrade
+    per_byte = float(network.per_byte[seg]) * degrade
+    return latency + s * per_byte
 
 
-def oracle_send_times(network: NetworkModel, size) -> tuple[float, float]:
+def oracle_send_times(
+    network: NetworkModel, size, degrade: float = 1.0
+) -> tuple[float, float]:
     """``(L(S), S · TB(S))`` — the two terms an ``Isend`` charges separately."""
     s = float(size)
     if s < 0:
         raise ValueError("message size must be non-negative")
     seg = _oracle_segment(network, s)
-    return float(network.latency[seg]), s * float(network.per_byte[seg])
+    latency = float(network.latency[seg]) * degrade
+    per_byte = float(network.per_byte[seg]) * degrade
+    return latency, s * per_byte
 
 
 # ---------------------------------------------------------------- collectives
@@ -87,19 +101,27 @@ def oracle_tree_depth(num_ranks: int) -> int:
     return depth
 
 
-def oracle_bcast_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+def oracle_bcast_time(
+    network: NetworkModel, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
     """Fan-out over a binary tree: ``log2(P) · Tmsg(S)``."""
-    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes, degrade)
 
 
-def oracle_gather_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+def oracle_gather_time(
+    network: NetworkModel, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
     """Fan-in over a binary tree (same step structure as the fan-out)."""
-    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+    return oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes, degrade)
 
 
-def oracle_allreduce_time(network: NetworkModel, num_ranks: int, nbytes) -> float:
+def oracle_allreduce_time(
+    network: NetworkModel, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
     """Fan-in plus fan-out: ``2 · log2(P) · Tmsg(S)``."""
-    return 2.0 * oracle_tree_depth(num_ranks) * oracle_tmsg(network, nbytes)
+    return 2.0 * oracle_tree_depth(num_ranks) * oracle_tmsg(
+        network, nbytes, degrade
+    )
 
 
 def oracle_collectives_time(network: NetworkModel, num_ranks: int) -> float:
@@ -134,22 +156,32 @@ def oracle_tree_extents(hierarchy, num_ranks: int) -> tuple[int, int]:
     return len(occupancy), max(occupancy.values())
 
 
-def oracle_hier_bcast_time(hierarchy, num_ranks: int, nbytes) -> float:
-    """SMP fan-out: inter-node tree plus an intra-node tree."""
+def oracle_hier_bcast_time(
+    hierarchy, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
+    """SMP fan-out: inter-node tree plus an intra-node tree.
+
+    Link degradation hits only the inter-node hop — contention lives on
+    the fabric, never on the shared-memory bus.
+    """
     num_nodes, local = oracle_tree_extents(hierarchy, num_ranks)
     return oracle_tree_depth(num_nodes) * oracle_tmsg(
-        hierarchy.inter, nbytes
+        hierarchy.inter, nbytes, degrade
     ) + oracle_tree_depth(local) * oracle_tmsg(hierarchy.intra, nbytes)
 
 
-def oracle_hier_gather_time(hierarchy, num_ranks: int, nbytes) -> float:
+def oracle_hier_gather_time(
+    hierarchy, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
     """SMP fan-in (same step structure as the fan-out)."""
-    return oracle_hier_bcast_time(hierarchy, num_ranks, nbytes)
+    return oracle_hier_bcast_time(hierarchy, num_ranks, nbytes, degrade)
 
 
-def oracle_hier_allreduce_time(hierarchy, num_ranks: int, nbytes) -> float:
+def oracle_hier_allreduce_time(
+    hierarchy, num_ranks: int, nbytes, degrade: float = 1.0
+) -> float:
     """SMP reduce + broadcast: twice the fan-out time."""
-    return 2.0 * oracle_hier_bcast_time(hierarchy, num_ranks, nbytes)
+    return 2.0 * oracle_hier_bcast_time(hierarchy, num_ranks, nbytes, degrade)
 
 
 # -------------------------------------------- boundary / ghost exchange model
@@ -305,12 +337,22 @@ class OracleEngine:
     independent, as the production engine's module docstring argues).
     """
 
-    def __init__(self, cluster: ClusterConfig, num_ranks: int, num_phases: int) -> None:
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        num_ranks: int,
+        num_phases: int,
+        link_degrade: float = 0.0,
+    ) -> None:
         if num_ranks < 1:
             raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
         self.cluster = cluster
         self.num_ranks = num_ranks
         self.num_phases = num_phases
+        #: Inter-node degradation multiplier, applied naively at each
+        #: pricing site (the production path bakes it into the network
+        #: arrays instead — see :func:`repro.perturb.degrade_cluster`).
+        self.link_degrade = 1.0 + link_degrade
         self._compute = np.zeros((num_ranks, num_phases))
         self._comm = np.zeros((num_ranks, num_phases))
         self._marks: dict[int, np.ndarray] = {}
@@ -323,14 +365,18 @@ class OracleEngine:
 
     # ---------------------------------------------------------- cost lookups
 
-    def _network_for(self, src: int, dst: int) -> NetworkModel:
-        """Which flat network a message between two ranks travels."""
+    def _network_for(self, src: int, dst: int) -> tuple[NetworkModel, float]:
+        """``(network, degrade)`` for a rank pair.
+
+        Only the inter-node fabric (or the flat network of a non-SMP
+        machine) degrades; the shared-memory path never does.
+        """
         hierarchy = self.cluster.hierarchy
         if hierarchy is None:
-            return self.cluster.network
+            return self.cluster.network, self.link_degrade
         if _oracle_node_of(hierarchy, src) == _oracle_node_of(hierarchy, dst):
-            return hierarchy.intra
-        return hierarchy.inter
+            return hierarchy.intra, 1.0
+        return hierarchy.inter, self.link_degrade
 
     def _host_overheads(self, src: int, dst: int) -> tuple[float, float]:
         """``(send, recv)`` host overheads for a message between two ranks."""
@@ -353,20 +399,27 @@ class OracleEngine:
 
     def _collective_duration(self, kind, nbytes) -> float:
         """Tree time of one collective, recomputed per call."""
+        degrade = self.link_degrade
         hierarchy = self.cluster.hierarchy
         if hierarchy is not None:
             if kind is api.Bcast:
-                return oracle_hier_bcast_time(hierarchy, self.num_ranks, nbytes)
+                return oracle_hier_bcast_time(
+                    hierarchy, self.num_ranks, nbytes, degrade
+                )
             if kind is api.Gather:
-                return oracle_hier_gather_time(hierarchy, self.num_ranks, nbytes)
+                return oracle_hier_gather_time(
+                    hierarchy, self.num_ranks, nbytes, degrade
+                )
             # Allreduce and Barrier share the reduce + broadcast tree.
-            return oracle_hier_allreduce_time(hierarchy, self.num_ranks, nbytes)
+            return oracle_hier_allreduce_time(
+                hierarchy, self.num_ranks, nbytes, degrade
+            )
         network = self.cluster.network
         if kind is api.Bcast:
-            return oracle_bcast_time(network, self.num_ranks, nbytes)
+            return oracle_bcast_time(network, self.num_ranks, nbytes, degrade)
         if kind is api.Gather:
-            return oracle_gather_time(network, self.num_ranks, nbytes)
-        return oracle_allreduce_time(network, self.num_ranks, nbytes)
+            return oracle_gather_time(network, self.num_ranks, nbytes, degrade)
+        return oracle_allreduce_time(network, self.num_ranks, nbytes, degrade)
 
     # ------------------------------------------------------------------- run
 
@@ -421,8 +474,8 @@ class OracleEngine:
             send_overhead, _ = self._host_overheads(rank, req.dst)
             st.clock += send_overhead
             self._comm[rank, st.phase] += send_overhead
-            network = self._network_for(rank, req.dst)
-            startup, bandwidth = oracle_send_times(network, req.nbytes)
+            network, degrade = self._network_for(rank, req.dst)
+            startup, bandwidth = oracle_send_times(network, req.nbytes, degrade)
             nic_start = st.nic_free if st.nic_free > st.clock else st.clock
             arrival = nic_start + startup + bandwidth
             st.nic_free = nic_start + bandwidth
@@ -529,6 +582,68 @@ class OracleEngine:
         return acc
 
 
+# --------------------------------------------------------- perturbation twin
+
+
+class OraclePerturbation:
+    """Naive re-implementation of :class:`repro.perturb.Perturbation`.
+
+    Every factor is re-derived from the ``(seed, stream, rank, iteration)``
+    ``SeedSequence`` contract *per call*, one scalar draw at a time — no
+    caching, no vectorised fills — so a bug in the production machinery
+    (a shared stream, a dropped straggler draw, a mis-keyed cache) diverges
+    from this twin and fails the differential.  Draw order per (rank,
+    iteration) on stream 0: one uniform (the straggler event, always
+    consumed), then one exponential per Krak phase.
+    """
+
+    def __init__(self, spec: PerturbSpec, num_ranks: int) -> None:
+        if spec.fail_rank is not None and spec.fail_rank >= num_ranks:
+            raise ValueError(
+                f"fail_rank {spec.fail_rank} out of range for {num_ranks} ranks"
+            )
+        self.spec = spec
+        self.num_ranks = num_ranks
+
+    @staticmethod
+    def _rng(seed: int, stream: int, rank: int, iteration: int):
+        return np.random.Generator(
+            np.random.PCG64(
+                np.random.SeedSequence((seed, stream, rank, iteration))
+            )
+        )
+
+    def compute_factors(self, rank: int, iteration: int):
+        """Per-phase scale factors, as a plain list of scalars (or None)."""
+        spec = self.spec
+        if spec.compute_noise == 0.0 and spec.straggler_prob == 0.0:
+            return None
+        rng = self._rng(spec.seed, 0, rank, iteration)
+        straggle = rng.random() < spec.straggler_prob
+        factors = []
+        for _ in range(NUM_PHASES):
+            factor = 1.0 + spec.compute_noise * rng.standard_exponential()
+            if straggle:
+                factor = factor * spec.straggler_factor
+            factors.append(factor)
+        return factors
+
+    def failure_event(self, iteration: int):
+        """``(rank, restart_seconds)`` when the failure fires here."""
+        spec = self.spec
+        if spec.fail_rank is not None and iteration == spec.fail_iteration:
+            return (spec.fail_rank, spec.restart_seconds)
+        return None
+
+    def churn_at(self, iteration: int) -> bool:
+        """One global draw per iteration; iteration 0 never churns."""
+        spec = self.spec
+        if spec.churn_prob == 0.0 or iteration == 0:
+            return False
+        rng = self._rng(spec.seed, 1, 0, iteration)
+        return bool(rng.random() < spec.churn_prob)
+
+
 # ------------------------------------------------------------ full-run oracle
 
 
@@ -550,6 +665,7 @@ def oracle_run_krak(
     faces: FaceTable | None = None,
     census: WorkloadCensus | None = None,
     dynamic: DynamicConfig | None = None,
+    perturb: PerturbSpec | None = None,
 ) -> OracleRun:
     """The oracle's independent execution of one census-mode Krak run.
 
@@ -558,23 +674,41 @@ def oracle_run_krak(
     :class:`OracleEngine`.  The rank programs themselves are shared with
     the production path — the program *is* the workload specification; what
     is being verified is every cost the engine charges while executing it.
+    Perturbations come from :class:`OraclePerturbation` (the naive twin)
+    and the engine's naive per-site link degradation, *not* from
+    :mod:`repro.perturb`, so the differential judges both copies.
     """
     if cluster is None:
         cluster = es45_like_cluster()
+    if perturb is not None and perturb.churn_prob > 0 and dynamic is None:
+        raise ValueError("churn_prob requires a dynamic workload")
     if dynamic is not None and faces is None:
         faces = build_face_table(deck.mesh)
     if census is None:
         census = build_workload_census(deck, partition, faces)
+
+    perturbation = None
+    link_degrade = 0.0
+    if perturb is not None:
+        perturbation = OraclePerturbation(perturb, partition.num_ranks)
+        link_degrade = perturb.link_degrade
 
     controller = None
     num_phases = NUM_PHASES
     fixed_dt = {}
     if dynamic is not None:
         controller = DynamicController(
-            deck, partition, dynamic, faces=faces, base_census=census
+            deck, partition, dynamic, faces=faces, base_census=census,
+            force_repartition=(
+                perturbation.churn_at
+                if perturbation is not None and perturb.churn_prob > 0
+                else None
+            ),
         )
         num_phases = NUM_PHASES + 1
         fixed_dt = {"fixed_dt": dynamic.dt}
+    if perturb is not None and perturb.fail_rank is not None:
+        num_phases = FAILURE_PHASE + 1
 
     programs = [
         KrakProgram(
@@ -584,11 +718,14 @@ def oracle_run_krak(
             state=None,
             iterations=iterations,
             dynamic=controller,
+            perturb=perturbation,
             **fixed_dt,
         )
         for r in range(partition.num_ranks)
     ]
-    engine = OracleEngine(cluster, partition.num_ranks, num_phases)
+    engine = OracleEngine(
+        cluster, partition.num_ranks, num_phases, link_degrade=link_degrade
+    )
     result = engine.run(lambda r: programs[r]())
     return OracleRun(
         result=result,

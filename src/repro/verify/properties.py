@@ -21,9 +21,16 @@ that hold for every valid scenario regardless of implementation:
   pairwise priced costs, placement objectives, and the bytes-objective
   optimizer's node map must match their dense (P, P) reference forms, so
   a sparse-path edit is caught by the same fuzz lane that guards engine
-  edits.
+  edits;
+* **null-perturbation identity** — a perturbation spec with every knob at
+  zero is bitwise free: traces and clocks match the unperturbed run
+  exactly (checked at rtol 0, not the differential tolerance).
 
 All comparisons reuse the differential tolerance (default 1e-12 relative).
+Perturbed scenarios gate two checks: churn exists to force repartitions,
+so never-policy neutrality is skipped under ``churn_prob > 0``, and link
+degradation scales only the inter-node level, so flat-network placement
+invariance is skipped under ``link_degrade > 0``.
 """
 
 from __future__ import annotations
@@ -76,7 +83,7 @@ def _rel_close(a: np.ndarray, b: np.ndarray, rtol: float) -> bool:
     return bool((relative_errors(a, b) <= rtol).all())
 
 
-def _run(built, cluster=None, dynamic="unset"):
+def _run(built, cluster=None, dynamic="unset", perturb="unset"):
     """One production run of the built scenario, with optional overrides."""
     return run_krak(
         built.deck,
@@ -86,6 +93,7 @@ def _run(built, cluster=None, dynamic="unset"):
         faces=built.faces,
         census=built.census,
         dynamic=built.dynamic if dynamic == "unset" else dynamic,
+        perturb=built.perturb if perturb == "unset" else perturb,
     )
 
 
@@ -138,6 +146,10 @@ def _check_sanity(run, violations: list) -> None:
 
 def _check_never_policy(built, violations: list) -> None:
     """The ``never`` policy must charge nothing to the repartition phase."""
+    if built.perturb is not None and built.perturb.has_churn:
+        # Churn exists precisely to force repartitions past the policy, so
+        # "never is free" does not hold for this scenario.
+        return
     never = dataclasses.replace(built.dynamic, policy=NeverPolicy())
     run = _run(built, dynamic=never)
     if run.dynamic.num_repartitions != 0:
@@ -200,6 +212,12 @@ def _check_flat_invariance(built, rtol: float, violations: list) -> None:
     identically too — the runs must agree to the bit.
     """
     from repro.placement import block_placement, random_placement
+
+    if built.perturb is not None and built.perturb.link_degrade:
+        # degrade_cluster scales only the inter-node level, so a degraded
+        # run's intra and inter curves no longer match and placement
+        # legitimately moves charged time.
+        return
 
     scenario = built.scenario
     hierarchy = built.smp_base.hierarchy
@@ -315,6 +333,22 @@ def _check_sparse_equivalence(built, rtol: float, violations: list) -> None:
             )
 
 
+def _check_null_perturb_identity(built, violations: list, base_run) -> None:
+    """A perturbation spec with every knob at zero must be bitwise free."""
+    from repro.perturb import PerturbSpec
+
+    null_run = _run(built, perturb=PerturbSpec())
+    # rtol 0: the perturbation layer claims *bitwise* null identity, not
+    # merely tolerance-close.
+    if not _traces_equal(base_run, null_run, 0.0):
+        violations.append(
+            PropertyViolation(
+                "null_perturb_identity",
+                "a zero-amplitude perturbation spec changed charged time",
+            )
+        )
+
+
 def check_properties(built, rtol: float = DEFAULT_RTOL, production_run=None) -> list:
     """All metamorphic checks that apply to one built scenario.
 
@@ -326,6 +360,10 @@ def check_properties(built, rtol: float = DEFAULT_RTOL, production_run=None) -> 
     run = production_run if production_run is not None else _run(built)
     _check_sanity(run, violations)
     _check_sparse_equivalence(built, rtol, violations)
+    if built.perturb is None:
+        # The production run above is the unperturbed baseline, so the
+        # null-spec run must reproduce it bit for bit.
+        _check_null_perturb_identity(built, violations, run)
     if built.dynamic is not None:
         _check_never_policy(built, violations)
     if built.smp_base is not None:

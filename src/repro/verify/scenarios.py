@@ -36,6 +36,7 @@ from repro.machine.node import NodeModel
 from repro.mesh.connectivity import build_face_table
 from repro.mesh.deck import build_deck
 from repro.partition import PARTITION_METHODS, make_partition
+from repro.perturb import PerturbSpec
 
 #: Edge-case archetypes, rotated by seed so every small sweep covers all.
 ARCHETYPES = (
@@ -50,6 +51,9 @@ ARCHETYPES = (
     # Appended last so seeds 0..7 keep their historical archetypes.
     "large_sparse_mesh",
     "batch_lowering",
+    # Perturbation archetypes, appended so earlier seeds keep theirs too.
+    "straggler_noise",
+    "rank_failure_restart",
 )
 
 
@@ -96,6 +100,11 @@ class Scenario:
     #: compiled path).  The differential additionally cross-checks the
     #: *other* engine against whichever one ran (see ``verify/diff.py``).
     engine: str = "auto"
+    # --- perturbation ------------------------------------------------------
+    #: ``None`` → clean machine; else
+    #: :meth:`repro.perturb.PerturbSpec.to_dict` keys (missing keys take
+    #: the spec's defaults), injected into every engine of the differential.
+    perturb: dict | None = None
 
     def __post_init__(self) -> None:
         if self.nx < NUM_MATERIALS:
@@ -112,6 +121,15 @@ class Scenario:
             raise ValueError("a placement requires the SMP hierarchy")
         if self.engine not in ("auto", "scalar", "batch"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.perturb is not None:
+            spec = PerturbSpec.from_dict(self.perturb)  # validates the knobs
+            if spec.has_churn and self.dynamic is None:
+                raise ValueError("churn_prob requires a dynamic workload")
+            if spec.fail_rank is not None and spec.fail_rank >= self.num_ranks:
+                raise ValueError(
+                    f"fail_rank {spec.fail_rank} out of range for "
+                    f"{self.num_ranks} ranks"
+                )
 
     def label(self) -> str:
         """Compact one-line description for progress output."""
@@ -142,6 +160,8 @@ class Scenario:
             bits.append(f"dyn={policy}x{mult:g}")
         if self.engine != "auto":
             bits.append(f"eng={self.engine}")
+        if self.perturb is not None:
+            bits.append(f"perturb={PerturbSpec.from_dict(self.perturb).label}")
         return " ".join(bits)
 
 
@@ -161,6 +181,8 @@ class BuiltScenario:
     smp_base: ClusterConfig | None
     dynamic: DynamicConfig | None
     iterations: int
+    #: Materialised perturbation spec (``None`` for clean scenarios).
+    perturb: PerturbSpec | None = None
 
 
 def _build_network(spec: dict | None) -> NetworkModel:
@@ -253,6 +275,10 @@ def build_scenario(scenario: Scenario) -> BuiltScenario:
             partition_seed=int(spec.get("partition_seed", 0)),
         ).build()
 
+    perturb = None
+    if scenario.perturb is not None:
+        perturb = PerturbSpec.from_dict(scenario.perturb)
+
     return BuiltScenario(
         scenario=scenario,
         deck=deck,
@@ -263,6 +289,7 @@ def build_scenario(scenario: Scenario) -> BuiltScenario:
         smp_base=smp_base,
         dynamic=dynamic,
         iterations=scenario.iterations,
+        perturb=perturb,
     )
 
 
@@ -405,6 +432,41 @@ def random_scenario(seed: int) -> Scenario:
             fields["ranks_per_node"] = rng.choice([2, 4])
             fields["intra_send_overhead"] = rng.choice([None, 0.5e-6])
             fields["intra_recv_overhead"] = rng.choice([None, 0.7e-6])
+    elif archetype == "straggler_noise":
+        # Seeded OS-noise/straggler injection: the production perturbation
+        # machinery (cached vectorized draws, both engines) must match the
+        # oracle's naive per-draw re-implementation bit for bit.  Zero
+        # amplitudes are drawn on purpose — the null-identity edge.
+        fields["iterations"] = rng.randrange(3, 6)
+        perturb: dict = {
+            "seed": rng.randrange(16),
+            "compute_noise": rng.choice([0.0, 0.02, 0.1]),
+            "straggler_prob": rng.choice([0.0, 0.2, 0.5]),
+            "straggler_factor": rng.choice([2.0, 4.0, 8.0]),
+        }
+        if rng.random() < 0.5:
+            perturb["link_degrade"] = rng.choice([0.25, 1.0])
+        if rng.random() < 0.4:
+            fields["smp"] = True
+            fields["ranks_per_node"] = rng.choice([2, 4])
+        fields["perturb"] = perturb
+    elif archetype == "rank_failure_restart":
+        # A mid-run failure pays its checkpoint/restart cost in the
+        # dedicated trace phase; with a dynamic workload the spec may also
+        # churn-force repartitions through the controller.
+        fields["iterations"] = rng.randrange(3, 6)
+        perturb = {
+            "seed": rng.randrange(16),
+            "fail_rank": rng.randrange(fields["num_ranks"]),
+            "fail_iteration": rng.randrange(1, fields["iterations"]),
+            "restart_seconds": rng.choice([0.0, 1e-4, 5e-3]),
+        }
+        if rng.random() < 0.5:
+            perturb["compute_noise"] = 0.05
+        if rng.random() < 0.5:
+            fields["dynamic"] = _random_dynamic(rng)
+            perturb["churn_prob"] = rng.choice([0.0, 0.3, 0.7])
+        fields["perturb"] = perturb
     elif archetype == "smp_overheads":
         fields["smp"] = True
         fields["ranks_per_node"] = rng.choice([2, 3, 4])

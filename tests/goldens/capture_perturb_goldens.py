@@ -1,0 +1,90 @@
+"""Regenerate the bitwise goldens for the perturbation subsystem.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/goldens/capture_perturb_goldens.py
+
+The output ``tests/goldens/perturb_streams.json`` pins, as exact hex
+floats, the perturbation *seeding contract*: raw draws from the
+``(seed, stream, rank, iteration)``-keyed generators, the per-phase scale
+factors a pinned spec produces, and the makespans of a pinned
+configuration under no perturbation / a null spec / a noisy spec.  A
+change to any recorded value means the contract moved — every stored
+perturbed result silently re-keys — so only regenerate after an
+*intentional* semantic change to the perturbation model.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.hydro import run_krak
+from repro.mesh import build_deck, build_face_table
+from repro.partition import make_partition
+from repro.perturb import Perturbation, PerturbSpec, perturb_rng
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "perturb_streams.json"
+
+#: (seed, stream, rank, iteration) keys probing both streams, the origin,
+#: and a high-entropy corner.
+STREAM_KEYS = [(0, 0, 0, 0), (7, 0, 3, 2), (7, 1, 0, 5), (123, 0, 1000000, 9)]
+
+#: The factor-pinning spec: noise + stragglers, both streams exercised.
+FACTOR_SPEC = {"seed": 7, "compute_noise": 0.1,
+               "straggler_prob": 0.5, "straggler_factor": 4.0}
+
+#: The run-pinning configuration (kept tiny so the capture is instant).
+RUN_NX, RUN_NY, RUN_RANKS, RUN_ITERS = 8, 4, 4, 3
+
+
+def hexf(value: float) -> str:
+    return float(value).hex()
+
+
+def main(output: Path | None = None) -> int:
+    output = GOLDEN_PATH if output is None else output
+    golden: dict = {}
+
+    golden["streams"] = {
+        ",".join(map(str, key)): {
+            "uniform": hexf(perturb_rng(*key).random()),
+            "exponential": hexf(perturb_rng(*key).standard_exponential()),
+        }
+        for key in STREAM_KEYS
+    }
+
+    perturbation = Perturbation(PerturbSpec(**FACTOR_SPEC), RUN_RANKS)
+    golden["factor_spec"] = FACTOR_SPEC
+    golden["factors"] = {
+        f"{rank},{iteration}": [
+            hexf(v) for v in perturbation.compute_factors(rank, iteration)
+        ]
+        for rank in range(RUN_RANKS)
+        for iteration in range(2)
+    }
+
+    deck = build_deck((RUN_NX, RUN_NY))
+    faces = build_face_table(deck.mesh)
+    partition = make_partition(deck.mesh, RUN_RANKS, method="multilevel",
+                               seed=1, faces=faces)
+
+    def makespan(perturb):
+        return run_krak(deck, partition, iterations=RUN_ITERS, faces=faces,
+                        perturb=perturb).result.makespan
+
+    golden["run"] = {
+        "nx": RUN_NX, "ny": RUN_NY, "ranks": RUN_RANKS, "iters": RUN_ITERS,
+        "clean_makespan": hexf(makespan(None)),
+        "null_spec_makespan": hexf(makespan(PerturbSpec())),
+        "noisy_makespan": hexf(makespan(PerturbSpec(**FACTOR_SPEC))),
+    }
+
+    output.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

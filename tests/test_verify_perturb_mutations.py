@@ -1,0 +1,100 @@
+"""Mutation smoke tests: injected perturbation bugs must fail the diff.
+
+The perturbation layer exists twice on purpose — the optimized production
+machinery (:mod:`repro.perturb.model`) and the naive oracle twin
+(``OraclePerturbation`` in :mod:`repro.verify.oracle`).  These tests
+break the *production* copy in the classic ways a future optimisation
+could (dropping the restart charge, collapsing per-rank streams into one,
+degrading the wrong network level) and assert the differential reports a
+mismatch, proving the fuzz lane actually guards these semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import repro.hydro.driver as driver_module
+import repro.perturb.model as model_module
+from repro.perturb import degrade_network
+from repro.verify.diff import diff_scenario
+from repro.verify.scenarios import Scenario
+
+
+def _scenario(perturb, **overrides):
+    fields = dict(
+        seed=0, nx=8, ny=4, num_ranks=4, partition_method="multilevel",
+        partition_seed=1, iterations=3, jitter_frac=0.0, perturb=perturb,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestPerturbMutationSmoke:
+    def test_clean_baseline_passes(self):
+        # The harness itself is sound: un-mutated, every scenario used
+        # below diffs clean (so a failure really is the mutation's).
+        assert diff_scenario(
+            _scenario({"seed": 3, "fail_rank": 2, "fail_iteration": 1,
+                       "restart_seconds": 1e-3})
+        ).ok
+        assert diff_scenario(_scenario({"seed": 5, "compute_noise": 0.1})).ok
+        assert diff_scenario(
+            _scenario({"link_degrade": 0.5}, smp=True, ranks_per_node=2)
+        ).ok
+
+    def test_dropped_restart_cost_caught(self, monkeypatch):
+        # Mutation: the failure fires (barriers intact) but the restart
+        # compute is charged as zero — the subtlest way to lose the cost.
+        original = model_module.Perturbation.failure_event
+
+        def no_restart_cost(self, iteration):
+            event = original(self, iteration)
+            if event is None:
+                return None
+            return (event[0], 0.0)
+
+        monkeypatch.setattr(
+            model_module.Perturbation, "failure_event", no_restart_cost
+        )
+        result = diff_scenario(
+            _scenario({"seed": 3, "fail_rank": 2, "fail_iteration": 1,
+                       "restart_seconds": 1e-3})
+        )
+        assert not result.ok
+
+    def test_shared_noise_stream_caught(self, monkeypatch):
+        # Mutation: every rank draws from rank 0's stream — the classic
+        # "one generator for the whole communicator" seeding bug.
+        original = model_module.perturb_rng
+
+        def rank0_stream(seed, stream, rank, iteration):
+            return original(seed, stream, 0, iteration)
+
+        monkeypatch.setattr(model_module, "perturb_rng", rank0_stream)
+        result = diff_scenario(_scenario({"seed": 5, "compute_noise": 0.1}))
+        assert not result.ok
+
+    def test_intra_only_degradation_caught(self, monkeypatch):
+        # Mutation: link degradation lands on the shared-memory bus instead
+        # of the inter-node fabric.
+        def degrade_wrong_level(cluster, spec):
+            if spec.link_degrade == 0.0:
+                return cluster
+            multiplier = 1.0 + spec.link_degrade
+            hierarchy = cluster.hierarchy
+            if hierarchy is None:
+                return cluster  # flat machine: silently not degraded at all
+            return dataclasses.replace(
+                cluster,
+                hierarchy=dataclasses.replace(
+                    hierarchy, intra=degrade_network(hierarchy.intra, multiplier)
+                ),
+            )
+
+        monkeypatch.setattr(driver_module, "degrade_cluster", degrade_wrong_level)
+        result = diff_scenario(
+            _scenario({"link_degrade": 0.5}, smp=True, ranks_per_node=2)
+        )
+        assert not result.ok
+        # The flat-machine variant (degradation dropped entirely) too.
+        assert not diff_scenario(_scenario({"link_degrade": 0.5})).ok
