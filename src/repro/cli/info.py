@@ -96,10 +96,16 @@ def register(sub, common=add_common_arguments) -> None:
     p_info.add_argument("--deck", default="small")
     p_info.set_defaults(func=cmd_info)
 
-    p_cal = sub.add_parser("calibrate", help="print cost curves")
+    p_cal = sub.add_parser(
+        "calibrate", help="print cost curves / fit and replay traces"
+    )
     common(p_cal)
     p_cal.add_argument("--phase", type=int, default=2, choices=range(1, 16))
     p_cal.set_defaults(func=cmd_calibrate)
+    # ``calibrate fit|report|synth`` — the trace-driven closed loop.
+    from repro.cli import calibrate as trace_calibrate
+
+    trace_calibrate.attach(p_cal)
 
     p_val = sub.add_parser("validate", help="measure + predict one config")
     common(p_val)

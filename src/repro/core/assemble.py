@@ -17,7 +17,7 @@ imports the analysis layer — the dependency points the other way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -29,8 +29,12 @@ from repro.mesh.connectivity import FaceTable, build_face_table
 from repro.mesh.deck import InputDeck, build_deck
 from repro.partition.base import Partition
 from repro.partition.cache import cached_partition
-from repro.perfmodel.calibrate import calibrate_contrived_grid, default_sample_sides
-from repro.perfmodel.costcurves import CostCurve, CostTable
+from repro.perfmodel.calibrate import (
+    FittedCalibration,
+    calibrate_contrived_grid,
+    default_sample_sides,
+)
+from repro.perfmodel.costcurves import CostTable
 from repro.util.artifacts import stable_hash
 
 __all__ = [
@@ -40,6 +44,7 @@ __all__ = [
     "calibration_key",
     "calibration_table",
     "faces_for",
+    "fitted_calibration",
 ]
 
 
@@ -112,33 +117,6 @@ def calibration_key(cluster: ClusterConfig, sides) -> str:
 _TABLE_MEMO: dict = {}
 
 
-def _table_from_payload(payload: dict) -> CostTable:
-    return CostTable(
-        curves=tuple(
-            tuple(
-                CostCurve(
-                    cells=np.array(curve["cells"], dtype=np.float64),
-                    per_cell=np.array(curve["per_cell"], dtype=np.float64),
-                )
-                for curve in row
-            )
-            for row in payload["curves"]
-        )
-    )
-
-
-def _table_to_payload(table: CostTable) -> dict:
-    return {
-        "curves": [
-            [
-                {"cells": curve.cells.tolist(), "per_cell": curve.per_cell.tolist()}
-                for curve in row
-            ]
-            for row in table.curves
-        ]
-    }
-
-
 def calibration_table(cluster: ClusterConfig, sides, store=None) -> CostTable:
     """Contrived-grid calibration, memoised in process and optionally to
     ``store`` (any ``get``/``put`` mapping of JSON payloads, e.g. the
@@ -155,13 +133,41 @@ def calibration_table(cluster: ClusterConfig, sides, store=None) -> CostTable:
     if store is not None:
         payload = store.get(key)
         if payload is not None:
-            table = _TABLE_MEMO[key] = _table_from_payload(payload)
+            table = _TABLE_MEMO[key] = CostTable.from_payload(payload)
             return table
     table = calibrate_contrived_grid(cluster, sides=tuple(sides))
     if store is not None:
-        store.put(key, _table_to_payload(table))
+        store.put(key, table.to_payload())
     _TABLE_MEMO[key] = table
     return table
+
+
+#: Per-process fitted-calibration memo (store key → FittedCalibration).
+_FITTED_MEMO: dict = {}
+
+
+def fitted_calibration(key: str, store) -> FittedCalibration:
+    """Load a stored :class:`FittedCalibration` by its store key.
+
+    Unlike :func:`calibration_table`, a fitted calibration cannot be
+    recomputed from the request — it came from an external trace — so a
+    missing key is an error, not a cache miss.
+    """
+    fitted = _FITTED_MEMO.get(key)
+    if fitted is not None:
+        return fitted
+    if store is None:
+        raise ValueError(
+            "request references a fitted calibration but no store was given"
+        )
+    payload = store.get(key)
+    if payload is None:
+        raise KeyError(
+            f"no fitted calibration stored under {key!r}; run "
+            "'repro calibrate fit <trace>' first"
+        )
+    fitted = _FITTED_MEMO[key] = FittedCalibration.from_payload(payload)
+    return fitted
 
 
 @dataclass(frozen=True)
@@ -198,11 +204,30 @@ def assemble(request: PredictionRequest, store=None) -> Assembled:
     bit-identical to what `evaluate_point` always produced.
     """
     cluster = request.cluster.build()
-    table = (
-        calibration_table(cluster, default_sample_sides(request.max_side), store=store)
-        if request.models
-        else None
-    )
+    if request.calibration is not None:
+        # The request pins a trace-fitted machine: the fitted cost table
+        # replaces the contrived-grid calibration, and the fitted network
+        # and host overheads replace the spec's defaults.
+        if cluster.hierarchy is not None:
+            raise ValueError(
+                "a fitted calibration describes one flat network; "
+                "it cannot be combined with an SMP cluster spec"
+            )
+        fitted = fitted_calibration(request.calibration, store)
+        cluster = replace(
+            cluster.with_network(fitted.network),
+            send_overhead=fitted.send_overhead,
+            recv_overhead=fitted.recv_overhead,
+        )
+        table = fitted.table if request.models else None
+    else:
+        table = (
+            calibration_table(
+                cluster, default_sample_sides(request.max_side), store=store
+            )
+            if request.models
+            else None
+        )
     if is_weak_deck(request.deck):
         return Assembled(request=request, cluster=cluster, table=table)
 

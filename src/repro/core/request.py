@@ -173,11 +173,17 @@ class PredictionRequest:
     iterations: int = 3
     warmup: int = 1
     perturb: PerturbSpec | None = None
+    #: Store key of a :class:`~repro.perfmodel.calibrate.FittedCalibration`
+    #: in the ``calibrations`` namespace.  When set, assembly loads the
+    #: fitted cost table and installs the fitted network/overheads on the
+    #: cluster instead of running the contrived-grid calibration — the
+    #: machine becomes "whatever the trace measured".
+    calibration: str | None = None
 
-    #: An unperturbed request must hash to the key it had before the
-    #: ``perturb`` field existed, so every stored sweep/service result
-    #: stays addressable (see :func:`repro.util.artifacts.stable_hash`).
-    _HASH_OPTIONAL_FIELDS_ = ("perturb",)
+    #: A request without the newer optional axes must hash to the key it
+    #: had before those fields existed, so every stored sweep/service
+    #: result stays addressable (see :func:`repro.util.artifacts.stable_hash`).
+    _HASH_OPTIONAL_FIELDS_ = ("perturb", "calibration")
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "models", tuple(self.models))
@@ -232,14 +238,16 @@ class PredictionRequest:
     def to_dict(self) -> dict:
         """Plain-JSON form (nested dataclasses become dicts).
 
-        The ``perturb`` key is omitted while unset: unperturbed requests
-        keep the exact wire format (and golden payloads) they had before
-        the field existed.
+        The ``perturb`` and ``calibration`` keys are omitted while unset:
+        requests not using them keep the exact wire format (and golden
+        payloads) they had before the fields existed.
         """
         data = dataclasses.asdict(self)
         data["models"] = list(self.models)
         if self.perturb is None:
             del data["perturb"]
+        if self.calibration is None:
+            del data["calibration"]
         return data
 
     @classmethod
@@ -275,6 +283,8 @@ class PredictionRequest:
             bits.append(self.dynamic.label)
         if self.perturb is not None:
             bits.append(f"perturb[{self.perturb.label}]")
+        if self.calibration is not None:
+            bits.append(f"cal={self.calibration[:10]}")
         bits.append("+".join(self.models))
         return " ".join(bits)
 

@@ -16,9 +16,14 @@ Two model flavours are provided, as in the paper:
 
 from repro.perfmodel.costcurves import CostCurve, CostTable
 from repro.perfmodel.calibrate import (
+    FittedCalibration,
     calibrate_contrived_grid,
     calibrate_linear_system,
     default_sample_sides,
+    fit_cost_table,
+    fit_network,
+    fit_phase_costs,
+    merge_duplicate_abscissae,
 )
 from repro.perfmodel.computation import (
     phase_computation_time,
@@ -56,9 +61,14 @@ from repro.perfmodel.transition import LayeredProfile, TransitionModel
 __all__ = [
     "CostCurve",
     "CostTable",
+    "FittedCalibration",
     "calibrate_contrived_grid",
     "calibrate_linear_system",
     "default_sample_sides",
+    "fit_cost_table",
+    "fit_network",
+    "fit_phase_costs",
+    "merge_duplicate_abscissae",
     "phase_computation_time",
     "computation_time",
     "computation_time_by_phase",

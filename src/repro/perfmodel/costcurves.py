@@ -110,6 +110,34 @@ class CostTable:
         """Per-cell cost of every material at subgrid size ``n``."""
         return np.array([self.curves[phase][m](n) for m in range(self.num_materials)])
 
+    def to_payload(self) -> dict:
+        """Plain-JSON form; exact round trip (doubles serialise via ``repr``)."""
+        return {
+            "curves": [
+                [
+                    {"cells": curve.cells.tolist(), "per_cell": curve.per_cell.tolist()}
+                    for curve in row
+                ]
+                for row in self.curves
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CostTable":
+        """Rebuild a table from :meth:`to_payload` output."""
+        return cls(
+            curves=tuple(
+                tuple(
+                    CostCurve(
+                        cells=np.array(curve["cells"], dtype=np.float64),
+                        per_cell=np.array(curve["per_cell"], dtype=np.float64),
+                    )
+                    for curve in row
+                )
+                for row in payload["curves"]
+            )
+        )
+
     @classmethod
     def from_arrays(cls, cells: np.ndarray, per_cell: np.ndarray) -> "CostTable":
         """Build from a dense sample array ``per_cell[phase, material, sample]``."""

@@ -74,6 +74,14 @@ class ServiceClient:
         data = self._call("POST", path, request.to_dict())
         return PredictionResult.from_payload(data["result"]), bool(data["cached"])
 
+    def calibrate(self, trace_payload: dict) -> dict:
+        """POST a ``repro-trace`` document for fitting.
+
+        Returns ``{"key", "stored", "meta"}``; follow-up requests can
+        reference the stored artifact via their ``calibration`` field.
+        """
+        return self._call("POST", "/calibrate", trace_payload)
+
     def predict(self, request: PredictionRequest) -> PredictionResult:
         """Model predictions for ``request`` (no simulation)."""
         return self._query("/predict", request)[0]

@@ -4,6 +4,10 @@ A small stdlib-only HTTP/JSON server over the model core.  Concurrent
 clients POST :class:`~repro.core.request.PredictionRequest` JSON to
 ``/predict`` or ``/measure``; the server answers with
 :meth:`~repro.core.request.PredictionResult.to_payload` dicts.
+``/calibrate`` accepts a ``repro-trace`` phase-log document, fits model
+parameters to it (:func:`repro.trace.replay.fit_calibration`), stores
+the artifact in the calibrations store, and returns its key — which
+follow-up requests reference via their ``calibration`` field.
 
 Three layers keep a query storm cheap:
 
@@ -36,6 +40,8 @@ import json
 from repro.core.cache import LRUResultCache
 from repro.core.pipeline import measure, predict, request_key
 from repro.core.request import PredictionRequest
+from repro.trace.replay import fit_calibration
+from repro.trace.schema import TraceDoc, TraceFormatError
 
 __all__ = ["PredictionServer"]
 
@@ -87,6 +93,7 @@ class PredictionServer:
             "requests": 0,
             "predictions": 0,
             "measurements": 0,
+            "calibrations": 0,
             "computed": 0,
             "coalesced": 0,
             "batches": 0,
@@ -246,6 +253,25 @@ class PredictionServer:
         if method == "POST" and path == "/shutdown":
             self.request_shutdown()
             return 200, {"ok": True, "shutting_down": True}
+        if method == "POST" and path == "/calibrate":
+            # Trace ingestion: fit the posted repro-trace document and
+            # persist the artifact so follow-up /predict requests can
+            # reference it via their ``calibration`` field.
+            self.counters["calibrations"] += 1
+            try:
+                doc = TraceDoc.from_payload(json.loads(body or b"{}"))
+            except (TraceFormatError, ValueError, TypeError, KeyError) as exc:
+                return 400, {"error": f"invalid trace: {exc}"}
+            loop = asyncio.get_running_loop()
+            calibration = await loop.run_in_executor(None, fit_calibration, doc)
+            key = calibration.store_key()
+            if self.calibration_store is not None:
+                self.calibration_store.put(key, calibration.to_payload())
+            return 200, {
+                "key": key,
+                "stored": self.calibration_store is not None,
+                "meta": dict(calibration.meta),
+            }
         if method == "POST" and path in ("/predict", "/measure"):
             mode = path.lstrip("/")
             self.counters[

@@ -126,6 +126,20 @@ class PhaseTrace:
             raise ValueError("iteration marks incomplete (some ranks missing)")
         return hi - lo
 
+    def window_compute(self, first: int, last: int) -> np.ndarray:
+        """Per-``(rank, phase)`` compute seconds over iterations ``[first, last)``.
+
+        The per-rank form of :meth:`window_compute_max`: what each rank
+        charged between the two iteration marks, with warm-up excluded when
+        ``first > 0``.  This is the window the calibrators sample so that
+        warm-up noise never contaminates cost-curve knots.
+        """
+        return self._window(self._compute_at_mark, first, last)
+
+    def window_comm(self, first: int, last: int) -> np.ndarray:
+        """Per-``(rank, phase)`` communication seconds over ``[first, last)``."""
+        return self._window(self._comm_at_mark, first, last)
+
     def window_compute_max(self, first: int, last: int) -> np.ndarray:
         """Max-over-ranks compute seconds per phase over ``[first, last)``.
 

@@ -1,0 +1,53 @@
+"""External trace ingestion, synthesis, and replay.
+
+This package is the repository's external-data surface: versioned JSON
+phase logs from real (or simulated) runs come in, fitted model parameters
+and model-vs-measured error reports come out.
+
+* :mod:`repro.trace.schema` — the ``repro-trace`` JSON document format
+  (per-rank, per-iteration, per-phase compute times, message counts and
+  bytes, ping-pong samples, machine metadata), with a validating reader
+  that normalises runs into the engine's :class:`~repro.simmpi.PhaseTrace`
+  shape;
+* :mod:`repro.trace.synthetic` — generate a schema-conforming trace from
+  the simulated machine itself (the round-trip test harness and the CI
+  smoke lane's data source);
+* :mod:`repro.trace.replay` — run an ingested deck/partition through the
+  engine against a fitted calibration and report per-phase, per-rank
+  model-vs-measured error, like the paper's Tables 5–6 for any
+  user-supplied machine.
+
+The parameter fitting itself lives in :mod:`repro.perfmodel.calibrate`
+(:func:`~repro.perfmodel.calibrate.fit_cost_table`,
+:func:`~repro.perfmodel.calibrate.fit_network`, and the
+:class:`~repro.perfmodel.calibrate.FittedCalibration` artifact).
+"""
+
+from repro.trace.replay import RunReport, fit_calibration, replay_calibration
+from repro.trace.schema import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    TraceDoc,
+    TraceFormatError,
+    TraceMachine,
+    TraceRun,
+    load_trace,
+    save_trace,
+)
+from repro.trace.synthetic import default_pingpong_sizes, synthesize_trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "RunReport",
+    "TraceDoc",
+    "TraceFormatError",
+    "TraceMachine",
+    "TraceRun",
+    "default_pingpong_sizes",
+    "fit_calibration",
+    "load_trace",
+    "replay_calibration",
+    "save_trace",
+    "synthesize_trace",
+]

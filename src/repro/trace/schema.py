@@ -1,0 +1,430 @@
+"""The versioned ``repro-trace`` JSON phase-log format.
+
+One trace document describes a set of runs of **one deck** on **one
+machine**: for every run, per-rank, per-iteration, per-phase compute (and
+optionally communication) seconds, the per-rank material census, and
+per-rank message counts/bytes; document-wide, the machine metadata needed
+to fit network parameters (protocol-switch breakpoints, host overheads)
+and a ladder of ping-pong message-timing samples.
+
+The reader (:func:`load_trace` / :meth:`TraceDoc.from_payload`) validates
+shapes and value ranges loudly, normalises everything into float64 arrays,
+and can rebuild each run as a :class:`~repro.simmpi.PhaseTrace`
+(:meth:`TraceRun.phase_trace`), so every windowed summary the engine's own
+traces support — warm-up-excluded phase breakdowns in particular — works
+identically on ingested external data.
+
+Schema (version 1)::
+
+    {
+      "schema": "repro-trace",
+      "version": 1,
+      "deck": "16x8",                      // any core deck spec
+      "num_phases": 15,
+      "machine": {
+        "name": "es45-qsnet-like",
+        "network_breakpoints": [4096.0],   // protocol-switch sizes (bytes)
+        "send_overhead": 1.5e-6,           // per-message host costs (s)
+        "recv_overhead": 2.0e-6
+      },
+      "pingpong": [{"bytes": 64.0, "seconds": 1.82e-5}, ...],
+      "runs": [
+        {
+          "ranks": 4,
+          "iterations": 4,
+          "warmup": 1,
+          "partition_method": "block",
+          "seed": 1,
+          "material_cells": [[...per material] per rank],
+          "compute": [[[...per phase] per rank] per iteration],
+          "comm": [[[...]]] | null,
+          "iteration_seconds": [...] | null,
+          "messages": [{"count": 12, "bytes": 38400.0} per rank] | null
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.simmpi.tracing import PhaseTrace
+from repro.util.artifacts import stable_hash
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "TraceDoc",
+    "TraceFormatError",
+    "TraceMachine",
+    "TraceRun",
+    "load_trace",
+    "save_trace",
+]
+
+TRACE_SCHEMA = "repro-trace"
+TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """An ingested trace document violates the schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceFormatError(message)
+
+
+def _float_array(value, name: str, ndim: int) -> np.ndarray:
+    try:
+        arr = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{name} is not numeric: {exc}") from None
+    _require(arr.ndim == ndim, f"{name} must be {ndim}-D, got shape {arr.shape}")
+    _require(bool(np.all(np.isfinite(arr))), f"{name} contains non-finite values")
+    _require(bool(np.all(arr >= 0)), f"{name} contains negative values")
+    return arr
+
+
+@dataclass(frozen=True)
+class TraceMachine:
+    """Machine metadata a trace carries about the system it was measured on.
+
+    ``network_breakpoints`` are the known protocol-switch message sizes
+    (e.g. the eager→rendezvous threshold); the network fitter recovers one
+    ``latency``/``per_byte`` pair per segment between them.  The host
+    overheads are the per-message CPU costs charged on send/receive —
+    external traces that cannot measure them separately may leave the
+    defaults of 0.
+    """
+
+    name: str = "traced"
+    network_breakpoints: tuple = ()
+    send_overhead: float = 0.0
+    recv_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        bp = tuple(float(b) for b in self.network_breakpoints)
+        object.__setattr__(self, "network_breakpoints", bp)
+        _require(
+            all(b > 0 for b in bp) and list(bp) == sorted(set(bp)),
+            "network_breakpoints must be positive and strictly ascending",
+        )
+        _require(
+            self.send_overhead >= 0 and self.recv_overhead >= 0,
+            "host overheads must be non-negative",
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "network_breakpoints": list(self.network_breakpoints),
+            "send_overhead": self.send_overhead,
+            "recv_overhead": self.recv_overhead,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceMachine":
+        _require(isinstance(payload, dict), "machine must be an object")
+        return cls(
+            name=str(payload.get("name", "traced")),
+            network_breakpoints=tuple(payload.get("network_breakpoints", ())),
+            send_overhead=float(payload.get("send_overhead", 0.0)),
+            recv_overhead=float(payload.get("recv_overhead", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceRun:
+    """One run of the traced application at a fixed rank count.
+
+    Attributes
+    ----------
+    ranks, iterations, warmup:
+        Run extents; summaries sample the steady window
+        ``[warmup, iterations)`` only.
+    partition_method, seed:
+        How the deck was split across ranks, in the repository's partition
+        vocabulary — what makes the run replayable.
+    compute:
+        ``(iterations, ranks, phases)`` computation seconds.
+    comm:
+        Optional ``(iterations, ranks, phases)`` communication seconds.
+    material_cells:
+        ``(ranks, materials)`` cell counts — the fitter's design matrix.
+    iteration_seconds:
+        Optional per-iteration wall seconds (max over ranks).
+    messages:
+        Optional per-rank ``{"count", "bytes"}`` point-to-point totals.
+    """
+
+    ranks: int
+    iterations: int
+    compute: np.ndarray
+    material_cells: np.ndarray
+    comm: np.ndarray | None = None
+    iteration_seconds: np.ndarray | None = None
+    messages: tuple | None = None
+    partition_method: str = "block"
+    seed: int = 1
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.ranks >= 1, "ranks must be >= 1")
+        _require(
+            self.iterations >= 2,
+            "a trace run needs iterations >= 2: the warm-up iteration is "
+            "excluded from every fitted sample",
+        )
+        _require(
+            0 <= self.warmup < self.iterations,
+            "need 0 <= warmup < iterations",
+        )
+        compute = _float_array(self.compute, "compute", 3)
+        _require(
+            compute.shape[0] == self.iterations and compute.shape[1] == self.ranks,
+            f"compute must be (iterations={self.iterations}, ranks={self.ranks}, "
+            f"phases), got {compute.shape}",
+        )
+        object.__setattr__(self, "compute", compute)
+        cells = _float_array(self.material_cells, "material_cells", 2)
+        _require(
+            cells.shape[0] == self.ranks,
+            f"material_cells must have one row per rank, got {cells.shape}",
+        )
+        object.__setattr__(self, "material_cells", cells)
+        if self.comm is not None:
+            comm = _float_array(self.comm, "comm", 3)
+            _require(
+                comm.shape == compute.shape,
+                f"comm shape {comm.shape} must match compute {compute.shape}",
+            )
+            object.__setattr__(self, "comm", comm)
+        if self.iteration_seconds is not None:
+            its = _float_array(self.iteration_seconds, "iteration_seconds", 1)
+            _require(
+                its.shape == (self.iterations,),
+                f"iteration_seconds needs {self.iterations} entries, got {its.shape}",
+            )
+            object.__setattr__(self, "iteration_seconds", its)
+        if self.messages is not None:
+            msgs = tuple(
+                {"count": int(m["count"]), "bytes": float(m["bytes"])}
+                for m in self.messages
+            )
+            _require(
+                len(msgs) == self.ranks,
+                f"messages needs one entry per rank ({self.ranks}), got {len(msgs)}",
+            )
+            _require(
+                all(m["count"] >= 0 and m["bytes"] >= 0 for m in msgs),
+                "message counts/bytes must be non-negative",
+            )
+            object.__setattr__(self, "messages", msgs)
+
+    @property
+    def num_phases(self) -> int:
+        return int(self.compute.shape[2])
+
+    @property
+    def cells_per_rank(self) -> float:
+        """Mean cells per processor — the run's curve-knot abscissa."""
+        return float(self.material_cells.sum() / self.ranks)
+
+    # ---------------------------------------------------------- summaries
+
+    def steady_compute(self, warmup: int | None = None) -> np.ndarray:
+        """Mean per-``(rank, phase)`` compute seconds over the steady window."""
+        w = self.warmup if warmup is None else warmup
+        _require(0 <= w < self.iterations, "need 0 <= warmup < iterations")
+        return self.compute[w:].mean(axis=0)
+
+    def steady_comm(self, warmup: int | None = None) -> np.ndarray | None:
+        """Mean per-``(rank, phase)`` communication seconds, if recorded."""
+        if self.comm is None:
+            return None
+        w = self.warmup if warmup is None else warmup
+        _require(0 <= w < self.iterations, "need 0 <= warmup < iterations")
+        return self.comm[w:].mean(axis=0)
+
+    def steady_iteration_seconds(self, warmup: int | None = None) -> float | None:
+        """Mean steady-state per-iteration wall seconds, if recorded."""
+        if self.iteration_seconds is None:
+            return None
+        w = self.warmup if warmup is None else warmup
+        _require(0 <= w < self.iterations, "need 0 <= warmup < iterations")
+        return float(self.iteration_seconds[w:].mean())
+
+    def phase_trace(self) -> PhaseTrace:
+        """Normalise this run into the engine's :class:`PhaseTrace` shape.
+
+        Iteration marks are reconstructed from the cumulative per-iteration
+        sums, so every window summary (``window_compute``,
+        ``mean_iteration_time``, …) behaves exactly as on an engine-produced
+        trace.  Per-rank clocks are not part of the schema; all ranks share
+        the document's per-iteration wall times (zeros when absent), which
+        leaves per-phase windows exact and iteration windows exact to
+        within the skew the original system already hid in its global
+        iteration timer.
+        """
+        trace = PhaseTrace(self.ranks, self.num_phases)
+        compute_cum = np.cumsum(self.compute, axis=0)
+        comm = self.comm if self.comm is not None else np.zeros_like(self.compute)
+        comm_cum = np.cumsum(comm, axis=0)
+        if self.iteration_seconds is not None:
+            clocks = np.concatenate([[0.0], np.cumsum(self.iteration_seconds)])
+        else:
+            clocks = np.zeros(self.iterations + 1)
+        zero = np.zeros(self.num_phases)
+        marks = []
+        for index in range(self.iterations + 1):
+            for rank in range(self.ranks):
+                comp_row = zero if index == 0 else compute_cum[index - 1, rank]
+                comm_row = zero if index == 0 else comm_cum[index - 1, rank]
+                marks.append((rank, index, float(clocks[index]), comp_row, comm_row))
+        trace.load_batch(compute_cum[-1], comm_cum[-1], marks)
+        return trace
+
+    # ------------------------------------------------------- serialization
+
+    def to_payload(self) -> dict:
+        payload = {
+            "ranks": self.ranks,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "partition_method": self.partition_method,
+            "seed": self.seed,
+            "material_cells": self.material_cells.tolist(),
+            "compute": self.compute.tolist(),
+            "comm": None if self.comm is None else self.comm.tolist(),
+            "iteration_seconds": (
+                None
+                if self.iteration_seconds is None
+                else self.iteration_seconds.tolist()
+            ),
+            "messages": None if self.messages is None else list(self.messages),
+        }
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceRun":
+        _require(isinstance(payload, dict), "run must be an object")
+        for key in ("ranks", "iterations", "material_cells", "compute"):
+            _require(key in payload, f"run is missing required key {key!r}")
+        return cls(
+            ranks=int(payload["ranks"]),
+            iterations=int(payload["iterations"]),
+            warmup=int(payload.get("warmup", 1)),
+            partition_method=str(payload.get("partition_method", "block")),
+            seed=int(payload.get("seed", 1)),
+            material_cells=payload["material_cells"],
+            compute=payload["compute"],
+            comm=payload.get("comm"),
+            iteration_seconds=payload.get("iteration_seconds"),
+            messages=payload.get("messages"),
+        )
+
+
+@dataclass(frozen=True)
+class TraceDoc:
+    """A full ``repro-trace`` document: one deck, one machine, many runs."""
+
+    deck: str
+    machine: TraceMachine
+    num_phases: int
+    runs: tuple
+    pingpong_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    pingpong_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        _require(bool(self.deck), "deck spec must be non-empty")
+        _require(self.num_phases >= 1, "num_phases must be >= 1")
+        runs = tuple(self.runs)
+        _require(len(runs) >= 1, "a trace needs at least one run")
+        for i, run in enumerate(runs):
+            _require(
+                run.num_phases == self.num_phases,
+                f"run {i} has {run.num_phases} phases, document says "
+                f"{self.num_phases}",
+            )
+        object.__setattr__(self, "runs", runs)
+        pp_bytes = _float_array(self.pingpong_bytes, "pingpong bytes", 1)
+        pp_seconds = _float_array(self.pingpong_seconds, "pingpong seconds", 1)
+        _require(
+            pp_bytes.shape == pp_seconds.shape,
+            "pingpong bytes and seconds must be parallel arrays",
+        )
+        object.__setattr__(self, "pingpong_bytes", pp_bytes)
+        object.__setattr__(self, "pingpong_seconds", pp_seconds)
+
+    def content_key(self) -> str:
+        """Content hash of the full document (the fit artifact's identity)."""
+        return stable_hash({"kind": TRACE_SCHEMA, "doc": self.to_payload()})
+
+    # ------------------------------------------------------- serialization
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_VERSION,
+            "deck": self.deck,
+            "num_phases": self.num_phases,
+            "machine": self.machine.to_payload(),
+            "pingpong": [
+                {"bytes": float(b), "seconds": float(s)}
+                for b, s in zip(self.pingpong_bytes, self.pingpong_seconds)
+            ],
+            "runs": [run.to_payload() for run in self.runs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceDoc":
+        _require(isinstance(payload, dict), "trace document must be an object")
+        _require(
+            payload.get("schema") == TRACE_SCHEMA,
+            f"not a {TRACE_SCHEMA} document (schema={payload.get('schema')!r})",
+        )
+        _require(
+            payload.get("version") == TRACE_VERSION,
+            f"unsupported trace version {payload.get('version')!r} "
+            f"(reader supports {TRACE_VERSION})",
+        )
+        for key in ("deck", "num_phases", "runs"):
+            _require(key in payload, f"trace is missing required key {key!r}")
+        pingpong = payload.get("pingpong", [])
+        _require(isinstance(pingpong, list), "pingpong must be a list of samples")
+        for sample in pingpong:
+            _require(
+                isinstance(sample, dict) and "bytes" in sample and "seconds" in sample,
+                "each pingpong sample needs 'bytes' and 'seconds'",
+            )
+        return cls(
+            deck=str(payload["deck"]),
+            machine=TraceMachine.from_payload(payload.get("machine", {})),
+            num_phases=int(payload["num_phases"]),
+            runs=tuple(TraceRun.from_payload(r) for r in payload["runs"]),
+            pingpong_bytes=[s["bytes"] for s in pingpong],
+            pingpong_seconds=[s["seconds"] for s in pingpong],
+        )
+
+
+def save_trace(doc: TraceDoc, path) -> Path:
+    """Write ``doc`` as canonical JSON (sorted keys) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc.to_payload(), sort_keys=True, indent=1))
+    return path
+
+
+def load_trace(path) -> TraceDoc:
+    """Read and validate a trace document from ``path``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: not valid JSON: {exc}") from None
+    return TraceDoc.from_payload(payload)

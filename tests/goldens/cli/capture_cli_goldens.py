@@ -33,10 +33,16 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 #: A committed scenario file so ``verify diff`` replays a fixed input.
 SCENARIO_PATH = GOLDEN_DIR / "scenario_seed3.json"
 
+#: A committed noise-free trace so ``calibrate fit``/``report`` replay a
+#: fixed external document.
+TRACE_PATH = GOLDEN_DIR / "trace_16x8.json"
+
 #: Wall-clock seconds rendered as the last cell of a table row.
 _TRAILING_WALL = (re.compile(r"\d+\.\d\d(\s*)$", re.MULTILINE), r"<WALL>\1")
 #: ``(built in 0.12s)``-style inline wall-clock fragments.
 _BUILT_IN = (re.compile(r"built in \d+\.\d+s"), "built in <WALL>s")
+#: Absolute paths under the goldens directory (checkout-dependent).
+_GOLDEN_PATH = (re.compile(re.escape(str(GOLDEN_DIR))), "<GOLDENS>")
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,16 @@ CASES = (
     CliCase("info", ("info", "--deck", "small")),
     CliCase("info_custom_deck", ("info", "--deck", "16x8")),
     CliCase("calibrate", ("calibrate", "--max-side", "8", "--phase", "2")),
+    CliCase(
+        "calibrate_fit",
+        ("calibrate", "fit", str(TRACE_PATH), "--no-store"),
+        normalizers=(_GOLDEN_PATH,),
+    ),
+    CliCase(
+        "calibrate_report",
+        ("calibrate", "report", str(TRACE_PATH), "--max-error", "1"),
+        normalizers=(_GOLDEN_PATH,),
+    ),
     CliCase(
         "validate",
         ("validate", "--deck", "16x8", "--ranks", "4", "--max-side", "16"),
@@ -138,10 +154,31 @@ def ensure_scenario() -> None:
     save_scenario(random_scenario(3), SCENARIO_PATH)
 
 
+def ensure_trace() -> None:
+    """(Re)write the committed ``calibrate fit``/``report`` input trace.
+
+    Noise-free (zero jitter), so the fit recovers the generating machine
+    exactly and the report shows zero error — any model/engine drift shows
+    up as a non-zero error column.
+    """
+    from repro.machine.cluster import es45_like_cluster
+    from repro.trace import save_trace, synthesize_trace
+
+    doc = synthesize_trace(
+        deck="16x8",
+        ranks=(2, 4),
+        cluster=es45_like_cluster(jitter_frac=0.0),
+        iterations=4,
+        warmup=1,
+    )
+    save_trace(doc, TRACE_PATH)
+
+
 def main(output_dir: Path | None = None) -> int:
     output_dir = GOLDEN_DIR if output_dir is None else Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     ensure_scenario()
+    ensure_trace()
     for case in CASES:
         with tempfile.TemporaryDirectory() as cache:
             text, code = run_case(case, Path(cache))

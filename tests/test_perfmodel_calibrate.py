@@ -4,13 +4,18 @@ import numpy as np
 import pytest
 
 from repro.machine import NUM_PHASES, es45_like_cluster
+from repro.machine.network import QSNET_LIKE
 from repro.mesh import build_deck, build_face_table
 from repro.mesh.deck import NUM_MATERIALS
 from repro.partition import structured_block_partition
+from repro.partition.rcb import rcb_partition
 from repro.perfmodel import (
     calibrate_contrived_grid,
     calibrate_linear_system,
     default_sample_sides,
+    fit_network,
+    fit_phase_costs,
+    merge_duplicate_abscissae,
 )
 
 
@@ -116,3 +121,147 @@ class TestLinearSystemCalibration:
         for p in range(table.num_phases):
             for m in range(table.num_materials):
                 assert np.all(table.curves[p][m].per_cell >= 0)
+
+    def test_duplicate_abscissae_are_averaged_not_dropped(
+        self, quiet_cluster_module
+    ):
+        """Two partitions at the same rank count land on the same
+        cells-per-PE abscissa; both must contribute to the single knot."""
+        deck = build_deck((32, 16))
+        parts = [
+            structured_block_partition(deck.mesh, 4),
+            rcb_partition(deck.mesh, 4),
+        ]
+        table = calibrate_linear_system(quiet_cluster_module, deck, parts)
+        only = [
+            calibrate_linear_system(quiet_cluster_module, deck, [p])
+            for p in parts
+        ]
+        curve = table.curves[2][0]
+        assert curve.cells.shape == (1,)
+        mean = np.mean([t.curves[2][0].per_cell[0] for t in only])
+        assert curve.per_cell[0] == pytest.approx(mean, rel=1e-12)
+
+
+class TestWindowValidation:
+    def test_contrived_grid_rejects_single_iteration(self, quiet_cluster_module):
+        with pytest.raises(ValueError, match="iterations >= 2"):
+            calibrate_contrived_grid(
+                quiet_cluster_module, sides=[2], iterations=1, warmup=0
+            )
+
+    def test_linear_system_rejects_single_iteration(self, quiet_cluster_module):
+        deck = build_deck((16, 8))
+        parts = [structured_block_partition(deck.mesh, 2)]
+        with pytest.raises(ValueError, match="iterations >= 2"):
+            calibrate_linear_system(
+                quiet_cluster_module, deck, parts, iterations=1, warmup=0
+            )
+
+    def test_rejects_warmup_outside_window(self, quiet_cluster_module):
+        with pytest.raises(ValueError, match="warmup"):
+            calibrate_contrived_grid(
+                quiet_cluster_module, sides=[2], iterations=3, warmup=3
+            )
+
+
+class TestWarmupExclusion:
+    """Regression: calibration knots must come from the steady window only.
+
+    The old calibrators divided the run's *total* per-phase compute by the
+    iteration count, which averaged the warm-up iteration's jitter into
+    every knot.  With per-(rank, phase, iteration) jitter the steady-state
+    value is exactly the quiet value scaled by iteration 1's jitter factor,
+    so the fixed point is checkable bit-for-bit.
+    """
+
+    def test_knot_carries_steady_iteration_jitter_only(self):
+        from repro.machine.node import _hash_jitter
+
+        jf = 0.1
+        quiet = calibrate_contrived_grid(
+            es45_like_cluster(jitter_frac=0.0), sides=[8]
+        )
+        noisy = calibrate_contrived_grid(
+            es45_like_cluster(jitter_frac=jf), sides=[8]
+        )
+        n = 64.0
+        for phase in (0, 2, 13):
+            steady = 1.0 + jf * _hash_jitter(1, phase, 1, 0)
+            contaminated = 1.0 + jf * 0.5 * (
+                _hash_jitter(1, phase, 0, 0) + _hash_jitter(1, phase, 1, 0)
+            )
+            got = noisy.per_cell(phase, 0, n)
+            want = quiet.per_cell(phase, 0, n) * steady
+            assert got == pytest.approx(want, rel=1e-12)
+            assert got != pytest.approx(
+                quiet.per_cell(phase, 0, n) * contaminated, rel=1e-6
+            )
+
+
+class TestMergeDuplicateAbscissae:
+    def test_averages_duplicates(self):
+        ones = np.full((2, 3), 1.0)
+        threes = np.full((2, 3), 3.0)
+        uniq, per_cell = merge_duplicate_abscissae([100.0, 100.0], [ones, threes])
+        assert uniq.tolist() == [100.0]
+        assert per_cell.shape == (2, 3, 1)
+        assert np.allclose(per_cell[..., 0], 2.0)
+
+    def test_sorts_distinct_abscissae(self):
+        a = np.full((1, 1), 5.0)
+        b = np.full((1, 1), 7.0)
+        uniq, per_cell = merge_duplicate_abscissae([200.0, 50.0], [a, b])
+        assert uniq.tolist() == [50.0, 200.0]
+        assert per_cell[0, 0].tolist() == [7.0, 5.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_duplicate_abscissae([], [])
+
+
+class TestFitPhaseCosts:
+    def test_exact_recovery_with_intercept(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(1, 50, size=(6, 3)).astype(np.float64)
+        true_coeffs = np.array([[1e-5, 2e-5, 5e-6], [3e-5, 1e-6, 2e-6]])
+        true_overhead = np.array([4e-4, 7e-5])
+        times = counts @ true_coeffs.T + true_overhead
+        coeffs, overhead = fit_phase_costs(counts, times)
+        assert np.allclose(coeffs, true_coeffs, rtol=1e-8)
+        assert np.allclose(overhead, true_overhead, rtol=1e-8)
+
+    def test_absent_material_gets_fallback(self):
+        counts = np.array([[10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+        times = counts[:, :1] * 2e-5 + 1e-4
+        coeffs, _ = fit_phase_costs(counts, times)
+        assert coeffs[0, 1] == pytest.approx(coeffs[0, 0])
+
+    def test_rejects_all_empty(self):
+        with pytest.raises(ValueError, match="no cells"):
+            fit_phase_costs(np.zeros((2, 2)), np.zeros((2, 1)))
+
+
+class TestFitNetwork:
+    def test_recovers_qsnet_parameters_exactly(self):
+        sizes = np.array([64.0, 1024.0, 4096.0, 8192.0, 65536.0, 262144.0])
+        seconds = QSNET_LIKE.tmsg_many(sizes)
+        net = fit_network(
+            sizes, seconds, breakpoints=QSNET_LIKE.breakpoints.tolist()
+        )
+        assert np.allclose(net.latency, QSNET_LIKE.latency, rtol=1e-9)
+        assert np.allclose(net.per_byte, QSNET_LIKE.per_byte, rtol=1e-9)
+
+    def test_requires_two_distinct_sizes_per_segment(self):
+        with pytest.raises(ValueError, match="segment"):
+            fit_network([64.0, 64.0, 8192.0, 65536.0], [1e-5] * 4,
+                        breakpoints=[4096.0])
+
+    def test_clamps_negative_parameters(self):
+        # Seconds *decreasing* with size would fit a negative per-byte cost.
+        net = fit_network([100.0, 200.0], [2e-5, 1e-5])
+        assert net.per_byte[0] == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_network([1.0, 2.0], [1e-5])

@@ -130,7 +130,7 @@ class TestHashStability:
         request = PredictionRequest(deck="16x8", ranks=4, max_side=16)
         names = [
             f.name for f in dataclasses.fields(PredictionRequest)
-            if f.name != "perturb"
+            if f.name not in PredictionRequest._HASH_OPTIONAL_FIELDS_
         ]
         legacy_type = dataclasses.make_dataclass(
             "PredictionRequest", names, frozen=True

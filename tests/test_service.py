@@ -166,3 +166,56 @@ def test_store_backed_cache_survives_server_restart(tmp_path):
     assert not first_cached
     assert second_cached  # answered from the on-disk store, no recompute
     assert second.predicted == first.predicted
+
+
+def test_calibrate_route_fits_stores_and_serves(tmp_path):
+    """POST /calibrate ingests a trace, stores the fitted artifact, and a
+    follow-up /predict can reference it via the ``calibration`` field."""
+    import dataclasses
+
+    from repro.analysis.store import ResultStore
+    from repro.machine.cluster import es45_like_cluster
+    from repro.trace import synthesize_trace
+
+    doc = synthesize_trace(
+        deck="16x8",
+        ranks=(2,),
+        cluster=es45_like_cluster(jitter_frac=0.0),
+        iterations=2,
+    )
+    store = ResultStore(namespace="calibrations", root=tmp_path)
+    srv = PredictionServer(
+        host="127.0.0.1", port=0, cache=LRUResultCache(),
+        calibration_store=store,
+    )
+    started = threading.Event()
+
+    def serve():
+        async def main():
+            await srv.start()
+            started.set()
+            await srv.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    client = ServiceClient(host=srv.host, port=srv.port)
+    try:
+        answer = client.calibrate(doc.to_payload())
+        assert answer["stored"]
+        assert store.get(answer["key"]) is not None
+        assert answer["meta"]["deck"] == "16x8"
+
+        pinned = dataclasses.replace(REQUEST, calibration=answer["key"])
+        result = client.predict(pinned)
+        assert result.predicted["heterogeneous"] > 0
+        # A malformed document is a 400, not a server error.
+        with pytest.raises(ServiceError) as err:
+            client.calibrate({"schema": "nope"})
+        assert err.value.status == 400
+    finally:
+        client.shutdown()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
